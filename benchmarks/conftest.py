@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of the paper's evaluation
+(Section IV) and prints a paper-vs-measured comparison table.  Absolute
+numbers are not expected to match (the substrate is a simulator, not the
+authors' boards); the assertions check the *shape* of each result: who wins,
+by roughly what factor, and whether deadlines/certificates hold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+def print_experiment(experiment: str, claim: str,
+                     rows: list, notes: Optional[str] = None) -> None:
+    """Print a uniform paper-vs-measured block under ``-s``/captured output."""
+    print(f"\n=== {experiment} ===")
+    print(f"paper claim : {claim}")
+    for row in rows:
+        print(f"  {row}")
+    if notes:
+        print(f"note: {notes}")

@@ -1,0 +1,49 @@
+"""E1 — camera pill: 18% performance and 19% energy improvement (paper IV-A)."""
+
+import pytest
+
+from conftest import print_experiment
+from repro.usecases import camera_pill
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return camera_pill.run_comparison()
+
+
+def test_e1_camera_pill_improvement(benchmark, comparison):
+    """The TeamPlay build beats the traditional toolchain on time and energy."""
+    report = benchmark.pedantic(
+        lambda: camera_pill.run_comparison().report, rounds=1, iterations=1)
+
+    print_experiment(
+        "E1 camera pill (Cortex-M0 + FPGA co-processor)",
+        "18% performance and 19% energy improvement over a traditional toolchain",
+        [
+            f"performance improvement: paper 18%  measured "
+            f"{report.performance_improvement_pct:.1f}%",
+            f"energy improvement     : paper 19%  measured "
+            f"{report.energy_improvement_pct:.1f}%",
+            f"frame deadline met     : {report.deadlines_met}",
+        ],
+        notes="improvements come from the multi-criteria compiler "
+              "(SPM allocation, unrolling, strength reduction), as in the paper",
+    )
+    # Shape: TeamPlay wins on both axes, by a double-digit percentage but far
+    # from an order of magnitude.
+    assert 5.0 <= report.performance_improvement_pct <= 45.0
+    assert 5.0 <= report.energy_improvement_pct <= 45.0
+    assert report.deadlines_met
+
+
+def test_e1_certificate_and_budgets(benchmark, comparison):
+    """The TeamPlay build yields a valid certificate (green light)."""
+    certificate = benchmark.pedantic(
+        lambda: comparison.teamplay.certificate, rounds=1, iterations=1)
+    print_experiment(
+        "E1 camera pill — contract system",
+        "coordination layer and CSL give a green light with a certificate",
+        [line for line in certificate.summary_lines()],
+    )
+    assert certificate.valid
+    assert comparison.teamplay.schedulability.feasible

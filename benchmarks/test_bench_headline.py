@@ -1,0 +1,48 @@
+"""HEADLINE — "up to 18% performance and 52% energy usage improvement over
+traditional approaches" (abstract / conclusion)."""
+
+import pytest
+
+from conftest import print_experiment
+from repro.usecases import camera_pill, space, uav
+
+
+@pytest.fixture(scope="module")
+def all_reports():
+    return {
+        "camera pill": camera_pill.run_comparison().report,
+        "space": space.run_comparison(validate_dynamically=False).report,
+        "uav sar": uav.run_sar_comparison().report,
+    }
+
+
+def test_headline_best_improvements(benchmark, all_reports):
+    reports = benchmark.pedantic(lambda: all_reports, rounds=1, iterations=1)
+
+    best_performance = max(r.performance_improvement_pct for r in reports.values())
+    best_energy = max(r.energy_improvement_pct for r in reports.values())
+
+    rows = [
+        f"{name:12s}: performance {report.performance_improvement_pct:+6.1f}%   "
+        f"energy {report.energy_improvement_pct:+6.1f}%"
+        for name, report in reports.items()
+    ]
+    rows.append(f"best performance improvement: paper 18%  measured "
+                f"{best_performance:.1f}%")
+    rows.append(f"best energy improvement     : paper 52%  measured "
+                f"{best_energy:.1f}%")
+    print_experiment(
+        "HEADLINE — overall improvements across the use cases",
+        "up to 18% performance and 52% energy usage over traditional approaches",
+        rows,
+    )
+    # Shape: double-digit best improvements on both axes, with the energy
+    # headline substantially larger than the performance headline, and the
+    # energy headline coming from the space use case as in the paper.
+    assert best_performance >= 15.0
+    assert best_energy >= 40.0
+    assert best_energy > best_performance
+    assert reports["space"].energy_improvement_pct == pytest.approx(
+        best_energy, rel=1e-9)
+    # Every use case meets its deadlines under the TeamPlay builds.
+    assert all(report.deadlines_met for report in reports.values())

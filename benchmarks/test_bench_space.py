@@ -1,0 +1,63 @@
+"""E2 — space: 52% energy improvement while meeting all deadlines (paper IV-B)."""
+
+import pytest
+
+from conftest import print_experiment
+from repro.usecases import space
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return space.run_comparison()
+
+
+def test_e2_space_energy_improvement(benchmark, comparison):
+    report = benchmark.pedantic(
+        lambda: space.run_comparison(validate_dynamically=False).report,
+        rounds=1, iterations=1)
+
+    print_experiment(
+        "E2 space / SpaceWire on the GR712RC (dual LEON3, RTEMS)",
+        "52% energy improvement while meeting all deadlines",
+        [
+            f"energy improvement: paper 52%  measured "
+            f"{report.energy_improvement_pct:.1f}%",
+            f"deadlines met      : paper yes  measured {report.deadlines_met}",
+            f"energy per period  : baseline "
+            f"{comparison.baseline_energy_per_period_j * 1e3:.1f} mJ -> TeamPlay "
+            f"{comparison.teamplay_energy_per_period_j * 1e3:.1f} mJ",
+        ],
+        notes="gains come from energy-aware dual-core scheduling, DVFS sweet "
+              "spot selection and idle power-down during slack",
+    )
+    assert 35.0 <= report.energy_improvement_pct <= 75.0
+    assert report.deadlines_met
+
+
+def test_e2_dynamic_deadline_validation(benchmark, comparison):
+    """Replaying the schedule on the periodic executive misses no deadline."""
+    log = benchmark.pedantic(lambda: comparison.executive_log,
+                             rounds=1, iterations=1)
+    print_experiment(
+        "E2 space — RTEMS-style periodic executive",
+        "all deadlines met",
+        [
+            f"periods replayed : {len(log.periods)}",
+            f"deadline misses  : {log.deadline_misses}",
+            f"worst makespan   : {log.worst_makespan_s * 1e3:.2f} ms "
+            f"(deadline {comparison.teamplay.spec.deadline_s() * 1e3:.0f} ms)",
+        ],
+    )
+    assert log.deadline_misses == 0
+    assert log.worst_makespan_s <= comparison.teamplay.spec.deadline_s()
+
+
+def test_e2_certificate(benchmark, comparison):
+    certificate = benchmark.pedantic(lambda: comparison.teamplay.certificate,
+                                     rounds=1, iterations=1)
+    print_experiment(
+        "E2 space — contract system",
+        "certificate proving energy and time budgets",
+        certificate.summary_lines(),
+    )
+    assert certificate.valid

@@ -1,0 +1,51 @@
+"""E3 — UAV SAR: 18% software-energy improvement, ≈4 min more flight time."""
+
+import pytest
+
+from conftest import print_experiment
+from repro.usecases import uav
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return uav.run_sar_comparison()
+
+
+def test_e3_sar_energy_and_flight_time(benchmark, comparison):
+    result = benchmark.pedantic(lambda: uav.run_sar_comparison(profiling_runs=6),
+                                rounds=1, iterations=1)
+
+    print_experiment(
+        "E3 UAV search and rescue (Apalis TK1, complex workflow)",
+        "18% energy improvement; flight time increased by ~4 minutes",
+        [
+            f"software energy improvement: paper 18%  measured "
+            f"{result.report.energy_improvement_pct:.1f}%",
+            f"software power: baseline {result.baseline_software_power_w:.2f} W "
+            f"-> TeamPlay {result.teamplay_software_power_w:.2f} W",
+            f"flight time gain: paper ~4 min  measured "
+            f"{result.flight_time_gain_s / 60:.1f} min",
+            f"deadlines met: {result.report.deadlines_met}",
+        ],
+        notes="TeamPlay maps the detector to the GPU, lowers operating points "
+              "within the slack and powers down unused CPU cores",
+    )
+    assert 8.0 <= result.report.energy_improvement_pct <= 40.0
+    assert 1.5 * 60 <= result.flight_time_gain_s <= 8 * 60
+    assert result.report.deadlines_met
+    # The software payload stays within the 2-11 W range reported in the paper.
+    assert 2.0 <= result.teamplay_software_power_w <= 11.0
+    assert 2.0 <= result.baseline_software_power_w <= 11.0
+
+
+def test_e3_gpu_is_used_by_teamplay(benchmark, comparison):
+    schedule = benchmark.pedantic(lambda: comparison.teamplay.schedule,
+                                  rounds=1, iterations=1)
+    cores_used = set(schedule.by_core())
+    print_experiment(
+        "E3 UAV SAR — mapping decisions",
+        "object detection runs on the GPU payload",
+        [f"cores used by the TeamPlay deployment: {sorted(cores_used)}"],
+    )
+    assert any("gpu" in core for core in cores_used)
+    assert schedule.entry("detect").core.endswith("gpu")

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Deep-learning use case: parking detection on the Cortex-M0 and the TK1.
+
+Part 1 trains the parking-spot detector on synthetic scenes and reports its
+accuracy (float and int8-quantised).
+
+Part 2 compiles the CNN inner kernels for the Cortex-M0 under several
+compiler configurations and operating points, reproducing the variant table
+the paper describes (experiment E5).
+
+Part 3 deploys the network on the Apalis TK1 with the coordination layer and
+compares the generated deployment against the hand-optimised mapping
+(experiment E6).
+
+Run with:  python examples/parking_dl_deployment.py
+"""
+
+from repro.dl import ParkingDataset, ParkingNet
+from repro.toolchain.report import format_table
+from repro.usecases import deep_learning
+
+
+def main() -> None:
+    # ---------------------------------------------------------- the network --
+    dataset = ParkingDataset(spots=8, seed=3)
+    network = ParkingNet(dataset)
+    network.train(dataset.batch(40))
+    test_scenes = dataset.batch(25)
+    float_accuracy = network.accuracy(test_scenes)
+    network.quantize()
+    int8_accuracy = network.accuracy(test_scenes)
+    scene = test_scenes[0]
+    print("== parking detector ==")
+    print(f"  per-spot accuracy: float {float_accuracy * 100:.1f}%  "
+          f"int8 {int8_accuracy * 100:.1f}%")
+    print(f"  one inference: {network.inference_macs()} MACs")
+    print(f"  example scene: {scene.free_spots} free spots, "
+          f"network reports {network.count_free_spots(scene.image)}")
+
+    # ------------------------------------------------- E5: Cortex-M0 variants --
+    print("\n== E5: compiled kernel variants on the Cortex-M0 ==")
+    rows = deep_learning.run_m0_variants()
+    nominal_rows = [row.as_dict() for row in rows if row.opp.endswith("48MHz")]
+    print(format_table(nominal_rows))
+    print(f"  ({len(rows)} variants in total across all operating points)")
+
+    # ------------------------------------------------------ E6: TK1 deployment --
+    print("\n== E6: TK1 deployment vs hand-optimised mapping ==")
+    comparison = deep_learning.run_tk1_comparison()
+    print(comparison.report.summary())
+    print(f"  energy ratio (TeamPlay / manual): {comparison.energy_ratio:.3f}")
+    print(f"  time ratio   (TeamPlay / manual): {comparison.time_ratio:.3f}")
+    print("  TeamPlay schedule:")
+    for line in comparison.teamplay_schedule.gantt_rows():
+        print("    " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Quickstart: ETS properties as first-class citizens.
+
+This example walks through the core TeamPlay flow on a tiny annotated
+program: compile TeamPlay-C, bound its worst-case execution time and energy
+statically, compare the bounds against a simulated run, measure side-channel
+leakage of a secret-dependent kernel, harden it automatically, and finally
+prove a small contract and print the certificate.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    CompilerConfig,
+    ContractChecker,
+    EnergyAnalyzer,
+    MultiCriteriaCompiler,
+    SecurityAnalyzer,
+    Simulator,
+    TaskEvidence,
+    WCETAnalyzer,
+    parse_csl,
+    presets,
+)
+from repro.frontend import compile_source
+
+SOURCE = """
+int samples[64];
+
+#pragma teamplay task(average) poi(average)
+int moving_average(int gain) {
+    int acc = 0;
+    for (int i = 0; i < 64; i = i + 1) {
+        acc = acc + samples[i] * gain;
+    }
+    return acc / 64;
+}
+
+#pragma teamplay task(check) secret(pin) poi(check)
+int pin_check(int pin, int guess) {
+    int diff = 0;
+    for (int i = 0; i < 4; i = i + 1) {
+        int a = (pin >> (i * 4)) & 15;
+        int b = (guess >> (i * 4)) & 15;
+        if (a != b) {
+            diff = diff + 1;
+        }
+    }
+    return diff == 0;
+}
+"""
+
+CONTRACT = """
+system quickstart {
+    period 10 ms;
+    deadline 10 ms;
+    task average { implements moving_average; budget time 1 ms; budget energy 20 uJ; }
+    task check   { implements pin_check;      budget time 1 ms; budget energy 10 uJ; }
+    graph { average -> check; }
+}
+"""
+
+
+def main() -> None:
+    platform = presets.nucleo_stm32f091rc()
+    program = compile_source(SOURCE)
+
+    # --- 1. static bounds vs a simulated execution --------------------------
+    wcet = WCETAnalyzer(platform).analyze(program, "moving_average")
+    wcec = EnergyAnalyzer(platform).analyze(program, "moving_average")
+    run = Simulator(platform=platform, program=program).run(
+        "moving_average", [3], globals_init={"samples": list(range(64))})
+    print("== static analysis vs simulation (moving_average) ==")
+    print(f"  WCET bound : {wcet.cycles:8.0f} cycles  ({wcet.time_s * 1e6:7.1f} us)")
+    print(f"  simulated  : {run.cycles:8d} cycles  ({run.time_s * 1e6:7.1f} us)")
+    print(f"  WCEC bound : {wcec.energy_j * 1e6:8.3f} uJ")
+    print(f"  simulated  : {run.energy_j * 1e6:8.3f} uJ")
+
+    # --- 2. multi-criteria compilation ------------------------------------------
+    compiler = MultiCriteriaCompiler(platform)
+    baseline = compiler.compile(SOURCE, "moving_average", CompilerConfig.baseline())
+    optimised = compiler.compile(SOURCE, "moving_average",
+                                 CompilerConfig.performance())
+    print("\n== compiled variants (moving_average) ==")
+    for variant in (baseline, optimised):
+        print(f"  {variant.config.short_name():32s} "
+              f"WCET {variant.wcet_time_s * 1e6:7.1f} us   "
+              f"energy {variant.energy_j * 1e6:7.3f} uJ")
+
+    # --- 3. security analysis and automatic hardening ----------------------------
+    analyzer = SecurityAnalyzer(platform, samples_per_class=8)
+    report = analyzer.analyze_task(program, "pin_check",
+                                   secret_classes=(0x1234, 0x9876),
+                                   public_range=1 << 16)
+    print("\n== side-channel analysis (pin_check) ==")
+    print(f"  timing indiscernibility : {report.timing_score:.2f}")
+    print(f"  energy indiscernibility : {report.energy_score:.2f}")
+    print(f"  overall security level  : {report.security_level:.2f}")
+
+    hardened_variant = compiler.compile(SOURCE, "pin_check",
+                                        CompilerConfig.secure())
+    hardened_report = analyzer.analyze_task(hardened_variant.program, "pin_check",
+                                            secret_classes=(0x1234, 0x9876),
+                                            public_range=1 << 16)
+    print(f"  after hardening         : {hardened_report.security_level:.2f}")
+
+    # --- 4. contracts and the certificate ---------------------------------------------
+    spec = parse_csl(CONTRACT)
+    wcet_check = WCETAnalyzer(platform).analyze(program, "pin_check")
+    wcec_check = EnergyAnalyzer(platform).analyze(program, "pin_check")
+    evidence = {
+        "average": TaskEvidence(wcet_s=wcet.time_s, energy_j=wcec.energy_j),
+        "check": TaskEvidence(wcet_s=wcet_check.time_s,
+                              energy_j=wcec_check.energy_j),
+    }
+    certificate = ContractChecker(platform).check(spec, evidence)
+    print("\n== contract certificate ==")
+    for line in certificate.summary_lines():
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""UAV use cases: SAR deployment and battery-aware precision agriculture.
+
+Part 1 runs the complex-architecture workflow (dynamic profiling + coordination)
+for the search-and-rescue vision pipeline on the Apalis TK1 and reports the
+software power and flight-time gain (experiment E3).
+
+Part 2 simulates a precision-agriculture mission with the battery-aware
+manager adapting the software mode in flight (experiment E4).
+
+Run with:  python examples/uav_sar_mission.py
+"""
+
+from repro.usecases import uav
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ SAR --
+    sar = uav.run_sar_comparison()
+    print("== SAR deployment on the Apalis TK1 ==")
+    print("  TeamPlay schedule:")
+    for line in sar.teamplay.schedule.gantt_rows():
+        print("    " + line)
+    print(f"  software power: traditional {sar.baseline_software_power_w:.2f} W "
+          f"-> TeamPlay {sar.teamplay_software_power_w:.2f} W")
+    print(f"  mechanical power at cruise: {uav.CRUISE_MECHANICAL_POWER_W:.0f} W")
+    print(f"  flight time: {sar.baseline_flight_time_s / 60:.1f} min "
+          f"-> {sar.teamplay_flight_time_s / 60:.1f} min "
+          f"(+{sar.flight_time_gain_s / 60:.1f} min)")
+    print(sar.report.summary())
+
+    # ------------------------------------------------------------------- PA --
+    print("\n== precision-agriculture mission (battery-aware adaptation) ==")
+    pa = uav.run_pa_mission()
+    print(f"  software modes: {pa.software_power_range_w}")
+    print(f"  adaptive manager : completed={pa.outcome.completed}, "
+          f"flight time {pa.outcome.flight_time_s / 60:.1f} min, "
+          f"final SoC {pa.outcome.final_state_of_charge * 100:.0f}%")
+    print(f"  full-power only  : completed={pa.static_outcome.completed}, "
+          f"flight time {pa.static_outcome.flight_time_s / 60:.1f} min")
+    print("  mode changes along the mission:")
+    last_mode = None
+    for step in pa.outcome.steps:
+        if step.mode != last_mode:
+            print(f"    t={step.time_s / 60:6.1f} min  phase={step.phase:8s} "
+                  f"mode={step.mode:15s} SoC={step.state_of_charge * 100:5.1f}%")
+            last_mode = step.mode
+
+
+if __name__ == "__main__":
+    main()

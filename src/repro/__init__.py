@@ -1,0 +1,73 @@
+"""TeamPlay toolchain reproduction.
+
+Energy, time and security (ETS) as first-class citizens for cyber-physical
+systems development: source-level annotations (TeamPlay-C pragmas and the
+Contract Specification Language), static WCET/energy analysis, side-channel
+security analysis and hardening, a multi-criteria optimising compiler, a
+coordination/scheduling layer with contract checking and certificates, and
+the paper's four industrial use cases — all on top of simulated hardware
+substrates.
+
+The most commonly used entry points are re-exported here; see the package
+docstrings (``repro.toolchain``, ``repro.usecases``, ...) for the full API.
+"""
+
+from repro import units
+from repro.compiler import CompilerConfig, MultiCriteriaCompiler
+from repro.contracts import Certificate, ContractChecker, TaskEvidence
+from repro.coordination import (
+    EnergyAwareScheduler,
+    EtsProperties,
+    Implementation,
+    Task,
+    TaskGraph,
+    TaskVersion,
+    TimeGreedyScheduler,
+)
+from repro.csl import parse_csl
+from repro.energy import EnergyAnalyzer, IsaEnergyModel
+from repro.frontend import compile_source, parse
+from repro.hw import Platform, presets
+from repro.profiling import PowProfiler
+from repro.security import SecurityAnalyzer, harden_module
+from repro.sim import Simulator
+from repro.toolchain import (
+    ComplexToolchain,
+    PredictableToolchain,
+    WorkloadTask,
+)
+from repro.wcet import WCETAnalyzer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Certificate",
+    "CompilerConfig",
+    "ComplexToolchain",
+    "ContractChecker",
+    "EnergyAnalyzer",
+    "EnergyAwareScheduler",
+    "EtsProperties",
+    "Implementation",
+    "IsaEnergyModel",
+    "MultiCriteriaCompiler",
+    "Platform",
+    "PowProfiler",
+    "PredictableToolchain",
+    "SecurityAnalyzer",
+    "Simulator",
+    "Task",
+    "TaskEvidence",
+    "TaskGraph",
+    "TaskVersion",
+    "TimeGreedyScheduler",
+    "WCETAnalyzer",
+    "WorkloadTask",
+    "compile_source",
+    "harden_module",
+    "parse",
+    "parse_csl",
+    "presets",
+    "units",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""The multi-criteria optimising compiler (WCC stand-in).
+
+The compiler applies source- and IR-level optimisations under the control of
+a :class:`~repro.compiler.config.CompilerConfig`, evaluates each candidate
+configuration with the static WCET, energy and (optionally) security
+analysers, and searches the configuration space with multi-objective
+optimisers — the Flower Pollination Algorithm used by WCC (Jadhav & Falk,
+SCOPES'19) and an NSGA-II baseline — to produce a Pareto front of compiled
+variants trading execution time, energy and security.
+"""
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.evaluate import Variant, evaluate_config
+from repro.compiler.driver import MultiCriteriaCompiler, ParetoFront
+from repro.compiler.fpa import FlowerPollinationOptimizer
+from repro.compiler.nsga2 import Nsga2Optimizer
+
+__all__ = [
+    "CompilerConfig",
+    "FlowerPollinationOptimizer",
+    "MultiCriteriaCompiler",
+    "Nsga2Optimizer",
+    "ParetoFront",
+    "Variant",
+    "evaluate_config",
+]

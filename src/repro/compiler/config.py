@@ -1,0 +1,121 @@
+"""Compiler configuration: the knobs of the multi-criteria compiler.
+
+A configuration selects which optimisation passes run and with which
+parameters.  Configurations can be encoded to/decoded from a vector in
+``[0, 1]^N`` so the multi-objective search algorithms (Flower Pollination,
+NSGA-II) can operate on a continuous representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Sequence
+
+#: Allowed full-unroll limits (0 disables unrolling).
+UNROLL_CHOICES = (0, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """One point in the compiler's optimisation space."""
+
+    constant_folding: bool = True
+    unroll_limit: int = 0
+    inline_simple_functions: bool = False
+    dead_code_elimination: bool = True
+    strength_reduction: bool = False
+    spm_allocation: bool = False
+    harden_security: bool = False
+
+    def __post_init__(self):
+        if self.unroll_limit not in UNROLL_CHOICES:
+            raise ValueError(
+                f"unroll_limit must be one of {UNROLL_CHOICES}, "
+                f"got {self.unroll_limit}")
+
+    # -- presets --------------------------------------------------------------
+    @classmethod
+    def baseline(cls) -> "CompilerConfig":
+        """The "traditional toolchain" configuration: safe defaults only."""
+        return cls(constant_folding=True, unroll_limit=0,
+                   inline_simple_functions=False, dead_code_elimination=True,
+                   strength_reduction=False, spm_allocation=False,
+                   harden_security=False)
+
+    @classmethod
+    def performance(cls) -> "CompilerConfig":
+        """Aggressive time-oriented configuration."""
+        return cls(constant_folding=True, unroll_limit=16,
+                   inline_simple_functions=True, dead_code_elimination=True,
+                   strength_reduction=True, spm_allocation=True,
+                   harden_security=False)
+
+    @classmethod
+    def secure(cls) -> "CompilerConfig":
+        """Security-hardened configuration."""
+        return cls(constant_folding=True, unroll_limit=8,
+                   inline_simple_functions=True, dead_code_elimination=True,
+                   strength_reduction=True, spm_allocation=True,
+                   harden_security=True)
+
+    def with_(self, **changes) -> "CompilerConfig":
+        """A copy of this configuration with some fields replaced."""
+        return replace(self, **changes)
+
+    # -- encoding for the search algorithms -----------------------------------------
+    @staticmethod
+    def gene_length() -> int:
+        return 7
+
+    @classmethod
+    def from_genes(cls, genes: Sequence[float]) -> "CompilerConfig":
+        """Decode a vector in ``[0, 1]^7`` into a configuration."""
+        if len(genes) != cls.gene_length():
+            raise ValueError(f"expected {cls.gene_length()} genes, got {len(genes)}")
+        clamped = [min(max(float(g), 0.0), 1.0) for g in genes]
+        unroll_index = min(int(clamped[1] * len(UNROLL_CHOICES)),
+                           len(UNROLL_CHOICES) - 1)
+        return cls(
+            constant_folding=clamped[0] > 0.5,
+            unroll_limit=UNROLL_CHOICES[unroll_index],
+            inline_simple_functions=clamped[2] > 0.5,
+            dead_code_elimination=clamped[3] > 0.5,
+            strength_reduction=clamped[4] > 0.5,
+            spm_allocation=clamped[5] > 0.5,
+            harden_security=clamped[6] > 0.5,
+        )
+
+    def to_genes(self) -> List[float]:
+        """Encode this configuration as the centre of its decoding region."""
+        unroll_index = UNROLL_CHOICES.index(self.unroll_limit)
+        return [
+            0.75 if self.constant_folding else 0.25,
+            (unroll_index + 0.5) / len(UNROLL_CHOICES),
+            0.75 if self.inline_simple_functions else 0.25,
+            0.75 if self.dead_code_elimination else 0.25,
+            0.75 if self.strength_reduction else 0.25,
+            0.75 if self.spm_allocation else 0.25,
+            0.75 if self.harden_security else 0.25,
+        ]
+
+    # -- reporting ----------------------------------------------------------------------
+    def describe(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def short_name(self) -> str:
+        flags = []
+        if self.constant_folding:
+            flags.append("cf")
+        if self.unroll_limit:
+            flags.append(f"unroll{self.unroll_limit}")
+        if self.inline_simple_functions:
+            flags.append("inline")
+        if self.dead_code_elimination:
+            flags.append("dce")
+        if self.strength_reduction:
+            flags.append("sr")
+        if self.spm_allocation:
+            flags.append("spm")
+        if self.harden_security:
+            flags.append("sec")
+        return "+".join(flags) if flags else "O0"

@@ -1,0 +1,214 @@
+"""The multi-criteria compiler driver (the WCC facade).
+
+Ties together the frontend, the optimisation passes, the static analysers and
+the multi-objective search:
+
+* :meth:`MultiCriteriaCompiler.compile` — one configuration, one variant,
+* :meth:`MultiCriteriaCompiler.explore` — search the configuration space and
+  return the Pareto front of variants,
+* :meth:`MultiCriteriaCompiler.task_properties` — the per-task ETS properties
+  file handed to the coordination layer and the contract system (the "ETS"
+  arrow in Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.evaluate import SecurityEvaluator, Variant, evaluate_config
+from repro.compiler.fpa import FlowerPollinationOptimizer, pareto_front
+from repro.compiler.nsga2 import Nsga2Optimizer
+from repro.energy.static_analyzer import EnergyAnalyzer
+from repro.errors import CompilationError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.hw.core import Core
+from repro.hw.dvfs import OperatingPoint
+from repro.hw.platform import Platform
+from repro.security.analyzer import SecurityAnalyzer
+from repro.wcet.analyzer import WCETAnalyzer
+
+
+@dataclass
+class ParetoFront:
+    """The set of non-dominated compiled variants found by a search."""
+
+    variants: List[Variant] = field(default_factory=list)
+    evaluations: int = 0
+    optimizer: str = ""
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    def __iter__(self):
+        return iter(self.variants)
+
+    def best_by_time(self) -> Variant:
+        return min(self.variants, key=lambda v: v.wcet_time_s)
+
+    def best_by_energy(self) -> Variant:
+        return min(self.variants, key=lambda v: v.energy_j)
+
+    def best_by_security(self) -> Variant:
+        with_security = [v for v in self.variants if v.security_level is not None]
+        if not with_security:
+            raise CompilationError("no variant carries a security level")
+        return max(with_security, key=lambda v: v.security_level)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        return [variant.summary() for variant in self.variants]
+
+
+class MultiCriteriaCompiler:
+    """WCC-like compiler facade for a predictable platform."""
+
+    def __init__(self, platform: Platform, core: Optional[Core] = None,
+                 opp: Optional[OperatingPoint] = None,
+                 security_samples: int = 8):
+        self.platform = platform
+        self.core = core or next(iter(platform.predictable_cores), None)
+        if self.core is None:
+            raise CompilationError(
+                f"platform {platform.name!r} has no predictable core; the "
+                f"multi-criteria compiler targets predictable architectures")
+        self.opp = opp or self.core.nominal_opp
+        self.security_samples = security_samples
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _as_module(source: Union[str, ast.SourceModule]) -> ast.SourceModule:
+        if isinstance(source, ast.SourceModule):
+            return source
+        return parse(source)
+
+    def _security_evaluator(self, module: ast.SourceModule,
+                            entry_function: str) -> Optional[SecurityEvaluator]:
+        """A security scorer for ``entry_function`` if it has secret params."""
+        try:
+            function = module.function(entry_function)
+        except KeyError:
+            return None
+        secrets = function.pragmas.get("secret")
+        if not secrets:
+            return None
+        analyzer = SecurityAnalyzer(self.platform, core=self.core, opp=self.opp,
+                                    samples_per_class=self.security_samples)
+
+        def evaluate(program, name: str) -> float:
+            rng = random.Random(99)
+            classes = [rng.getrandbits(8) | 1 for _ in range(2)]
+            report = analyzer.analyze_task(program, name, secret_classes=classes)
+            return report.security_level
+
+        return evaluate
+
+    # -- single-configuration compilation ---------------------------------------------
+    def compile(self, source: Union[str, ast.SourceModule], entry_function: str,
+                config: Optional[CompilerConfig] = None,
+                evaluate_security: bool = False) -> Variant:
+        """Compile under ``config`` (default: baseline) and analyse the result."""
+        module = self._as_module(source)
+        config = config or CompilerConfig.baseline()
+        security_evaluator = (self._security_evaluator(module, entry_function)
+                              if evaluate_security else None)
+        return evaluate_config(module, config, self.platform, entry_function,
+                               core=self.core, opp=self.opp,
+                               security_evaluator=security_evaluator)
+
+    # -- multi-objective exploration ------------------------------------------------------
+    def explore(self, source: Union[str, ast.SourceModule], entry_function: str,
+                optimizer: str = "fpa",
+                evaluate_security: bool = False,
+                population_size: int = 10,
+                generations: int = 6,
+                seed: int = 7,
+                seed_configs: Optional[Sequence[CompilerConfig]] = None
+                ) -> ParetoFront:
+        """Search the configuration space; returns the Pareto front."""
+        module = self._as_module(source)
+        security_evaluator = (self._security_evaluator(module, entry_function)
+                              if evaluate_security else None)
+
+        def evaluator(config: CompilerConfig) -> Variant:
+            return evaluate_config(module, config, self.platform, entry_function,
+                                   core=self.core, opp=self.opp,
+                                   security_evaluator=security_evaluator)
+
+        seeds = list(seed_configs or [CompilerConfig.baseline(),
+                                      CompilerConfig.performance()])
+        if optimizer == "fpa":
+            search = FlowerPollinationOptimizer(
+                evaluator, population_size=population_size,
+                generations=generations, seed=seed)
+        elif optimizer == "nsga2":
+            search = Nsga2Optimizer(
+                evaluator, population_size=population_size,
+                generations=generations, seed=seed)
+        elif optimizer == "exhaustive":
+            return self._exhaustive(evaluator)
+        else:
+            raise CompilationError(f"unknown optimizer {optimizer!r}")
+
+        variants = search.optimize(initial_configs=seeds)
+        return ParetoFront(variants=variants, evaluations=search.evaluations,
+                           optimizer=optimizer)
+
+    def _exhaustive(self, evaluator) -> ParetoFront:
+        """Evaluate a representative grid of configurations exhaustively."""
+        variants = []
+        evaluations = 0
+        for unroll in (0, 8, 16):
+            for spm in (False, True):
+                for strength in (False, True):
+                    for inline in (False, True):
+                        config = CompilerConfig(
+                            constant_folding=True, unroll_limit=unroll,
+                            inline_simple_functions=inline,
+                            dead_code_elimination=True,
+                            strength_reduction=strength, spm_allocation=spm)
+                        variants.append(evaluator(config))
+                        evaluations += 1
+        return ParetoFront(variants=pareto_front(variants),
+                           evaluations=evaluations, optimizer="exhaustive")
+
+    # -- ETS properties export ----------------------------------------------------------------
+    def task_properties(self, variant: Variant,
+                        opp: Optional[OperatingPoint] = None
+                        ) -> Dict[str, Dict[str, float]]:
+        """Per-task ETS properties of a compiled variant.
+
+        Returns a mapping ``task name -> {wcet_s, wcet_cycles, energy_j,
+        security}`` for every function annotated with a ``task`` pragma —
+        the contents of the ETS file consumed by the coordination layer and
+        the contract system.
+        """
+        opp = opp or self.opp
+        wcet_analyzer = WCETAnalyzer(self.platform, core=self.core, opp=opp)
+        energy_analyzer = EnergyAnalyzer(self.platform, core=self.core, opp=opp)
+        properties: Dict[str, Dict[str, float]] = {}
+        for task, function in variant.program.task_functions.items():
+            wcet = wcet_analyzer.analyze(variant.program, function.name, opp=opp)
+            wcec = energy_analyzer.analyze(variant.program, function.name, opp=opp)
+            properties[task] = {
+                "function": function.name,
+                "wcet_cycles": wcet.cycles,
+                "wcet_s": wcet.time_s,
+                "energy_j": wcec.energy_j,
+                "security": variant.security_level,
+                "frequency_hz": opp.frequency_hz,
+            }
+        return properties
+
+    def export_ets(self, variant: Variant, path: str) -> None:
+        """Write the ETS properties file as JSON (the Figure 1 artefact)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({
+                "platform": self.platform.name,
+                "config": variant.config.describe(),
+                "entry": variant.entry_function,
+                "tasks": self.task_properties(variant),
+            }, handle, indent=2)

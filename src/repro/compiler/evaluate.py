@@ -1,0 +1,145 @@
+"""Building and evaluating compiled variants.
+
+A *variant* is the result of compiling the application under one
+:class:`CompilerConfig`: the lowered IR plus its statically analysed ETS
+properties (WCET, worst-case energy, optional security level, code size).
+The multi-objective search only ever talks to :func:`evaluate_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.passes.ast_passes import (
+    fold_constants,
+    inline_simple_functions,
+    unroll_loops,
+)
+from repro.compiler.passes.ir_passes import eliminate_dead_code, strength_reduce
+from repro.compiler.passes.spm import INSTRUCTION_BYTES, allocate_scratchpad
+from repro.energy.static_analyzer import EnergyAnalyzer
+from repro.errors import CompilationError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lowering import lower_module
+from repro.hw.core import Core
+from repro.hw.dvfs import OperatingPoint
+from repro.hw.platform import Platform
+from repro.ir.cfg import Program
+from repro.security.transforms import harden_module
+from repro.wcet.analyzer import WCETAnalyzer
+from repro.wcet.loopbounds import infer_loop_bounds
+
+#: Optional callback scoring the security level of a compiled program.
+SecurityEvaluator = Callable[[Program, str], float]
+
+
+@dataclass
+class Variant:
+    """A compiled program together with its analysed ETS properties."""
+
+    name: str
+    config: CompilerConfig
+    program: Program
+    entry_function: str
+    wcet_cycles: float
+    wcet_time_s: float
+    energy_j: float
+    code_size_bytes: int
+    security_level: Optional[float] = None
+    pass_statistics: Dict[str, int] = field(default_factory=dict)
+
+    # -- multi-objective helpers -------------------------------------------------
+    def objectives(self) -> Tuple[float, ...]:
+        """Objective vector to *minimise*: (time, energy[, insecurity])."""
+        values = [self.wcet_time_s, self.energy_j]
+        if self.security_level is not None:
+            values.append(1.0 - self.security_level)
+        return tuple(values)
+
+    def dominates(self, other: "Variant") -> bool:
+        """Pareto dominance on the objective vector (all ≤, at least one <)."""
+        mine, theirs = self.objectives(), other.objectives()
+        if len(mine) != len(theirs):
+            raise CompilationError(
+                "cannot compare variants with different objective sets")
+        return (all(a <= b for a, b in zip(mine, theirs))
+                and any(a < b for a, b in zip(mine, theirs)))
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "config": self.config.short_name(),
+            "wcet_cycles": self.wcet_cycles,
+            "wcet_ms": self.wcet_time_s * 1e3,
+            "energy_uJ": self.energy_j * 1e6,
+            "code_bytes": self.code_size_bytes,
+            "security": self.security_level,
+        }
+
+
+def build_program(module: ast.SourceModule, config: CompilerConfig,
+                  platform: Platform) -> Tuple[Program, Dict[str, int]]:
+    """Apply the configuration's passes and lower to IR.
+
+    The input module is never modified; every build starts from a fresh clone.
+    """
+    working = ast.clone_module(module)
+    statistics: Dict[str, int] = {}
+
+    infer_loop_bounds(working)
+    if config.harden_security:
+        working, hardening = harden_module(working)
+        statistics["hardened_branches"] = hardening.transformed_count
+    if config.constant_folding:
+        statistics["constant_folds"] = fold_constants(working)
+    if config.inline_simple_functions:
+        statistics["inlined_calls"] = inline_simple_functions(working)
+    if config.unroll_limit:
+        statistics["unrolled_loops"] = unroll_loops(working, config.unroll_limit)
+        if config.constant_folding:
+            statistics["constant_folds"] = (statistics.get("constant_folds", 0)
+                                            + fold_constants(working))
+
+    program = lower_module(working)
+
+    if config.dead_code_elimination:
+        statistics["dead_instructions"] = eliminate_dead_code(program)
+    if config.strength_reduction:
+        statistics["strength_reductions"] = strength_reduce(program)
+    if config.spm_allocation:
+        allocation = allocate_scratchpad(program, platform)
+        statistics["spm_functions"] = len(allocation.placed_functions)
+    return program, statistics
+
+
+def evaluate_config(module: ast.SourceModule, config: CompilerConfig,
+                    platform: Platform, entry_function: str,
+                    core: Optional[Core] = None,
+                    opp: Optional[OperatingPoint] = None,
+                    security_evaluator: Optional[SecurityEvaluator] = None,
+                    name: Optional[str] = None) -> Variant:
+    """Compile ``module`` under ``config`` and statically analyse the result."""
+    program, statistics = build_program(module, config, platform)
+    if entry_function not in program.functions:
+        raise CompilationError(f"entry function {entry_function!r} not found")
+
+    wcet = WCETAnalyzer(platform, core=core, opp=opp).analyze(program, entry_function)
+    wcec = EnergyAnalyzer(platform, core=core, opp=opp).analyze(program, entry_function)
+    security = (security_evaluator(program, entry_function)
+                if security_evaluator is not None else None)
+    code_size = program.total_instructions * INSTRUCTION_BYTES
+
+    return Variant(
+        name=name or config.short_name(),
+        config=config,
+        program=program,
+        entry_function=entry_function,
+        wcet_cycles=wcet.cycles,
+        wcet_time_s=wcet.time_s,
+        energy_j=wcec.energy_j,
+        code_size_bytes=code_size,
+        security_level=security,
+        pass_statistics=statistics,
+    )

@@ -1,0 +1,139 @@
+"""NSGA-II baseline for the compiler's multi-objective search.
+
+Included as the comparison point for the Flower Pollination Algorithm: both
+optimisers expose the same interface (an ``optimize`` method returning the
+final Pareto archive of :class:`Variant` objects), so ablation benchmarks can
+swap one for the other.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.evaluate import Variant
+from repro.compiler.fpa import pareto_front
+
+Evaluator = Callable[[CompilerConfig], Variant]
+
+
+def non_dominated_sort(variants: Sequence[Variant]) -> List[List[int]]:
+    """Indices of ``variants`` grouped into successive non-dominated fronts."""
+    count = len(variants)
+    dominated_by: List[List[int]] = [[] for _ in range(count)]
+    domination_count = [0] * count
+    fronts: List[List[int]] = [[]]
+
+    for i in range(count):
+        for j in range(count):
+            if i == j:
+                continue
+            if variants[i].dominates(variants[j]):
+                dominated_by[i].append(j)
+            elif variants[j].dominates(variants[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [front for front in fronts if front]
+
+
+def crowding_distance(variants: Sequence[Variant],
+                      front: Sequence[int]) -> Dict[int, float]:
+    """Crowding distance of each index in ``front``."""
+    distance = {i: 0.0 for i in front}
+    if not front:
+        return distance
+    objective_count = len(variants[front[0]].objectives())
+    for objective in range(objective_count):
+        ordered = sorted(front, key=lambda i: variants[i].objectives()[objective])
+        low = variants[ordered[0]].objectives()[objective]
+        high = variants[ordered[-1]].objectives()[objective]
+        distance[ordered[0]] = distance[ordered[-1]] = float("inf")
+        if high == low:
+            continue
+        for position in range(1, len(ordered) - 1):
+            previous = variants[ordered[position - 1]].objectives()[objective]
+            following = variants[ordered[position + 1]].objectives()[objective]
+            distance[ordered[position]] += (following - previous) / (high - low)
+    return distance
+
+
+@dataclass
+class Nsga2Optimizer:
+    """NSGA-II over the compiler configuration space."""
+
+    evaluator: Evaluator
+    population_size: int = 12
+    generations: int = 8
+    mutation_probability: float = 0.2
+    seed: int = 11
+    _cache: Dict[CompilerConfig, Variant] = field(default_factory=dict, repr=False)
+    evaluations: int = field(default=0, repr=False)
+
+    def _evaluate(self, genes: Sequence[float]) -> Tuple[CompilerConfig, Variant]:
+        config = CompilerConfig.from_genes(genes)
+        if config not in self._cache:
+            self._cache[config] = self.evaluator(config)
+            self.evaluations += 1
+        return config, self._cache[config]
+
+    def _select(self, rng: random.Random, population: List[List[float]],
+                ranks: Dict[int, int], crowding: Dict[int, float]) -> List[float]:
+        a, b = rng.randrange(len(population)), rng.randrange(len(population))
+        if ranks[a] != ranks[b]:
+            return population[a] if ranks[a] < ranks[b] else population[b]
+        return population[a] if crowding.get(a, 0) >= crowding.get(b, 0) else population[b]
+
+    def optimize(self, initial_configs: Optional[Sequence[CompilerConfig]] = None
+                 ) -> List[Variant]:
+        rng = random.Random(self.seed)
+        dims = CompilerConfig.gene_length()
+
+        population: List[List[float]] = [config.to_genes()
+                                         for config in (initial_configs or [])]
+        while len(population) < self.population_size:
+            population.append([rng.random() for _ in range(dims)])
+        population = population[:self.population_size]
+
+        archive: List[Variant] = []
+        for _generation in range(self.generations):
+            variants = [self._evaluate(genes)[1] for genes in population]
+            archive = pareto_front(archive + variants)
+
+            fronts = non_dominated_sort(variants)
+            ranks: Dict[int, int] = {}
+            crowding: Dict[int, float] = {}
+            for rank, front in enumerate(fronts):
+                for index in front:
+                    ranks[index] = rank
+                crowding.update(crowding_distance(variants, front))
+
+            offspring: List[List[float]] = []
+            while len(offspring) < self.population_size:
+                parent_a = self._select(rng, population, ranks, crowding)
+                parent_b = self._select(rng, population, ranks, crowding)
+                # Uniform crossover.
+                child = [parent_a[d] if rng.random() < 0.5 else parent_b[d]
+                         for d in range(dims)]
+                # Gene-wise mutation.
+                for d in range(dims):
+                    if rng.random() < self.mutation_probability:
+                        child[d] = rng.random()
+                offspring.append(child)
+            population = offspring
+
+        final_variants = [self._evaluate(genes)[1] for genes in population]
+        return pareto_front(archive + final_variants)

@@ -1,0 +1,30 @@
+"""Optimisation passes of the multi-criteria compiler.
+
+* :mod:`repro.compiler.passes.ast_passes` — source-level passes operating on
+  the TeamPlay-C AST (constant folding, full loop unrolling, inlining of
+  simple functions),
+* :mod:`repro.compiler.passes.ir_passes` — IR-level passes (dead-code
+  elimination, strength reduction / peephole simplification),
+* :mod:`repro.compiler.passes.spm` — scratchpad-memory allocation of hot
+  functions.
+"""
+
+from repro.compiler.passes.ast_passes import (
+    fold_constants,
+    inline_simple_functions,
+    unroll_loops,
+)
+from repro.compiler.passes.ir_passes import (
+    eliminate_dead_code,
+    strength_reduce,
+)
+from repro.compiler.passes.spm import allocate_scratchpad
+
+__all__ = [
+    "allocate_scratchpad",
+    "eliminate_dead_code",
+    "fold_constants",
+    "inline_simple_functions",
+    "strength_reduce",
+    "unroll_loops",
+]

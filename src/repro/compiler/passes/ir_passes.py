@@ -1,0 +1,116 @@
+"""IR-level optimisation passes.
+
+These passes operate on lowered :class:`~repro.ir.cfg.Program` objects in
+place.  They only rewrite instructions *within* basic blocks, so the region
+tree (which references blocks by label) remains valid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.ir.cfg import Function, Program
+from repro.ir.instructions import Imm, Instr, Opcode, Reg
+
+#: Opcodes that must never be removed even if their destination is unused.
+_SIDE_EFFECTS = {Opcode.STORE, Opcode.CALL, Opcode.RET, Opcode.BR, Opcode.JMP}
+
+
+# ---------------------------------------------------------------------------
+# Dead-code elimination
+# ---------------------------------------------------------------------------
+def _used_registers(function: Function) -> Set[str]:
+    used: Set[str] = set()
+    for instr in function.iter_instructions():
+        for reg in instr.reads():
+            used.add(reg.name)
+    return used
+
+
+def eliminate_dead_code(program: Program) -> int:
+    """Remove instructions whose results are never read.
+
+    Returns the number of instructions removed (across all functions).  The
+    pass iterates to a fixed point because removing one dead instruction can
+    make its operands' producers dead too.
+    """
+    removed_total = 0
+    for function in program.functions.values():
+        while True:
+            used = _used_registers(function)
+            removed = 0
+            for block in function.blocks.values():
+                kept = []
+                for instr in block.instrs:
+                    is_dead = (instr.opcode not in _SIDE_EFFECTS
+                               and instr.dst is not None
+                               and instr.dst.name not in used)
+                    if is_dead:
+                        removed += 1
+                    else:
+                        kept.append(instr)
+                block.instrs = kept
+            removed_total += removed
+            if removed == 0:
+                break
+    return removed_total
+
+
+# ---------------------------------------------------------------------------
+# Strength reduction / peephole simplification
+# ---------------------------------------------------------------------------
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def _reduce_instr(instr: Instr) -> bool:
+    """Simplify one instruction in place; True when something changed."""
+    op = instr.opcode
+    if op not in (Opcode.MUL, Opcode.ADD, Opcode.SUB, Opcode.OR, Opcode.XOR,
+                  Opcode.SHL, Opcode.SHR):
+        return False
+    if len(instr.srcs) != 2:
+        return False
+    lhs, rhs = instr.srcs
+
+    # Normalise "imm op reg" to "reg op imm" for commutative operations.
+    if op in (Opcode.MUL, Opcode.ADD, Opcode.OR, Opcode.XOR) \
+            and isinstance(lhs, Imm) and isinstance(rhs, Reg):
+        lhs, rhs = rhs, lhs
+        instr.srcs = (lhs, rhs)
+
+    if not isinstance(rhs, Imm):
+        return False
+
+    if op is Opcode.MUL:
+        if rhs.value == 1:
+            instr.opcode = Opcode.MOV
+            instr.srcs = (lhs,)
+            return True
+        if rhs.value == 0:
+            instr.opcode = Opcode.MOV
+            instr.srcs = (Imm(0),)
+            return True
+        if _is_power_of_two(rhs.value):
+            instr.opcode = Opcode.SHL
+            instr.srcs = (lhs, Imm(rhs.value.bit_length() - 1))
+            return True
+        return False
+
+    if rhs.value == 0 and op in (Opcode.ADD, Opcode.SUB, Opcode.OR, Opcode.XOR,
+                                 Opcode.SHL, Opcode.SHR):
+        instr.opcode = Opcode.MOV
+        instr.srcs = (lhs,)
+        return True
+    return False
+
+
+def strength_reduce(program: Program) -> int:
+    """Apply peephole strength reduction; returns the number of rewrites."""
+    rewrites = 0
+    for function in program.functions.values():
+        for block in function.blocks.values():
+            for instr in block.instrs:
+                if _reduce_instr(instr):
+                    rewrites += 1
+    return rewrites

@@ -1,0 +1,36 @@
+"""Non-functional Properties Contract System.
+
+The contract system formally checks that the ETS properties established by
+the analysers and the coordination layer satisfy the budgets declared in the
+CSL contract, and produces a :class:`Certificate` — the artefact the paper
+proposes handing to certification authorities.  The checking style mirrors
+the dependent-type formulation of Brown et al. (PPDP'19): every obligation is
+discharged by explicit evidence (the analysed value, the bound, and the
+derivation composing task-level facts into system-level ones).
+"""
+
+from repro.contracts.obligations import (
+    CheckedObligation,
+    Obligation,
+    PROPERTY_ENERGY,
+    PROPERTY_SECURITY,
+    PROPERTY_TIME,
+)
+from repro.contracts.certificate import Certificate
+from repro.contracts.checker import (
+    ContractChecker,
+    TaskEvidence,
+    obligations_from_spec,
+)
+
+__all__ = [
+    "Certificate",
+    "CheckedObligation",
+    "ContractChecker",
+    "Obligation",
+    "PROPERTY_ENERGY",
+    "PROPERTY_SECURITY",
+    "PROPERTY_TIME",
+    "TaskEvidence",
+    "obligations_from_spec",
+]

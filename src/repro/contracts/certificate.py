@@ -1,0 +1,75 @@
+"""Certificates: the output artefact of the contract system."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.contracts.obligations import CheckedObligation
+
+
+@dataclass
+class Certificate:
+    """The proof artefact produced when a contract is checked.
+
+    A certificate is *valid* only when every obligation was discharged.  Its
+    JSON form is what the toolchain would hand to a certification authority;
+    the derivation strings record how system-level facts were composed from
+    task-level analysis results.
+    """
+
+    application: str
+    platform: str
+    obligations: List[CheckedObligation] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- status ------------------------------------------------------------------
+    @property
+    def valid(self) -> bool:
+        return bool(self.obligations) and all(o.satisfied for o in self.obligations)
+
+    @property
+    def violated(self) -> List[CheckedObligation]:
+        return [o for o in self.obligations if not o.satisfied]
+
+    def obligation_for(self, subject: str, property_name: str
+                       ) -> Optional[CheckedObligation]:
+        for checked in self.obligations:
+            if (checked.obligation.subject == subject
+                    and checked.obligation.property == property_name):
+                return checked
+        return None
+
+    # -- reporting ------------------------------------------------------------------
+    def summary_lines(self) -> List[str]:
+        header = (f"Certificate for {self.application!r} on {self.platform!r}: "
+                  f"{'VALID' if self.valid else 'INVALID'}")
+        return [header] + ["  " + checked.render() for checked in self.obligations]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "application": self.application,
+            "platform": self.platform,
+            "valid": self.valid,
+            "metadata": self.metadata,
+            "obligations": [
+                {
+                    "subject": checked.obligation.subject,
+                    "property": checked.obligation.property,
+                    "relation": checked.obligation.relation,
+                    "bound": checked.obligation.bound,
+                    "value": checked.value,
+                    "satisfied": checked.satisfied,
+                    "derivation": checked.derivation,
+                }
+                for checked in self.obligations
+            ],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())

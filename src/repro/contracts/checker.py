@@ -1,0 +1,212 @@
+"""The contract checker.
+
+Obligations are extracted from a CSL contract and discharged against the
+evidence available after analysis and scheduling:
+
+* per-task WCET / energy / security (from the static analysers or the
+  dynamic profiler),
+* the schedule's makespan and total energy per period (from the coordination
+  layer).
+
+System-level facts are composed from task-level facts and the composition is
+recorded in each checked obligation's derivation, in the spirit of the
+dependent-type proofs of the paper's contract system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.contracts.certificate import Certificate
+from repro.contracts.obligations import (
+    CheckedObligation,
+    Obligation,
+    PROPERTY_ENERGY,
+    PROPERTY_SECURITY,
+    PROPERTY_TIME,
+    RELATION_AT_LEAST,
+    RELATION_AT_MOST,
+)
+from repro.coordination.schedulers import Schedule
+from repro.csl.ast_nodes import ContractSpec
+from repro.hw.platform import Platform
+
+
+@dataclass
+class TaskEvidence:
+    """Analysed ETS properties of one task (one value per property)."""
+
+    wcet_s: Optional[float] = None
+    energy_j: Optional[float] = None
+    security_level: Optional[float] = None
+
+
+def obligations_from_spec(spec: ContractSpec) -> List[Obligation]:
+    """Extract every provable statement from a CSL contract."""
+    obligations: List[Obligation] = []
+    for task in spec.tasks.values():
+        if task.time_budget is not None:
+            obligations.append(Obligation(
+                subject=task.name, property=PROPERTY_TIME,
+                relation=RELATION_AT_MOST, bound=task.time_budget.value,
+                description=f"WCET budget of task {task.name}"))
+        if task.energy_budget is not None:
+            obligations.append(Obligation(
+                subject=task.name, property=PROPERTY_ENERGY,
+                relation=RELATION_AT_MOST, bound=task.energy_budget.value,
+                description=f"energy budget of task {task.name}"))
+        if task.security_level is not None:
+            obligations.append(Obligation(
+                subject=task.name, property=PROPERTY_SECURITY,
+                relation=RELATION_AT_LEAST, bound=task.security_level,
+                description=f"security level of task {task.name}"))
+    if spec.deadline is not None:
+        obligations.append(Obligation(
+            subject="system", property=PROPERTY_TIME,
+            relation=RELATION_AT_MOST, bound=spec.deadline.value,
+            description="end-to-end deadline"))
+    if spec.time_budget is not None:
+        obligations.append(Obligation(
+            subject="system", property=PROPERTY_TIME,
+            relation=RELATION_AT_MOST, bound=spec.time_budget.value,
+            description="end-to-end time budget"))
+    if spec.energy_budget is not None:
+        obligations.append(Obligation(
+            subject="system", property=PROPERTY_ENERGY,
+            relation=RELATION_AT_MOST, bound=spec.energy_budget.value,
+            description="energy budget per period"))
+    if spec.security_level is not None:
+        obligations.append(Obligation(
+            subject="system", property=PROPERTY_SECURITY,
+            relation=RELATION_AT_LEAST, bound=spec.security_level,
+            description="system-wide security level"))
+    return obligations
+
+
+class ContractChecker:
+    """Discharges a contract's obligations against analysis evidence."""
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+
+    def check(self, spec: ContractSpec,
+              task_evidence: Dict[str, TaskEvidence],
+              schedule: Optional[Schedule] = None,
+              system_energy_j: Optional[float] = None) -> Certificate:
+        """Produce a certificate for ``spec``.
+
+        ``task_evidence`` maps task names to their analysed properties;
+        ``schedule`` provides the makespan and (with the platform) the total
+        energy per period unless ``system_energy_j`` overrides it.
+        """
+        spec.validate()
+        certificate = Certificate(application=spec.system,
+                                  platform=self.platform.name)
+        window = spec.period_s() or spec.deadline_s()
+
+        for obligation in obligations_from_spec(spec):
+            if obligation.subject == "system":
+                checked = self._check_system(obligation, spec, task_evidence,
+                                             schedule, system_energy_j, window)
+            else:
+                checked = self._check_task(obligation, task_evidence)
+            certificate.obligations.append(checked)
+
+        certificate.metadata["tasks"] = {
+            name: {
+                "wcet_s": evidence.wcet_s,
+                "energy_j": evidence.energy_j,
+                "security": evidence.security_level,
+            }
+            for name, evidence in task_evidence.items()
+        }
+        if schedule is not None:
+            certificate.metadata["makespan_s"] = schedule.makespan_s
+            certificate.metadata["scheduler"] = schedule.scheduler
+        return certificate
+
+    # -- task-level obligations ------------------------------------------------------
+    @staticmethod
+    def _check_task(obligation: Obligation,
+                    task_evidence: Dict[str, TaskEvidence]) -> CheckedObligation:
+        evidence = task_evidence.get(obligation.subject)
+        value: Optional[float] = None
+        derivation: List[str] = []
+        if evidence is not None:
+            if obligation.property == PROPERTY_TIME:
+                value = evidence.wcet_s
+                derivation.append(
+                    f"WCET({obligation.subject}) = {value} s by static analysis")
+            elif obligation.property == PROPERTY_ENERGY:
+                value = evidence.energy_j
+                derivation.append(
+                    f"WCEC({obligation.subject}) = {value} J by static analysis")
+            elif obligation.property == PROPERTY_SECURITY:
+                value = evidence.security_level
+                derivation.append(
+                    f"security({obligation.subject}) = {value} by the "
+                    f"indiscernibility analysis")
+        if value is None:
+            derivation.append("no evidence available for this obligation")
+            return CheckedObligation(obligation, None, False, derivation)
+        return CheckedObligation(obligation, value,
+                                 obligation.holds_for(value), derivation)
+
+    # -- system-level obligations -------------------------------------------------------
+    def _check_system(self, obligation: Obligation, spec: ContractSpec,
+                      task_evidence: Dict[str, TaskEvidence],
+                      schedule: Optional[Schedule],
+                      system_energy_j: Optional[float],
+                      window: Optional[float]) -> CheckedObligation:
+        derivation: List[str] = []
+        value: Optional[float] = None
+
+        if obligation.property == PROPERTY_TIME:
+            if schedule is not None:
+                value = schedule.makespan_s
+                derivation.append(
+                    f"makespan = max task finish time = {value} s "
+                    f"({schedule.scheduler} schedule)")
+            else:
+                known = [(name, e.wcet_s) for name, e in task_evidence.items()
+                         if e.wcet_s is not None]
+                if known and len(known) == len(spec.tasks):
+                    value = sum(v for _n, v in known)
+                    derivation.append(
+                        "no schedule provided: bound by the sum of task WCETs "
+                        + " + ".join(f"WCET({n})" for n, _v in known))
+        elif obligation.property == PROPERTY_ENERGY:
+            if system_energy_j is not None:
+                value = system_energy_j
+                derivation.append("system energy supplied by the caller "
+                                  "(e.g. measured profile)")
+            elif schedule is not None:
+                task_energy = schedule.task_energy_j
+                idle = schedule.idle_energy_j(self.platform, window)
+                value = task_energy + idle
+                derivation.append(
+                    "energy/period = " +
+                    " + ".join(f"E({entry.task})" for entry in schedule.entries)
+                    + f" + idle = {task_energy:.6g} J + {idle:.6g} J")
+            else:
+                known = [(name, e.energy_j) for name, e in task_evidence.items()
+                         if e.energy_j is not None]
+                if known and len(known) == len(spec.tasks):
+                    value = sum(v for _n, v in known)
+                    derivation.append(
+                        "no schedule provided: bound by the sum of task "
+                        "energies " + " + ".join(f"E({n})" for n, _v in known))
+        elif obligation.property == PROPERTY_SECURITY:
+            levels = [e.security_level for e in task_evidence.values()
+                      if e.security_level is not None]
+            if levels and len(levels) == len(spec.tasks):
+                value = min(levels)
+                derivation.append(
+                    "system security = min over tasks of their security level")
+
+        if value is None:
+            derivation.append("no evidence available for this obligation")
+            return CheckedObligation(obligation, None, False, derivation)
+        return CheckedObligation(obligation, value,
+                                 obligation.holds_for(value), derivation)

@@ -1,0 +1,69 @@
+"""Contract obligations.
+
+An :class:`Obligation` is a single provable statement extracted from the CSL
+contract — "the WCET of task *compress* is at most 10 ms", "the energy of the
+whole application per period is at most 40 mJ", "the security level of task
+*encrypt* is at least 0.8".  A :class:`CheckedObligation` pairs an obligation
+with the evidence used to discharge (or refute) it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+PROPERTY_TIME = "time"
+PROPERTY_ENERGY = "energy"
+PROPERTY_SECURITY = "security"
+
+RELATION_AT_MOST = "<="
+RELATION_AT_LEAST = ">="
+
+_UNITS = {PROPERTY_TIME: "s", PROPERTY_ENERGY: "J", PROPERTY_SECURITY: ""}
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One statement to prove about a task or the whole system."""
+
+    subject: str              # task name, or "system"
+    property: str             # PROPERTY_TIME / PROPERTY_ENERGY / PROPERTY_SECURITY
+    relation: str             # RELATION_AT_MOST / RELATION_AT_LEAST
+    bound: float              # SI value (seconds, joules) or a level in [0, 1]
+    description: str = ""
+
+    def holds_for(self, value: float) -> bool:
+        if self.relation == RELATION_AT_MOST:
+            return value <= self.bound + 1e-15
+        if self.relation == RELATION_AT_LEAST:
+            return value >= self.bound - 1e-15
+        raise ValueError(f"unknown relation {self.relation!r}")
+
+    def render(self) -> str:
+        unit = _UNITS.get(self.property, "")
+        return (f"{self.property}({self.subject}) {self.relation} "
+                f"{self.bound:g}{unit}")
+
+
+@dataclass
+class CheckedObligation:
+    """An obligation together with the evidence that discharges it."""
+
+    obligation: Obligation
+    value: Optional[float]
+    satisfied: bool
+    derivation: List[str] = field(default_factory=list)
+
+    @property
+    def margin(self) -> Optional[float]:
+        """How far the value is from the bound (positive = comfortable)."""
+        if self.value is None:
+            return None
+        if self.obligation.relation == RELATION_AT_MOST:
+            return self.obligation.bound - self.value
+        return self.value - self.obligation.bound
+
+    def render(self) -> str:
+        status = "PROVEN" if self.satisfied else "VIOLATED"
+        value = "unknown" if self.value is None else f"{self.value:g}"
+        return f"[{status}] {self.obligation.render()}  (analysed: {value})"

@@ -1,0 +1,61 @@
+"""Coordination layer: mapping and scheduling tasks onto heterogeneous cores.
+
+The coordination layer takes the task graph extracted by the CSL frontend,
+the per-task/per-version ETS properties produced by the compiler (predictable
+workflow) or the dynamic profiler (complex workflow), and decides *where* and
+*when* each task runs — selecting one implementation per task (version, core,
+operating point) so the application meets its deadline with minimal energy.
+It then emits the glue code that manages the tasks at runtime.
+
+* :mod:`repro.coordination.taskgraph` — tasks, versions, implementations and
+  the dependence graph,
+* :mod:`repro.coordination.schedulers` — list schedulers (time-greedy HEFT
+  baseline and the energy-aware scheduler), plus a sequential baseline,
+* :mod:`repro.coordination.schedulability` — deadline/utilisation checks and
+  response-time analysis,
+* :mod:`repro.coordination.gluegen` — generation of the runtime glue code
+  (POSIX-style or RTEMS-style),
+* :mod:`repro.coordination.battery_aware` — in-flight battery-aware
+  adaptation used by the UAV use cases.
+"""
+
+from repro.coordination.taskgraph import (
+    EtsProperties,
+    Implementation,
+    Task,
+    TaskGraph,
+    TaskVersion,
+)
+from repro.coordination.schedulers import (
+    EnergyAwareScheduler,
+    Schedule,
+    ScheduledTask,
+    SequentialScheduler,
+    TimeGreedyScheduler,
+)
+from repro.coordination.schedulability import (
+    SchedulabilityReport,
+    analyse_schedule,
+    response_time_analysis,
+)
+from repro.coordination.gluegen import generate_glue_code
+from repro.coordination.battery_aware import BatteryAwareManager, MissionPhase
+
+__all__ = [
+    "BatteryAwareManager",
+    "EnergyAwareScheduler",
+    "EtsProperties",
+    "Implementation",
+    "MissionPhase",
+    "Schedule",
+    "ScheduledTask",
+    "SchedulabilityReport",
+    "SequentialScheduler",
+    "Task",
+    "TaskGraph",
+    "TaskVersion",
+    "TimeGreedyScheduler",
+    "analyse_schedule",
+    "generate_glue_code",
+    "response_time_analysis",
+]

@@ -1,0 +1,168 @@
+"""Schedulability analysis.
+
+Two kinds of checks are needed by the use cases:
+
+* validation of a static DAG schedule produced by the coordination layer
+  (deadlines met, precedence respected, no core used twice at once) — this is
+  the "green light" the paper mentions for the camera-pill and space use
+  cases,
+* classical response-time analysis for periodic fixed-priority task sets,
+  used when tasks are handed to an RTOS (RTEMS) instead of being statically
+  ordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.coordination.schedulers import Schedule
+from repro.coordination.taskgraph import TaskGraph
+from repro.errors import SchedulingError
+from repro.hw.platform import Platform
+
+
+@dataclass
+class SchedulabilityReport:
+    """Outcome of validating a static schedule."""
+
+    graph_name: str
+    feasible: bool
+    makespan_s: float
+    deadline_s: Optional[float]
+    violations: List[str] = field(default_factory=list)
+    core_utilisation: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def slack_s(self) -> Optional[float]:
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - self.makespan_s
+
+
+def analyse_schedule(schedule: Schedule, graph: TaskGraph,
+                     platform: Platform) -> SchedulabilityReport:
+    """Validate a static schedule against the task graph's constraints."""
+    violations: List[str] = []
+
+    scheduled = {entry.task for entry in schedule.entries}
+    missing = set(graph.tasks) - scheduled
+    if missing:
+        violations.append(f"tasks never scheduled: {sorted(missing)}")
+
+    # Precedence constraints.
+    finish = {entry.task: entry.finish_s for entry in schedule.entries}
+    for entry in schedule.entries:
+        for predecessor in graph.predecessors(entry.task):
+            if predecessor in finish and entry.start_s < finish[predecessor] - 1e-12:
+                violations.append(
+                    f"task {entry.task!r} starts before its predecessor "
+                    f"{predecessor!r} finishes")
+
+    # Core exclusivity.
+    for core, entries in schedule.by_core().items():
+        for first, second in zip(entries, entries[1:]):
+            if second.start_s < first.finish_s - 1e-12:
+                violations.append(
+                    f"tasks {first.task!r} and {second.task!r} overlap on "
+                    f"core {core!r}")
+
+    # Deadlines.
+    deadline = graph.deadline_s
+    if deadline is not None and schedule.makespan_s > deadline + 1e-12:
+        violations.append(
+            f"application deadline {deadline}s missed "
+            f"(makespan {schedule.makespan_s:.6f}s)")
+    for entry in schedule.entries:
+        task_deadline = graph.tasks[entry.task].deadline_s
+        if task_deadline is not None and entry.finish_s > task_deadline + 1e-12:
+            violations.append(
+                f"task {entry.task!r} misses its deadline {task_deadline}s")
+
+    # Period feasibility: the whole graph must fit within its period.
+    if graph.period_s is not None and schedule.makespan_s > graph.period_s + 1e-12:
+        violations.append(
+            f"makespan {schedule.makespan_s:.6f}s exceeds the period "
+            f"{graph.period_s}s")
+
+    window = schedule.makespan_s or 1.0
+    utilisation = {core.name: schedule.core_busy_time(core.name) / window
+                   for core in platform.schedulable_cores}
+
+    return SchedulabilityReport(
+        graph_name=graph.name,
+        feasible=not violations,
+        makespan_s=schedule.makespan_s,
+        deadline_s=deadline,
+        violations=violations,
+        core_utilisation=utilisation,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Periodic fixed-priority response-time analysis
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic task for response-time analysis."""
+
+    name: str
+    wcet_s: float
+    period_s: float
+    deadline_s: Optional[float] = None
+
+    @property
+    def effective_deadline_s(self) -> float:
+        return self.deadline_s if self.deadline_s is not None else self.period_s
+
+    @property
+    def utilisation(self) -> float:
+        return self.wcet_s / self.period_s
+
+
+def utilisation(tasks: Sequence[PeriodicTask]) -> float:
+    return sum(task.utilisation for task in tasks)
+
+
+def response_time_analysis(tasks: Sequence[PeriodicTask],
+                           max_iterations: int = 1000
+                           ) -> Tuple[bool, Dict[str, float]]:
+    """Exact RTA for preemptive fixed-priority (rate-monotonic) scheduling.
+
+    Returns ``(schedulable, response_times)``.  Tasks are prioritised by
+    period (shorter period = higher priority), deadlines are constrained to
+    be at most the period.
+    """
+    if not tasks:
+        return True, {}
+    ordered = sorted(tasks, key=lambda t: t.period_s)
+    response_times: Dict[str, float] = {}
+    schedulable = True
+    for index, task in enumerate(ordered):
+        higher = ordered[:index]
+        response = task.wcet_s
+        for _ in range(max_iterations):
+            interference = sum(
+                _ceil_div(response, other.period_s) * other.wcet_s
+                for other in higher)
+            updated = task.wcet_s + interference
+            if abs(updated - response) < 1e-12:
+                break
+            response = updated
+            if response > task.effective_deadline_s:
+                break
+        else:
+            raise SchedulingError(
+                f"response-time analysis did not converge for {task.name!r}")
+        response_times[task.name] = response
+        if response > task.effective_deadline_s + 1e-12:
+            schedulable = False
+    return schedulable, response_times
+
+
+def _ceil_div(value: float, divisor: float) -> int:
+    quotient = value / divisor
+    ceiling = int(quotient)
+    if quotient > ceiling + 1e-12:
+        ceiling += 1
+    return max(ceiling, 1)

@@ -1,0 +1,314 @@
+"""Static schedulers for task graphs on heterogeneous platforms.
+
+Three schedulers are provided:
+
+* :class:`SequentialScheduler` — everything on one core in topological order;
+  this is the "traditional toolchain" baseline and also the first pass of the
+  complex-architecture workflow (the sequential profiling binary),
+* :class:`TimeGreedyScheduler` — HEFT-style earliest-finish-time list
+  scheduling; the performance-oriented baseline,
+* :class:`EnergyAwareScheduler` — starts from the time-greedy schedule and
+  greedily re-maps tasks (core, version, operating point) to reduce total
+  energy while the application deadline remains met, following the
+  energy-aware multi-version scheduling of Roeder et al. (SAC'21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.coordination.taskgraph import Implementation, Task, TaskGraph, TaskVersion
+from repro.errors import SchedulingError
+from repro.hw.core import ComplexCore, Core
+from repro.hw.platform import Platform
+
+
+@dataclass
+class ScheduledTask:
+    """One task's placement in the final schedule."""
+
+    task: str
+    version: str
+    implementation: Implementation
+    start_s: float
+    finish_s: float
+
+    @property
+    def core(self) -> str:
+        return self.implementation.core
+
+    @property
+    def duration_s(self) -> float:
+        return self.finish_s - self.start_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.implementation.energy_j
+
+
+@dataclass
+class Schedule:
+    """A complete static schedule of a task graph."""
+
+    graph_name: str
+    entries: List[ScheduledTask] = field(default_factory=list)
+    scheduler: str = ""
+
+    # -- queries -----------------------------------------------------------------
+    def entry(self, task: str) -> ScheduledTask:
+        for item in self.entries:
+            if item.task == task:
+                return item
+        raise SchedulingError(f"schedule has no entry for task {task!r}")
+
+    @property
+    def makespan_s(self) -> float:
+        return max((item.finish_s for item in self.entries), default=0.0)
+
+    @property
+    def task_energy_j(self) -> float:
+        return sum(item.energy_j for item in self.entries)
+
+    def by_core(self) -> Dict[str, List[ScheduledTask]]:
+        cores: Dict[str, List[ScheduledTask]] = {}
+        for item in sorted(self.entries, key=lambda e: e.start_s):
+            cores.setdefault(item.core, []).append(item)
+        return cores
+
+    def core_busy_time(self, core: str) -> float:
+        return sum(item.duration_s for item in self.entries if item.core == core)
+
+    def is_feasible(self, deadline_s: Optional[float]) -> bool:
+        if deadline_s is None:
+            return True
+        return self.makespan_s <= deadline_s + 1e-12
+
+    # -- energy accounting --------------------------------------------------------
+    def idle_energy_j(self, platform: Platform,
+                      window_s: Optional[float] = None) -> float:
+        """Idle/static energy of the platform's schedulable cores over a window."""
+        window = window_s if window_s is not None else self.makespan_s
+        total = 0.0
+        for core in platform.schedulable_cores:
+            idle_time = max(window - self.core_busy_time(core.name), 0.0)
+            if isinstance(core, Core):
+                idle_power = core.static_power()
+            elif isinstance(core, ComplexCore):
+                idle_power = core.idle_power()
+            else:  # pragma: no cover - accelerators are not schedulable
+                idle_power = 0.0
+            total += idle_power * idle_time
+        return total
+
+    def total_energy_j(self, platform: Platform,
+                       window_s: Optional[float] = None) -> float:
+        return self.task_energy_j + self.idle_energy_j(platform, window_s)
+
+    def gantt_rows(self) -> List[str]:
+        """Human-readable schedule rows (used by examples and glue code)."""
+        rows = []
+        for core, items in sorted(self.by_core().items()):
+            for item in items:
+                rows.append(
+                    f"{core:>12s}  {item.start_s * 1e3:8.3f}ms -> "
+                    f"{item.finish_s * 1e3:8.3f}ms  {item.task} "
+                    f"[{item.version}/{item.implementation.describe()}]")
+        return rows
+
+
+# ---------------------------------------------------------------------------
+# Scheduling engines
+# ---------------------------------------------------------------------------
+Choice = Tuple[TaskVersion, Implementation]
+
+
+def _admissible(task: Task, version: TaskVersion,
+                implementation: Implementation) -> bool:
+    """Does this candidate meet the task's security requirement?"""
+    requirement = task.security_requirement
+    if requirement is None:
+        return True
+    level = implementation.security_level
+    if level is None:
+        return True
+    return level >= requirement
+
+
+def _list_schedule(graph: TaskGraph, order: List[str],
+                   choices: Dict[str, Choice], scheduler_name: str) -> Schedule:
+    """Place tasks in ``order`` with fixed per-task choices."""
+    core_available: Dict[str, float] = {}
+    finish_times: Dict[str, float] = {}
+    schedule = Schedule(graph_name=graph.name, scheduler=scheduler_name)
+    for name in order:
+        task = graph.tasks[name]
+        version, implementation = choices[name]
+        ready = max((finish_times[p] for p in graph.predecessors(name)),
+                    default=0.0)
+        ready = max(ready, task.release_s)
+        start = max(ready, core_available.get(implementation.core, 0.0))
+        finish = start + implementation.wcet_s
+        core_available[implementation.core] = finish
+        finish_times[name] = finish
+        schedule.entries.append(ScheduledTask(
+            task=name, version=version.name, implementation=implementation,
+            start_s=start, finish_s=finish))
+    return schedule
+
+
+class SequentialScheduler:
+    """Everything on one core, in topological order (the profiling pass)."""
+
+    def __init__(self, platform: Platform, core: Optional[str] = None):
+        self.platform = platform
+        self.core = core or platform.schedulable_cores[0].name
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        graph.validate()
+        order = graph.topological_order()
+        choices: Dict[str, Choice] = {}
+        for name in order:
+            task = graph.tasks[name]
+            candidates = [c for c in task.candidates_on(self.core)
+                          if _admissible(task, *c)]
+            if not candidates:
+                raise SchedulingError(
+                    f"task {name!r} has no admissible implementation on "
+                    f"core {self.core!r}")
+            choices[name] = min(candidates, key=lambda c: c[1].wcet_s)
+        return _list_schedule(graph, order, choices, "sequential")
+
+
+class TimeGreedyScheduler:
+    """HEFT-style earliest-finish-time mapping (performance baseline)."""
+
+    name = "time-greedy"
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        graph.validate()
+        ranks = graph.upward_ranks()
+        order = sorted(graph.tasks, key=lambda t: -ranks[t])
+
+        core_available: Dict[str, float] = {}
+        finish_times: Dict[str, float] = {}
+        choices: Dict[str, Choice] = {}
+        placement_order: List[str] = []
+
+        for name in order:
+            task = graph.tasks[name]
+            ready = max((finish_times.get(p, 0.0)
+                         for p in graph.predecessors(name)), default=0.0)
+            ready = max(ready, task.release_s)
+            best: Optional[Tuple[float, Choice]] = None
+            for version, implementation in task.candidates():
+                if not _admissible(task, version, implementation):
+                    continue
+                start = max(ready, core_available.get(implementation.core, 0.0))
+                finish = start + implementation.wcet_s
+                if best is None or finish < best[0]:
+                    best = (finish, (version, implementation))
+            if best is None:
+                raise SchedulingError(
+                    f"task {name!r} has no admissible implementation")
+            finish, choice = best
+            choices[name] = choice
+            core_available[choice[1].core] = finish
+            finish_times[name] = finish
+            placement_order.append(name)
+
+        return _list_schedule(graph, placement_order, choices, self.name)
+
+
+class EnergyAwareScheduler:
+    """Energy-aware multi-version scheduling under a deadline.
+
+    Starts from the time-greedy schedule and repeatedly re-maps single tasks
+    to the candidate that lowers total platform energy (task energy plus idle
+    energy over the deadline window) while keeping the schedule feasible.
+    """
+
+    name = "energy-aware"
+
+    def __init__(self, platform: Platform, max_passes: int = 4,
+                 deadline_margin: float = 1.0):
+        self.platform = platform
+        self.max_passes = max_passes
+        self.deadline_margin = deadline_margin
+
+    def _energy(self, schedule: Schedule, window_s: Optional[float]) -> float:
+        return schedule.total_energy_j(self.platform, window_s)
+
+    def schedule(self, graph: TaskGraph) -> Schedule:
+        graph.validate()
+        baseline = TimeGreedyScheduler(self.platform).schedule(graph)
+        deadline = graph.deadline_s
+        effective_deadline = (deadline * self.deadline_margin
+                              if deadline is not None else None)
+        if not baseline.is_feasible(effective_deadline):
+            raise SchedulingError(
+                f"task graph {graph.name!r} is not schedulable: even the "
+                f"time-greedy schedule misses the {deadline}s deadline "
+                f"(makespan {baseline.makespan_s:.6f}s)")
+
+        window = deadline if deadline is not None else None
+        ranks = graph.upward_ranks()
+        order = sorted(graph.tasks, key=lambda t: -ranks[t])
+        choices: Dict[str, Choice] = {
+            entry.task: (self._find_version(graph, entry), entry.implementation)
+            for entry in baseline.entries
+        }
+        best_schedule = _list_schedule(graph, order, choices, self.name)
+        best_energy = self._energy(best_schedule, window)
+
+        for _pass in range(self.max_passes):
+            improved = False
+            for name in reversed(order):
+                task = graph.tasks[name]
+                current_choice = choices[name]
+                for candidate in task.candidates():
+                    if candidate == current_choice:
+                        continue
+                    if not _admissible(task, *candidate):
+                        continue
+                    choices[name] = candidate
+                    trial = _list_schedule(graph, order, choices, self.name)
+                    if not trial.is_feasible(effective_deadline):
+                        choices[name] = current_choice
+                        continue
+                    # Per-task deadlines must also hold.
+                    if not self._task_deadlines_met(graph, trial):
+                        choices[name] = current_choice
+                        continue
+                    energy = self._energy(trial, window)
+                    if energy < best_energy - 1e-15:
+                        best_energy = energy
+                        best_schedule = trial
+                        current_choice = candidate
+                        improved = True
+                    else:
+                        choices[name] = current_choice
+            if not improved:
+                break
+        return best_schedule
+
+    @staticmethod
+    def _find_version(graph: TaskGraph, entry: ScheduledTask) -> TaskVersion:
+        task = graph.tasks[entry.task]
+        for version in task.versions:
+            if version.name == entry.version:
+                return version
+        raise SchedulingError(
+            f"schedule references unknown version {entry.version!r} of "
+            f"task {entry.task!r}")
+
+    @staticmethod
+    def _task_deadlines_met(graph: TaskGraph, schedule: Schedule) -> bool:
+        for entry in schedule.entries:
+            deadline = graph.tasks[entry.task].deadline_s
+            if deadline is not None and entry.finish_s > deadline + 1e-12:
+                return False
+        return True

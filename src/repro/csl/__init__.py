@@ -1,0 +1,32 @@
+"""Contract Specification Language (CSL).
+
+CSL is the layer that turns ETS properties into first-class citizens of the
+source program: the developer writes a contract describing the application's
+tasks, their dependencies, and the time/energy/security budgets each must
+respect.  The CSL compiler extracts the code structure (tasks, their entry
+functions, points of interest) and hands it to the multi-criteria compiler
+and the coordination layer; the contract system later proves the budgets
+against the analysed properties.
+
+* :mod:`repro.csl.ast_nodes` — the contract AST,
+* :mod:`repro.csl.parser` — the CSL parser,
+* :mod:`repro.csl.extract` — structure extraction and task-graph
+  construction from a contract plus ETS properties.
+"""
+
+from repro.csl.ast_nodes import ContractSpec, TaskContract
+from repro.csl.parser import parse_csl
+from repro.csl.extract import (
+    CodeStructure,
+    build_task_graph,
+    extract_structure,
+)
+
+__all__ = [
+    "CodeStructure",
+    "ContractSpec",
+    "TaskContract",
+    "build_task_graph",
+    "extract_structure",
+    "parse_csl",
+]

@@ -1,0 +1,135 @@
+"""Structure extraction: from a CSL contract to toolchain inputs.
+
+The CSL layer's job in the toolchain (Figures 1 and 2 of the paper) is to
+gather the code structure — tasks, their entry functions and parameters, the
+points of interest — and hand it on to the compiler and the coordination
+layer.  This module implements that hand-over:
+
+* :func:`extract_structure` checks the contract against the compiled program
+  (every task must have an entry function) and collects the POIs,
+* :func:`build_task_graph` combines the contract's graph and budgets with the
+  per-task ETS properties (from static analysis or profiling) into the
+  coordination layer's :class:`~repro.coordination.taskgraph.TaskGraph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.coordination.taskgraph import (
+    Implementation,
+    Task,
+    TaskGraph,
+    TaskVersion,
+)
+from repro.csl.ast_nodes import ContractSpec
+from repro.errors import CSLError
+from repro.ir.cfg import Program
+
+__all__ = ["CodeStructure", "build_task_graph", "extract_structure"]
+
+
+@dataclass
+class TaskBinding:
+    """The association of a contract task with its implementation function."""
+
+    task: str
+    function: str
+    secret_params: List[str] = field(default_factory=list)
+    poi: Optional[str] = None
+
+
+@dataclass
+class CodeStructure:
+    """The structure the CSL layer extracts from contract + source."""
+
+    system: str
+    bindings: Dict[str, TaskBinding] = field(default_factory=dict)
+    edges: List = field(default_factory=list)
+    points_of_interest: List[str] = field(default_factory=list)
+    #: Functions annotated as tasks in the source but absent from the contract.
+    unbound_functions: List[str] = field(default_factory=list)
+
+    def binding(self, task: str) -> TaskBinding:
+        try:
+            return self.bindings[task]
+        except KeyError:
+            raise CSLError(f"no binding for task {task!r}") from None
+
+
+def extract_structure(spec: ContractSpec, program: Program) -> CodeStructure:
+    """Bind every contract task to its entry function in ``program``."""
+    spec.validate()
+    structure = CodeStructure(system=spec.system, edges=list(spec.edges))
+
+    source_tasks = program.task_functions
+    for name, contract in spec.tasks.items():
+        entry = contract.entry_function
+        function = None
+        if entry in program.functions:
+            function = program.functions[entry]
+        elif name in source_tasks:
+            function = source_tasks[name]
+        if function is None:
+            raise CSLError(
+                f"task {name!r}: no function {entry!r} in the program and no "
+                f"function carries a 'task({name})' pragma")
+        structure.bindings[name] = TaskBinding(
+            task=name,
+            function=function.name,
+            secret_params=list(function.secret_params),
+            poi=function.annotations.get("poi"),
+        )
+
+    bound_functions = {binding.function for binding in structure.bindings.values()}
+    for task_name, function in source_tasks.items():
+        if function.name not in bound_functions:
+            structure.unbound_functions.append(function.name)
+
+    for function in program.functions.values():
+        poi = function.annotations.get("poi")
+        if poi and poi not in structure.points_of_interest:
+            structure.points_of_interest.append(poi)
+    return structure
+
+
+#: Acceptable shapes for the per-task ETS property input of build_task_graph:
+#: either a flat list of implementations (single version), or a mapping from
+#: version name to its implementations.
+TaskImplementations = Union[Iterable[Implementation],
+                            Mapping[str, Iterable[Implementation]]]
+
+
+def build_task_graph(spec: ContractSpec,
+                     implementations: Mapping[str, TaskImplementations],
+                     name: Optional[str] = None) -> TaskGraph:
+    """Build the coordination task graph from a contract and ETS properties."""
+    spec.validate()
+    graph = TaskGraph(
+        name=name or spec.system,
+        deadline_s=spec.deadline_s(),
+        period_s=spec.period_s(),
+    )
+    for task_name, contract in spec.tasks.items():
+        if task_name not in implementations:
+            raise CSLError(
+                f"no ETS properties supplied for task {task_name!r}")
+        provided = implementations[task_name]
+        if isinstance(provided, Mapping):
+            versions = [TaskVersion(version_name, list(impls))
+                        for version_name, impls in provided.items()]
+        else:
+            versions = [TaskVersion("default", list(provided))]
+        task = Task(
+            name=task_name,
+            versions=versions,
+            deadline_s=contract.deadline.value if contract.deadline else None,
+            period_s=contract.period.value if contract.period else None,
+            security_requirement=contract.security_level,
+        )
+        graph.add_task(task)
+    for source, destination in spec.edges:
+        graph.add_edge(source, destination)
+    graph.validate()
+    return graph

@@ -1,0 +1,33 @@
+"""Deep-learning substrate for the parking-detection use case.
+
+A small, numpy-only CNN inference engine with the pieces the use case needs:
+
+* :mod:`repro.dl.layers` — conv2d / relu / pooling / dense / softmax layers,
+* :mod:`repro.dl.network` — layer composition, MAC counting, and the
+  parking-lot occupancy model (convolutional feature extraction + per-spot
+  logistic classifier),
+* :mod:`repro.dl.quantize` — int8 post-training quantisation,
+* :mod:`repro.dl.dataset` — the synthetic parking-lot image generator,
+* :mod:`repro.dl.kernels` — TeamPlay-C kernels (convolution, matrix multiply)
+  used when compiling the network's inner loops for the Cortex-M0.
+"""
+
+from repro.dl.dataset import ParkingDataset, ParkingScene
+from repro.dl.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Softmax
+from repro.dl.network import ParkingNet, SequentialNetwork
+from repro.dl.quantize import QuantizedDense, quantize_tensor
+
+__all__ = [
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "MaxPool2D",
+    "ParkingDataset",
+    "ParkingNet",
+    "ParkingScene",
+    "QuantizedDense",
+    "ReLU",
+    "SequentialNetwork",
+    "Softmax",
+    "quantize_tensor",
+]

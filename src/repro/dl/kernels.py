@@ -1,0 +1,95 @@
+"""TeamPlay-C kernels of the CNN inner loops.
+
+The Cortex-M0 deployment of the DL use case compiles the network's inner
+loops (2-D convolution and the dense/matmul layer) with the multi-criteria
+compiler.  This module generates those kernels as TeamPlay-C source, sized by
+the caller, so the compiler exploration (E5) runs over realistic code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompilationError
+
+
+def conv2d_kernel_source(image_size: int = 12, kernel_size: int = 3) -> str:
+    """A valid 2-D convolution kernel over a global image/filter pair."""
+    if kernel_size >= image_size:
+        raise CompilationError("kernel must be smaller than the image")
+    output_size = image_size - kernel_size + 1
+    return f"""
+int conv_image[{image_size * image_size}];
+int conv_filter[{kernel_size * kernel_size}];
+int conv_output[{output_size * output_size}];
+
+#pragma teamplay task(conv2d) poi(conv2d)
+int conv2d(int scale) {{
+    int acc_total = 0;
+    for (int row = 0; row < {output_size}; row = row + 1) {{
+        for (int col = 0; col < {output_size}; col = col + 1) {{
+            int acc = 0;
+            for (int kr = 0; kr < {kernel_size}; kr = kr + 1) {{
+                for (int kc = 0; kc < {kernel_size}; kc = kc + 1) {{
+                    int pixel = conv_image[(row + kr) * {image_size} + col + kc];
+                    int weight = conv_filter[kr * {kernel_size} + kc];
+                    acc = acc + pixel * weight;
+                }}
+            }}
+            acc = acc / scale;
+            conv_output[row * {output_size} + col] = acc;
+            acc_total = acc_total + acc;
+        }}
+    }}
+    return acc_total;
+}}
+"""
+
+
+def matmul_kernel_source(size: int = 8) -> str:
+    """A dense matrix multiply (the fully connected layer)."""
+    if size <= 0:
+        raise CompilationError("matrix size must be positive")
+    return f"""
+int mat_a[{size * size}];
+int mat_b[{size * size}];
+int mat_c[{size * size}];
+
+#pragma teamplay task(matmul) poi(matmul)
+int matmul(int shift) {{
+    int checksum = 0;
+    for (int row = 0; row < {size}; row = row + 1) {{
+        for (int col = 0; col < {size}; col = col + 1) {{
+            int acc = 0;
+            for (int inner = 0; inner < {size}; inner = inner + 1) {{
+                acc = acc + mat_a[row * {size} + inner] * mat_b[inner * {size} + col];
+            }}
+            acc = acc >> shift;
+            mat_c[row * {size} + col] = acc;
+            checksum = checksum + acc;
+        }}
+    }}
+    return checksum;
+}}
+"""
+
+
+def relu_kernel_source(length: int = 64) -> str:
+    """An element-wise ReLU over a feature vector."""
+    if length <= 0:
+        raise CompilationError("vector length must be positive")
+    return f"""
+int relu_data[{length}];
+
+#pragma teamplay task(relu) poi(relu)
+int relu(int unused) {{
+    int active = 0;
+    for (int i = 0; i < {length}; i = i + 1) {{
+        int value = relu_data[i];
+        if (value < 0) {{
+            relu_data[i] = 0;
+        }} else {{
+            active = active + 1;
+        }}
+    }}
+    return active;
+}}
+"""

@@ -1,0 +1,66 @@
+"""Post-training int8 quantisation.
+
+Quantised inference is one of the task *versions* the DL use case exposes to
+the coordination layer: it is faster and cheaper on integer-only or
+memory-bound targets at a small accuracy cost.  The implementation performs
+symmetric per-tensor quantisation and simulates the integer arithmetic in
+numpy (the IR kernels of :mod:`repro.dl.kernels` are the Cortex-M0
+counterpart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dl.layers import Dense, Layer
+
+
+def quantize_tensor(tensor: np.ndarray, bits: int = 8
+                    ) -> Tuple[np.ndarray, float]:
+    """Symmetric quantisation; returns (int values, scale)."""
+    if bits < 2 or bits > 16:
+        raise ValueError("bits must be within [2, 16]")
+    limit = float(np.max(np.abs(tensor))) or 1.0
+    qmax = 2 ** (bits - 1) - 1
+    scale = limit / qmax
+    quantized = np.clip(np.round(tensor / scale), -qmax - 1, qmax).astype(np.int32)
+    return quantized, scale
+
+
+def dequantize_tensor(quantized: np.ndarray, scale: float) -> np.ndarray:
+    return quantized.astype(np.float64) * scale
+
+
+@dataclass
+class QuantizedDense(Layer):
+    """Int8 dense layer produced from a float :class:`Dense` layer."""
+
+    weights_q: np.ndarray
+    weight_scale: float
+    bias: np.ndarray
+    activation_bits: int = 8
+
+    @classmethod
+    def from_dense(cls, dense: Dense, bits: int = 8) -> "QuantizedDense":
+        weights_q, scale = quantize_tensor(dense.weights, bits)
+        return cls(weights_q=weights_q, weight_scale=scale,
+                   bias=np.array(dense.bias, dtype=np.float64),
+                   activation_bits=bits)
+
+    def forward(self, tensor: np.ndarray) -> np.ndarray:
+        flat = tensor.reshape(-1)
+        inputs_q, input_scale = quantize_tensor(flat, self.activation_bits)
+        accumulator = self.weights_q @ inputs_q          # int32 arithmetic
+        return accumulator * (self.weight_scale * input_scale) + self.bias
+
+    def macs(self, input_shape: Tuple[int, ...]) -> int:
+        return int(np.prod(self.weights_q.shape))
+
+    def quantisation_error(self, dense: Dense) -> float:
+        """Relative Frobenius error between original and quantised weights."""
+        restored = dequantize_tensor(self.weights_q, self.weight_scale)
+        return float(np.linalg.norm(restored - dense.weights)
+                     / (np.linalg.norm(dense.weights) or 1.0))

@@ -1,0 +1,105 @@
+"""Static worst-case energy analysis (the EnergyAnalyser).
+
+Mirrors the WCET analysis: a structural recursion over the region tree, with
+per-instruction worst-case *energy* instead of cycles, plus the static
+(leakage) contribution accumulated over the WCET-bounded execution time.  The
+result is a worst-case energy consumption (WCEC) bound that the simulator can
+never exceed with the same hardware tables — the property the contract system
+relies on when discharging energy budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import AnalysisError
+from repro.energy.isa_model import IsaEnergyModel
+from repro.hw.core import Core
+from repro.hw.dvfs import OperatingPoint
+from repro.hw.platform import Platform
+from repro.ir.cfg import Function, Program
+from repro.ir.instructions import Instr
+from repro.wcet.analyzer import WCETAnalyzer
+from repro.wcet.structural import StructuralCostEngine
+
+
+@dataclass
+class WCECResult:
+    """Worst-case energy consumption bound for one entry function."""
+
+    function: str
+    dynamic_energy_j: float
+    static_energy_j: float
+    wcet_time_s: float
+    frequency_hz: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.dynamic_energy_j + self.static_energy_j
+
+
+class EnergyAnalyzer:
+    """Static WCEC analysis on IR programs for a predictable core."""
+
+    def __init__(self, platform: Platform, core: Optional[Core] = None,
+                 opp: Optional[OperatingPoint] = None,
+                 model: Optional[IsaEnergyModel] = None):
+        core = core or next(iter(platform.predictable_cores), None)
+        if core is None:
+            raise AnalysisError(
+                f"platform {platform.name!r} has no predictable core; use the "
+                f"component-based model for complex architectures")
+        self.platform = platform
+        self.core = core
+        self.opp = opp or core.nominal_opp
+        self.model = model or IsaEnergyModel.from_core(
+            core, memory_access_j=platform.memory.access_energy())
+        self.wcet = WCETAnalyzer(platform, core=core, opp=self.opp)
+
+    # -- cost model -------------------------------------------------------------
+    def _instr_energy(self, function: Function, instr: Instr,
+                      opp: Optional[OperatingPoint] = None) -> float:
+        return self.model.instruction_energy(
+            instr.instruction_class,
+            opp=opp or self.opp,
+            with_overhead=True,
+            is_memory_access=instr.is_memory_access,
+        )
+
+    # -- public API --------------------------------------------------------------
+    def analyze(self, program: Program, function_name: str,
+                opp: Optional[OperatingPoint] = None) -> WCECResult:
+        """Compute the WCEC bound of ``function_name`` (including callees)."""
+        opp = opp or self.opp
+        program.validate()
+        if program.has_recursion():
+            raise AnalysisError("programs with recursion are not analysable")
+
+        engine = StructuralCostEngine(
+            program, lambda fn, instr: self._instr_energy(fn, instr, opp))
+        dynamic = engine.function_cost(function_name)
+
+        wcet_result = self.wcet.analyze(program, function_name, opp=opp)
+        static = self.model.static_power(opp) * wcet_result.time_s
+
+        return WCECResult(
+            function=function_name,
+            dynamic_energy_j=dynamic,
+            static_energy_j=static,
+            wcet_time_s=wcet_result.time_s,
+            frequency_hz=opp.frequency_hz,
+        )
+
+    def analyze_all_tasks(self, program: Program,
+                          opp: Optional[OperatingPoint] = None
+                          ) -> Dict[str, WCECResult]:
+        """WCEC of every function carrying a ``task`` annotation."""
+        return {task: self.analyze(program, fn.name, opp)
+                for task, fn in program.task_functions.items()}
+
+    def sweep_operating_points(self, program: Program, function_name: str
+                               ) -> Dict[str, WCECResult]:
+        """WCEC at every operating point of the core (DVFS sweet-spot data)."""
+        return {opp.label: self.analyze(program, function_name, opp=opp)
+                for opp in self.core.operating_points}

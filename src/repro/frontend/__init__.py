@@ -1,0 +1,29 @@
+"""TeamPlay-C frontend.
+
+TeamPlay-C is the C subset accepted by this reproduction of the toolchain:
+integer scalars and arrays, ``if``/``while``/``for`` control flow, function
+calls, and ``#pragma teamplay`` annotations carrying the source-level ETS
+information (task names, loop bounds, secret parameters, points of interest).
+
+The frontend provides:
+
+* :func:`tokenize` — lexer,
+* :func:`parse` — recursive-descent parser producing the AST in
+  :mod:`repro.frontend.ast_nodes`,
+* :func:`lower_module` / :func:`compile_source` — lowering of the AST into
+  the IR of :mod:`repro.ir`.
+"""
+
+from repro.frontend.lexer import Token, tokenize
+from repro.frontend.parser import parse
+from repro.frontend.lowering import compile_source, lower_module
+from repro.frontend import ast_nodes
+
+__all__ = [
+    "Token",
+    "ast_nodes",
+    "compile_source",
+    "lower_module",
+    "parse",
+    "tokenize",
+]

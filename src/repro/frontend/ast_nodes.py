@@ -1,0 +1,294 @@
+"""Abstract syntax tree of TeamPlay-C.
+
+The AST is intentionally plain: dataclasses with no behaviour, so compiler
+passes (loop unrolling, inlining, constant folding, ladderisation) can be
+written as small transformation functions over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+@dataclass
+class Num:
+    """Integer literal."""
+
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Var:
+    """Reference to a scalar variable or parameter."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    """Array element access ``name[index]``."""
+
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    """Unary operation: ``-``, ``!`` or ``~``."""
+
+    op: str
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    """Binary operation with C-like operators."""
+
+    op: str
+    lhs: "Expr"
+    rhs: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Call:
+    """Function call ``name(arg, ...)``."""
+
+    name: str
+    args: List["Expr"] = field(default_factory=list)
+    line: int = 0
+
+
+Expr = Union[Num, Var, Index, Unary, Binary, Call]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+@dataclass
+class VarDecl:
+    """``int x = e;`` or ``int a[N];``"""
+
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    """Assignment ``target op= value`` where ``op`` is ``=`` or a compound op."""
+
+    target: Union[Var, Index]
+    op: str
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: List["Stmt"] = field(default_factory=list)
+    else_body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: List["Stmt"] = field(default_factory=list)
+    #: Loop bound from a ``loopbound`` pragma (None = analyse or reject).
+    bound: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class For:
+    """``for (init; cond; update) body`` with simple init/update statements."""
+
+    init: Optional["Stmt"]
+    cond: Optional[Expr]
+    update: Optional["Stmt"]
+    body: List["Stmt"] = field(default_factory=list)
+    bound: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+Stmt = Union[VarDecl, Assign, If, While, For, Return, ExprStmt]
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+@dataclass
+class FunctionDef:
+    name: str
+    params: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    #: Parsed ``#pragma teamplay`` directives attached to this function.
+    pragmas: Dict[str, object] = field(default_factory=dict)
+    line: int = 0
+
+
+@dataclass
+class GlobalArray:
+    """Top-level ``int name[N];`` possibly with an initialiser list."""
+
+    name: str
+    size: int
+    init: Optional[List[int]] = None
+    line: int = 0
+
+
+@dataclass
+class SourceModule:
+    """A parsed TeamPlay-C translation unit."""
+
+    functions: List[FunctionDef] = field(default_factory=list)
+    globals: List[GlobalArray] = field(default_factory=list)
+    source_name: str = "<memory>"
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function named {name!r}")
+
+    def function_names(self) -> List[str]:
+        return [fn.name for fn in self.functions]
+
+
+# ---------------------------------------------------------------------------
+# Generic traversal / cloning helpers used by compiler passes
+# ---------------------------------------------------------------------------
+def clone_expr(expr: Expr) -> Expr:
+    """Deep-copy an expression."""
+    if isinstance(expr, Num):
+        return Num(expr.value, expr.line)
+    if isinstance(expr, Var):
+        return Var(expr.name, expr.line)
+    if isinstance(expr, Index):
+        return Index(expr.name, clone_expr(expr.index), expr.line)
+    if isinstance(expr, Unary):
+        return Unary(expr.op, clone_expr(expr.operand), expr.line)
+    if isinstance(expr, Binary):
+        return Binary(expr.op, clone_expr(expr.lhs), clone_expr(expr.rhs), expr.line)
+    if isinstance(expr, Call):
+        return Call(expr.name, [clone_expr(a) for a in expr.args], expr.line)
+    raise TypeError(f"unknown expression {type(expr)!r}")
+
+
+def clone_stmt(stmt: Stmt) -> Stmt:
+    """Deep-copy a statement."""
+    if isinstance(stmt, VarDecl):
+        init = clone_expr(stmt.init) if stmt.init is not None else None
+        return VarDecl(stmt.name, stmt.array_size, init, stmt.line)
+    if isinstance(stmt, Assign):
+        return Assign(clone_expr(stmt.target), stmt.op, clone_expr(stmt.value),
+                      stmt.line)
+    if isinstance(stmt, If):
+        return If(clone_expr(stmt.cond),
+                  [clone_stmt(s) for s in stmt.then_body],
+                  [clone_stmt(s) for s in stmt.else_body], stmt.line)
+    if isinstance(stmt, While):
+        return While(clone_expr(stmt.cond), [clone_stmt(s) for s in stmt.body],
+                     stmt.bound, stmt.line)
+    if isinstance(stmt, For):
+        init = clone_stmt(stmt.init) if stmt.init is not None else None
+        cond = clone_expr(stmt.cond) if stmt.cond is not None else None
+        update = clone_stmt(stmt.update) if stmt.update is not None else None
+        return For(init, cond, update, [clone_stmt(s) for s in stmt.body],
+                   stmt.bound, stmt.line)
+    if isinstance(stmt, Return):
+        value = clone_expr(stmt.value) if stmt.value is not None else None
+        return Return(value, stmt.line)
+    if isinstance(stmt, ExprStmt):
+        return ExprStmt(clone_expr(stmt.expr), stmt.line)
+    raise TypeError(f"unknown statement {type(stmt)!r}")
+
+
+def clone_function(fn: FunctionDef) -> FunctionDef:
+    return FunctionDef(fn.name, list(fn.params),
+                       [clone_stmt(s) for s in fn.body],
+                       dict(fn.pragmas), fn.line)
+
+
+def clone_module(module: SourceModule) -> SourceModule:
+    return SourceModule(
+        functions=[clone_function(fn) for fn in module.functions],
+        globals=[GlobalArray(g.name, g.size, list(g.init) if g.init else None,
+                             g.line)
+                 for g in module.globals],
+        source_name=module.source_name,
+    )
+
+
+def walk_expr(expr: Expr):
+    """Yield ``expr`` and every sub-expression."""
+    yield expr
+    if isinstance(expr, Index):
+        yield from walk_expr(expr.index)
+    elif isinstance(expr, Unary):
+        yield from walk_expr(expr.operand)
+    elif isinstance(expr, Binary):
+        yield from walk_expr(expr.lhs)
+        yield from walk_expr(expr.rhs)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_expr(arg)
+
+
+def walk_stmts(stmts: List[Stmt]):
+    """Yield every statement in ``stmts``, recursively."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.body)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                yield stmt.init
+            if stmt.update is not None:
+                yield stmt.update
+            yield from walk_stmts(stmt.body)
+
+
+def stmt_expressions(stmt: Stmt) -> List[Expr]:
+    """Top-level expressions contained directly in ``stmt``."""
+    if isinstance(stmt, VarDecl):
+        return [stmt.init] if stmt.init is not None else []
+    if isinstance(stmt, Assign):
+        return [stmt.target, stmt.value]
+    if isinstance(stmt, If):
+        return [stmt.cond]
+    if isinstance(stmt, While):
+        return [stmt.cond]
+    if isinstance(stmt, For):
+        return [stmt.cond] if stmt.cond is not None else []
+    if isinstance(stmt, Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ExprStmt):
+        return [stmt.expr]
+    return []

@@ -1,0 +1,142 @@
+"""Lexer for TeamPlay-C.
+
+Produces a flat list of :class:`Token` objects.  ``#pragma teamplay`` lines
+are emitted as single ``PRAGMA`` tokens whose value is the directive text, so
+the parser can attach them to the following function or loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import FrontendError
+
+KEYWORDS = {"int", "void", "if", "else", "while", "for", "return"}
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+]
+_SINGLE_OPS = set("+-*/%<>=!&|^~(){}[];,")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position."""
+
+    kind: str      # 'ID', 'NUM', 'KEYWORD', 'OP', 'PRAGMA', 'EOF'
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise TeamPlay-C ``source``; raises :class:`FrontendError` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    length = len(source)
+
+    def error(message: str) -> FrontendError:
+        return FrontendError(message, line, column)
+
+    while i < length:
+        ch = source[i]
+
+        # -- whitespace ------------------------------------------------------
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+
+        # -- comments --------------------------------------------------------
+        if source.startswith("//", i):
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i:end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+
+        # -- pragmas ----------------------------------------------------------
+        if ch == "#":
+            end = source.find("\n", i)
+            if end < 0:
+                end = length
+            text = source[i:end].strip()
+            if text.startswith("#pragma"):
+                directive = text[len("#pragma"):].strip()
+                tokens.append(Token("PRAGMA", directive, line, column))
+            else:
+                raise error(f"unsupported preprocessor directive {text!r}")
+            i = end
+            continue
+
+        # -- numbers ----------------------------------------------------------
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < length and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+            else:
+                while i < length and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token("NUM", text, line, column))
+            column += i - start
+            continue
+
+        # -- identifiers / keywords --------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "KEYWORD" if text in KEYWORDS else "ID"
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+
+        # -- operators ----------------------------------------------------------
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, line, column))
+                i += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _SINGLE_OPS:
+            tokens.append(Token("OP", ch, line, column))
+            i += 1
+            column += 1
+            continue
+
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

@@ -1,0 +1,102 @@
+"""Parsing of ``#pragma teamplay`` directives.
+
+The TeamPlay methodology reflects ETS information into the source code.  In
+this reproduction the source-level annotations are pragmas of the form::
+
+    #pragma teamplay task(capture) period(100 ms) deadline(80 ms)
+    #pragma teamplay loopbound(64)
+    #pragma teamplay secret(key, nonce)
+    #pragma teamplay poi(encrypt_block)
+
+Each directive becomes one entry of the returned dictionary.  Quantities
+(period, deadline, budgets) are parsed into :class:`repro.units.Quantity`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import FrontendError
+from repro.units import Quantity
+
+#: Directives whose argument is a physical quantity.
+_QUANTITY_DIRECTIVES = {"period", "deadline", "wcet_budget", "energy_budget"}
+#: Directives whose argument is an integer.
+_INT_DIRECTIVES = {"loopbound"}
+#: Directives whose argument is a comma-separated list of identifiers.
+_LIST_DIRECTIVES = {"secret", "on"}
+#: Directives whose argument is a bare identifier.
+_NAME_DIRECTIVES = {"task", "poi", "version"}
+#: Directives with a numeric (float) argument.
+_FLOAT_DIRECTIVES = {"security_level"}
+
+_DIRECTIVE_RE = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)\s*\(([^)]*)\)")
+
+
+def parse_pragma(text: str, line: int = 0) -> Dict[str, object]:
+    """Parse the text after ``#pragma`` into a directive dictionary.
+
+    Non-TeamPlay pragmas return an empty dictionary so that foreign pragmas
+    are ignored rather than rejected.
+    """
+    stripped = text.strip()
+    if not stripped.startswith("teamplay"):
+        return {}
+    body = stripped[len("teamplay"):].strip()
+    if not body:
+        raise FrontendError("empty teamplay pragma", line)
+
+    directives: Dict[str, object] = {}
+    consumed = 0
+    for match in _DIRECTIVE_RE.finditer(body):
+        name = match.group(1)
+        arg = match.group(2).strip()
+        consumed += len(match.group(0))
+        directives[name] = _parse_argument(name, arg, line)
+    leftovers = _DIRECTIVE_RE.sub("", body).strip()
+    if leftovers:
+        raise FrontendError(
+            f"malformed teamplay pragma near {leftovers!r}", line)
+    return directives
+
+
+def _parse_argument(name: str, arg: str, line: int) -> object:
+    if name in _INT_DIRECTIVES:
+        try:
+            value = int(arg, 0)
+        except ValueError:
+            raise FrontendError(f"{name} expects an integer, got {arg!r}", line)
+        if value < 0:
+            raise FrontendError(f"{name} must be non-negative", line)
+        return value
+    if name in _QUANTITY_DIRECTIVES:
+        try:
+            return Quantity.parse(arg)
+        except ValueError as exc:
+            raise FrontendError(f"{name}: {exc}", line)
+    if name in _LIST_DIRECTIVES:
+        items: List[str] = [item.strip() for item in arg.split(",") if item.strip()]
+        if not items:
+            raise FrontendError(f"{name} expects at least one identifier", line)
+        return items
+    if name in _FLOAT_DIRECTIVES:
+        try:
+            return float(arg)
+        except ValueError:
+            raise FrontendError(f"{name} expects a number, got {arg!r}", line)
+    if name in _NAME_DIRECTIVES:
+        if not arg:
+            raise FrontendError(f"{name} expects an identifier", line)
+        return arg
+    # Unknown directives are kept verbatim so future extensions do not break
+    # older toolchain versions.
+    return arg
+
+
+def merge_pragmas(*pragma_dicts: Dict[str, object]) -> Dict[str, object]:
+    """Merge several pragma dictionaries; later ones win on conflicts."""
+    merged: Dict[str, object] = {}
+    for item in pragma_dicts:
+        merged.update(item)
+    return merged

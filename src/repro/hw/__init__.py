@@ -1,0 +1,39 @@
+"""Hardware platform models.
+
+TeamPlay distinguishes *predictable* architectures (Cortex-M0, LEON3), whose
+instruction timing can be statically determined, from *complex* architectures
+(Apalis TK1, Jetson TX2/Nano), which must be characterised by dynamic
+profiling.  This package provides parameterised models for both classes:
+
+* :class:`~repro.hw.core.Core` — an ISA-level predictable core with
+  per-instruction-class cycle and energy tables,
+* :class:`~repro.hw.core.ComplexCore` — a coarse, component-level model of a
+  CPU cluster or GPU (throughput + active/idle power),
+* :class:`~repro.hw.core.Accelerator` — a fixed-function co-processor (e.g.
+  the camera pill's FPGA image co-processor),
+* :class:`~repro.hw.platform.Platform` — a board combining cores, memories
+  and an optional battery,
+* :mod:`~repro.hw.presets` — the concrete boards used in the paper's use
+  cases.
+"""
+
+from repro.hw.core import Accelerator, ComplexCore, Core, CoreKind
+from repro.hw.dvfs import OperatingPoint, sweet_spot
+from repro.hw.memory import MemoryRegion, MemorySystem
+from repro.hw.battery import Battery
+from repro.hw.platform import Platform
+from repro.hw import presets
+
+__all__ = [
+    "Accelerator",
+    "Battery",
+    "ComplexCore",
+    "Core",
+    "CoreKind",
+    "MemoryRegion",
+    "MemorySystem",
+    "OperatingPoint",
+    "Platform",
+    "presets",
+    "sweet_spot",
+]

@@ -1,0 +1,65 @@
+"""Battery model used by the UAV and camera-pill use cases.
+
+The coordination layer's battery-aware mode (Seewald et al., IROS'22) adapts
+the software configuration to the remaining charge; the flight-time
+computations in the SAR benchmark need a simple but stateful battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Battery:
+    """An ideal energy reservoir with a usable-capacity derating."""
+
+    capacity_wh: float
+    usable_fraction: float = 0.85
+    consumed_j: float = field(default=0.0, init=False)
+
+    def __post_init__(self):
+        if self.capacity_wh <= 0:
+            raise ValueError("battery capacity must be positive")
+        if not 0 < self.usable_fraction <= 1:
+            raise ValueError("usable fraction must be in (0, 1]")
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def capacity_j(self) -> float:
+        return self.capacity_wh * 3600.0
+
+    @property
+    def usable_capacity_j(self) -> float:
+        return self.capacity_j * self.usable_fraction
+
+    @property
+    def remaining_j(self) -> float:
+        return max(self.usable_capacity_j - self.consumed_j, 0.0)
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining usable charge as a fraction in [0, 1]."""
+        return self.remaining_j / self.usable_capacity_j if self.usable_capacity_j else 0.0
+
+    @property
+    def depleted(self) -> bool:
+        return self.remaining_j <= 0.0
+
+    # -- operations ----------------------------------------------------------
+    def discharge(self, energy_j: float) -> float:
+        """Drain ``energy_j`` joules; returns the energy actually drawn."""
+        if energy_j < 0:
+            raise ValueError("cannot discharge a negative amount of energy")
+        drawn = min(energy_j, self.remaining_j)
+        self.consumed_j += drawn
+        return drawn
+
+    def endurance_s(self, power_w: float) -> float:
+        """Time until depletion at a constant ``power_w`` draw."""
+        if power_w <= 0:
+            raise ValueError("power draw must be positive")
+        return self.remaining_j / power_w
+
+    def reset(self) -> None:
+        self.consumed_j = 0.0

@@ -1,0 +1,93 @@
+"""Dynamic voltage and frequency scaling (DVFS) support.
+
+An operating point pairs a clock frequency with the minimum supply voltage
+able to sustain it.  Dynamic energy per executed instruction scales with
+``V^2`` while static (leakage) power is roughly proportional to ``V`` and is
+paid for the whole execution time.  This produces the "sweet spot" behaviour
+discussed in the paper's ETS-aware development challenge (Section III-C):
+running as slow as possible is *not* energy optimal once leakage dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A (frequency, voltage) pair a core can run at."""
+
+    frequency_hz: float
+    voltage: float
+    name: str = ""
+
+    def __post_init__(self):
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.voltage <= 0:
+            raise ValueError("voltage must be positive")
+
+    @property
+    def label(self) -> str:
+        if self.name:
+            return self.name
+        return f"{self.frequency_hz / 1e6:g}MHz@{self.voltage:g}V"
+
+    def dynamic_scale(self, nominal: "OperatingPoint") -> float:
+        """Scaling factor for per-instruction dynamic energy vs ``nominal``."""
+        return (self.voltage / nominal.voltage) ** 2
+
+    def static_power_scale(self, nominal: "OperatingPoint") -> float:
+        """Scaling factor for leakage power vs ``nominal``."""
+        return self.voltage / nominal.voltage
+
+
+def default_opp_ladder(max_frequency_hz: float,
+                       max_voltage: float,
+                       steps: int = 4,
+                       min_fraction: float = 0.25,
+                       voltage_floor_fraction: float = 0.6) -> List[OperatingPoint]:
+    """Build a plausible ladder of operating points for a core.
+
+    Frequencies are spaced linearly between ``min_fraction * max`` and
+    ``max``; voltage shrinks with frequency but saturates at a floor, which is
+    what creates a leakage-dominated regime at the low end.
+    """
+    if steps < 1:
+        raise ValueError("need at least one operating point")
+    points = []
+    for i in range(steps):
+        frac = min_fraction + (1.0 - min_fraction) * (i / max(steps - 1, 1))
+        voltage = max_voltage * max(voltage_floor_fraction,
+                                    voltage_floor_fraction + (1 - voltage_floor_fraction) * frac)
+        points.append(OperatingPoint(frequency_hz=max_frequency_hz * frac,
+                                     voltage=voltage))
+    return points
+
+
+def sweet_spot(opps: Iterable[OperatingPoint],
+               energy_at: Callable[[OperatingPoint], float],
+               deadline_s: Optional[float] = None,
+               time_at: Optional[Callable[[OperatingPoint], float]] = None,
+               ) -> Tuple[OperatingPoint, float]:
+    """Return the operating point minimising energy, optionally under a deadline.
+
+    ``energy_at`` maps an operating point to the energy of the workload at
+    that point; ``time_at`` (required when ``deadline_s`` is given) maps it to
+    the execution time.  Raises :class:`ValueError` when no point meets the
+    deadline.
+    """
+    best: Optional[Tuple[OperatingPoint, float]] = None
+    for opp in opps:
+        if deadline_s is not None:
+            if time_at is None:
+                raise ValueError("time_at is required when a deadline is given")
+            if time_at(opp) > deadline_s:
+                continue
+        energy = energy_at(opp)
+        if best is None or energy < best[1]:
+            best = (opp, energy)
+    if best is None:
+        raise ValueError("no operating point satisfies the deadline")
+    return best

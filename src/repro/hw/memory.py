@@ -1,0 +1,89 @@
+"""Memory subsystem model for predictable platforms.
+
+Predictable embedded SoCs expose a small set of memory regions with fixed
+access latencies: on-chip flash (with wait states that grow with clock
+frequency), SRAM, and optionally a software-managed scratchpad (SPM).  The
+multi-criteria compiler exploits the SPM by placing hot code there, which is
+one of the levers behind the camera-pill performance/energy improvements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import PlatformError
+
+
+@dataclass
+class MemoryRegion:
+    """A single addressable memory region."""
+
+    name: str
+    size_bytes: int
+    read_wait_states: int
+    write_wait_states: int
+    energy_per_access_j: float
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise PlatformError(f"memory region {self.name!r} must have a positive size")
+        if self.read_wait_states < 0 or self.write_wait_states < 0:
+            raise PlatformError(f"memory region {self.name!r} has negative wait states")
+        if self.energy_per_access_j < 0:
+            raise PlatformError(f"memory region {self.name!r} has negative access energy")
+
+
+@dataclass
+class MemorySystem:
+    """The set of memory regions visible to a core.
+
+    ``code_region`` names the region instructions are fetched from by
+    default; the compiler's SPM allocation pass can override this per
+    function.
+    """
+
+    regions: Dict[str, MemoryRegion] = field(default_factory=dict)
+    code_region: str = "flash"
+    data_region: str = "sram"
+    scratchpad_region: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.regions:
+            self.regions = {
+                "flash": MemoryRegion("flash", 256 * 1024, 1, 4, 1.0e-10),
+                "sram": MemoryRegion("sram", 32 * 1024, 0, 0, 0.5e-10),
+            }
+        for required in (self.code_region, self.data_region):
+            if required not in self.regions:
+                raise PlatformError(f"memory system lacks region {required!r}")
+        if self.scratchpad_region and self.scratchpad_region not in self.regions:
+            raise PlatformError(
+                f"memory system lacks scratchpad region {self.scratchpad_region!r}")
+
+    # -- queries used by timing/energy models ------------------------------
+    def region(self, name: str) -> MemoryRegion:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise PlatformError(f"unknown memory region {name!r}") from None
+
+    def fetch_wait_states(self, region: Optional[str] = None) -> int:
+        return self.region(region or self.code_region).read_wait_states
+
+    def data_wait_states(self, write: bool = False,
+                         region: Optional[str] = None) -> int:
+        reg = self.region(region or self.data_region)
+        return reg.write_wait_states if write else reg.read_wait_states
+
+    def access_energy(self, region: Optional[str] = None) -> float:
+        return self.region(region or self.data_region).energy_per_access_j
+
+    @property
+    def has_scratchpad(self) -> bool:
+        return self.scratchpad_region is not None
+
+    def scratchpad_size(self) -> int:
+        if not self.scratchpad_region:
+            return 0
+        return self.region(self.scratchpad_region).size_bytes

@@ -1,0 +1,291 @@
+"""Concrete platform presets for the boards used in the TeamPlay use cases.
+
+The numeric tables are *model parameters*, not datasheet measurements.  They
+follow the shape of the published models the paper relies on — the
+ISA-level Cortex-M0 model of Georgiou et al. (energy dominated by memory
+accesses and the inter-instruction switching overhead), the GR712RC/LEON3
+power model of Nikov et al., and the coarse component-level models of Seewald
+et al. for the Jetson-class boards — but absolute values are only intended to
+be plausible in order of magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hw.battery import Battery
+from repro.hw.core import Accelerator, ComplexCore, Core, CoreKind
+from repro.hw.dvfs import OperatingPoint
+from repro.hw.memory import MemoryRegion, MemorySystem
+from repro.hw.platform import Platform
+
+__all__ = [
+    "cortex_m0",
+    "leon3",
+    "nucleo_stm32f091rc",
+    "camera_pill_board",
+    "gr712rc",
+    "apalis_tk1",
+    "jetson_tx2",
+    "jetson_nano",
+    "platform_by_name",
+]
+
+
+# ---------------------------------------------------------------------------
+# Predictable cores
+# ---------------------------------------------------------------------------
+def _m0_operating_points() -> List[OperatingPoint]:
+    return [
+        OperatingPoint(8e6, 1.2, "m0-8MHz"),
+        OperatingPoint(16e6, 1.2, "m0-16MHz"),
+        OperatingPoint(32e6, 1.4, "m0-32MHz"),
+        OperatingPoint(48e6, 1.65, "m0-48MHz"),
+    ]
+
+
+def cortex_m0(name: str = "cortex-m0", frequency_hz: float = 48e6) -> Core:
+    """ARM Cortex-M0, the predictable core of the camera-pill and DL use cases."""
+    opps = _m0_operating_points()
+    nominal = min(opps, key=lambda opp: abs(opp.frequency_hz - frequency_hz))
+    return Core(
+        name=name,
+        cycle_table={
+            "alu": 1, "mul": 1, "div": 18, "load": 2, "store": 2,
+            "branch": 3, "jump": 3, "call": 4, "ret": 4, "select": 2, "nop": 1,
+        },
+        energy_table={
+            # joules per instruction at the nominal operating point
+            "alu": 0.55e-9, "mul": 0.80e-9, "div": 6.0e-9,
+            "load": 1.30e-9, "store": 1.40e-9,
+            "branch": 0.90e-9, "jump": 0.85e-9,
+            "call": 1.60e-9, "ret": 1.50e-9,
+            "select": 0.70e-9, "nop": 0.35e-9,
+        },
+        nominal_opp=nominal,
+        operating_points=opps,
+        inter_class_overhead_j=0.12e-9,
+        static_power_w=0.9e-3,
+        branch_not_taken_cycles=1,
+    )
+
+
+def leon3(name: str = "leon3", frequency_hz: float = 80e6) -> Core:
+    """LEON3FT core as found on the GR712RC space-grade SoC."""
+    opps = [
+        OperatingPoint(20e6, 1.0, "leon3-20MHz"),
+        OperatingPoint(40e6, 1.1, "leon3-40MHz"),
+        OperatingPoint(60e6, 1.25, "leon3-60MHz"),
+        OperatingPoint(80e6, 1.5, "leon3-80MHz"),
+    ]
+    nominal = min(opps, key=lambda opp: abs(opp.frequency_hz - frequency_hz))
+    return Core(
+        name=name,
+        cycle_table={
+            "alu": 1, "mul": 4, "div": 35, "load": 2, "store": 3,
+            "branch": 3, "jump": 2, "call": 3, "ret": 3, "select": 2, "nop": 1,
+        },
+        energy_table={
+            "alu": 7.0e-9, "mul": 14.0e-9, "div": 60.0e-9,
+            "load": 16.0e-9, "store": 18.0e-9,
+            "branch": 9.0e-9, "jump": 8.0e-9,
+            "call": 15.0e-9, "ret": 14.0e-9,
+            "select": 8.0e-9, "nop": 4.0e-9,
+        },
+        nominal_opp=nominal,
+        operating_points=opps,
+        inter_class_overhead_j=1.0e-9,
+        static_power_w=0.15,
+        branch_not_taken_cycles=1,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Memory systems
+# ---------------------------------------------------------------------------
+def _mcu_memory(spm_bytes: int = 0) -> MemorySystem:
+    regions = {
+        "flash": MemoryRegion("flash", 256 * 1024, read_wait_states=2,
+                              write_wait_states=6, energy_per_access_j=0.9e-9),
+        "sram": MemoryRegion("sram", 32 * 1024, read_wait_states=0,
+                             write_wait_states=0, energy_per_access_j=0.3e-9),
+    }
+    scratchpad = None
+    if spm_bytes:
+        regions["spm"] = MemoryRegion("spm", spm_bytes, read_wait_states=0,
+                                      write_wait_states=0,
+                                      energy_per_access_j=0.15e-9)
+        scratchpad = "spm"
+    return MemorySystem(regions=regions, code_region="flash",
+                        data_region="sram", scratchpad_region=scratchpad)
+
+
+def _leon_memory(spm_bytes: int = 16 * 1024) -> MemorySystem:
+    regions = {
+        "flash": MemoryRegion("prom", 8 * 1024 * 1024, read_wait_states=3,
+                              write_wait_states=8, energy_per_access_j=9.0e-9),
+        "sram": MemoryRegion("sdram", 256 * 1024 * 1024, read_wait_states=2,
+                             write_wait_states=3, energy_per_access_j=6.0e-9),
+    }
+    scratchpad = None
+    if spm_bytes:
+        regions["spm"] = MemoryRegion("spm", spm_bytes, read_wait_states=0,
+                                      write_wait_states=0,
+                                      energy_per_access_j=2.0e-9)
+        scratchpad = "spm"
+    memory = MemorySystem(regions=regions, code_region="flash",
+                          data_region="sram", scratchpad_region=scratchpad)
+    return memory
+
+
+# ---------------------------------------------------------------------------
+# Predictable platforms
+# ---------------------------------------------------------------------------
+def nucleo_stm32f091rc() -> Platform:
+    """The Nucleo STM32F091RC evaluation board (single Cortex-M0 class core)."""
+    return Platform(
+        name="nucleo-stm32f091rc",
+        cores=[cortex_m0("m0", 48e6)],
+        memory=_mcu_memory(spm_bytes=4 * 1024),
+        description="Simple predictable MCU board used for security validation.",
+    )
+
+
+def camera_pill_board() -> Platform:
+    """Camera pill: Cortex-M0 plus a low-power FPGA image co-processor."""
+    fpga = Accelerator(
+        name="fpga-imaging",
+        kernels={
+            # (seconds, joules) per processed image block
+            "image_filter": (9.0e-6, 3.5e-6),
+            "image_compress": (14.0e-6, 5.0e-6),
+        },
+        offload_overhead_s=40.0e-6,
+        offload_overhead_j=8.0e-6,
+        idle_power_w=0.4e-3,
+    )
+    return Platform(
+        name="camera-pill",
+        cores=[cortex_m0("m0", 32e6), fpga],
+        memory=_mcu_memory(spm_bytes=2 * 1024),
+        battery=Battery(capacity_wh=0.10, usable_fraction=0.9),
+        description="Capsule endoscopy device: Cortex-M0 + FPGA co-processor.",
+    )
+
+
+def gr712rc() -> Platform:
+    """Cobham-Gaisler GR712RC development board: dual LEON3FT."""
+    return Platform(
+        name="gr712rc",
+        cores=[leon3("leon3-0", 80e6), leon3("leon3-1", 80e6)],
+        memory=_leon_memory(),
+        description="Space-grade dual-core LEON3FT running RTEMS.",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Complex platforms
+# ---------------------------------------------------------------------------
+def _complex_cpu(name: str, frequency_hz: float, voltage: float,
+                 throughput: float, active_w: float, idle_w: float,
+                 low_points: Optional[List[OperatingPoint]] = None) -> ComplexCore:
+    nominal = OperatingPoint(frequency_hz, voltage, f"{name}-nominal")
+    opps = list(low_points or []) + [nominal]
+    return ComplexCore(
+        name=name, kind=CoreKind.CPU, nominal_opp=nominal,
+        throughput_units_per_s=throughput,
+        active_power_w=active_w, idle_power_w=idle_w,
+        operating_points=opps,
+    )
+
+
+def apalis_tk1() -> Platform:
+    """Toradex Apalis TK1: quad Cortex-A15 + Kepler GPU (complex architecture)."""
+    cpu_low = [
+        OperatingPoint(0.8e9, 0.85, "a15-0.8GHz"),
+        OperatingPoint(1.4e9, 0.95, "a15-1.4GHz"),
+    ]
+    cpus = [
+        _complex_cpu(f"a15-{idx}", 2.2e9, 1.1, throughput=1.8e9,
+                     active_w=2.6, idle_w=0.25, low_points=cpu_low)
+        for idx in range(4)
+    ]
+    gpu = ComplexCore(
+        name="gk20a-gpu", kind=CoreKind.GPU,
+        nominal_opp=OperatingPoint(0.852e9, 1.0, "gk20a-nominal"),
+        throughput_units_per_s=2.4e10,
+        active_power_w=6.5, idle_power_w=0.45,
+        operating_points=[OperatingPoint(0.396e9, 0.9, "gk20a-low"),
+                          OperatingPoint(0.852e9, 1.0, "gk20a-nominal")],
+        kernel_affinity={"conv": 2.5, "matmul": 2.2, "detect": 2.0,
+                         "preprocess": 1.2},
+    )
+    return Platform(
+        name="apalis-tk1",
+        cores=cpus + [gpu],
+        description="Complex heterogeneous board used by the UAV SAR use case.",
+    )
+
+
+def jetson_tx2() -> Platform:
+    """NVIDIA Jetson TX2: 4x A57 + 2x Denver + Pascal GPU."""
+    a57_low = [OperatingPoint(0.65e9, 0.8, "a57-0.65GHz"),
+               OperatingPoint(1.2e9, 0.9, "a57-1.2GHz")]
+    denver_low = [OperatingPoint(0.8e9, 0.85, "denver-0.8GHz")]
+    a57 = [_complex_cpu(f"a57-{idx}", 2.0e9, 1.0, throughput=1.6e9,
+                        active_w=1.9, idle_w=0.2, low_points=a57_low)
+           for idx in range(4)]
+    denver = [_complex_cpu(f"denver-{idx}", 2.0e9, 1.0, throughput=2.1e9,
+                           active_w=2.2, idle_w=0.22, low_points=denver_low)
+              for idx in range(2)]
+    gpu = ComplexCore(
+        name="pascal-gpu", kind=CoreKind.GPU,
+        nominal_opp=OperatingPoint(1.3e9, 1.05, "pascal-nominal"),
+        throughput_units_per_s=4.5e10,
+        active_power_w=9.0, idle_power_w=0.5,
+        operating_points=[OperatingPoint(0.65e9, 0.9, "pascal-low"),
+                          OperatingPoint(1.3e9, 1.05, "pascal-nominal")],
+        kernel_affinity={"conv": 2.8, "matmul": 2.5, "detect": 2.2,
+                         "preprocess": 1.3},
+    )
+    return Platform(name="jetson-tx2", cores=a57 + denver + [gpu],
+                    description="Complex heterogeneous board (UAV alternative).")
+
+
+def jetson_nano() -> Platform:
+    """NVIDIA Jetson Nano: 4x A57 + Maxwell GPU."""
+    a57_low = [OperatingPoint(0.7e9, 0.8, "nano-a57-0.7GHz")]
+    a57 = [_complex_cpu(f"a57-{idx}", 1.43e9, 0.95, throughput=1.2e9,
+                        active_w=1.4, idle_w=0.15, low_points=a57_low)
+           for idx in range(4)]
+    gpu = ComplexCore(
+        name="maxwell-gpu", kind=CoreKind.GPU,
+        nominal_opp=OperatingPoint(0.92e9, 1.0, "maxwell-nominal"),
+        throughput_units_per_s=1.8e10,
+        active_power_w=4.5, idle_power_w=0.35,
+        operating_points=[OperatingPoint(0.46e9, 0.9, "maxwell-low"),
+                          OperatingPoint(0.92e9, 1.0, "maxwell-nominal")],
+        kernel_affinity={"conv": 2.4, "matmul": 2.1, "detect": 1.9,
+                         "preprocess": 1.2},
+    )
+    return Platform(name="jetson-nano", cores=a57 + [gpu],
+                    description="Low-power complex board (UAV alternative).")
+
+
+_FACTORIES = {
+    "nucleo-stm32f091rc": nucleo_stm32f091rc,
+    "camera-pill": camera_pill_board,
+    "gr712rc": gr712rc,
+    "apalis-tk1": apalis_tk1,
+    "jetson-tx2": jetson_tx2,
+    "jetson-nano": jetson_nano,
+}
+
+
+def platform_by_name(name: str) -> Platform:
+    """Instantiate one of the preset platforms by its canonical name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; available: {sorted(_FACTORIES)}") from None

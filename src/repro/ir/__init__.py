@@ -1,0 +1,45 @@
+"""Intermediate representation shared by the compiler, analysers and simulator.
+
+TeamPlay-C source is lowered into a small RISC-like IR organised as a
+control-flow graph of basic blocks (:mod:`repro.ir.cfg`) plus a *region tree*
+(:mod:`repro.ir.regions`) that records the structured control flow the code
+was generated from.  The region tree is what makes the WCET and worst-case
+energy analyses exact for reducible control flow, mirroring how the paper's
+static analysers exploit structured compiler output.
+"""
+
+from repro.ir.instructions import (
+    Imm,
+    Instr,
+    Opcode,
+    Operand,
+    Reg,
+    instruction_class,
+)
+from repro.ir.cfg import BasicBlock, Function, Program
+from repro.ir.regions import (
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+    iter_block_labels,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BlockRegion",
+    "Function",
+    "IfRegion",
+    "Imm",
+    "Instr",
+    "LoopRegion",
+    "Opcode",
+    "Operand",
+    "Program",
+    "Reg",
+    "Region",
+    "SeqRegion",
+    "instruction_class",
+    "iter_block_labels",
+]

@@ -1,0 +1,198 @@
+"""Basic blocks, functions and programs.
+
+A :class:`Function` owns both its control-flow graph (a mapping of labelled
+:class:`BasicBlock`\\ s) and the region tree describing its structured control
+flow.  A :class:`Program` is a set of functions plus global arrays and the
+annotation metadata extracted from ``#pragma teamplay`` directives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import TeamPlayError
+from repro.ir.instructions import Instr, Opcode, Reg
+from repro.ir.regions import Region, SeqRegion, iter_block_labels
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions ending in a terminator."""
+
+    label: str
+    instrs: List[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Optional[Instr]:
+        if self.instrs and self.instrs[-1].is_terminator:
+            return self.instrs[-1]
+        return None
+
+    def successors(self) -> Tuple[str, ...]:
+        term = self.terminator
+        if term is None:
+            return ()
+        if term.opcode is Opcode.RET:
+            return ()
+        if term.opcode is Opcode.JMP:
+            return (term.true_target,)
+        return tuple(t for t in (term.true_target, term.false_target) if t)
+
+    def body(self) -> List[Instr]:
+        """Instructions excluding the terminator."""
+        if self.terminator is not None:
+            return self.instrs[:-1]
+        return list(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+
+@dataclass
+class Function:
+    """An IR function: CFG + region tree + storage map."""
+
+    name: str
+    params: List[str] = field(default_factory=list)
+    blocks: Dict[str, BasicBlock] = field(default_factory=dict)
+    entry: str = "entry"
+    region: Region = field(default_factory=SeqRegion)
+    #: Local arrays: name -> number of int elements.
+    local_arrays: Dict[str, int] = field(default_factory=dict)
+    #: Memory region code is fetched from (None = platform default); set by
+    #: the compiler's scratchpad allocation pass.
+    code_region: Optional[str] = None
+    #: Names of parameters carrying secret data (from ``secret`` pragmas).
+    secret_params: List[str] = field(default_factory=list)
+    #: Free-form annotation storage (task name, POIs, ...).
+    annotations: Dict[str, object] = field(default_factory=dict)
+
+    # -- block management -----------------------------------------------------
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.label in self.blocks:
+            raise TeamPlayError(
+                f"duplicate block label {block.label!r} in function {self.name!r}")
+        self.blocks[block.label] = block
+        return block
+
+    def block(self, label: str) -> BasicBlock:
+        try:
+            return self.blocks[label]
+        except KeyError:
+            raise TeamPlayError(
+                f"function {self.name!r} has no block {label!r}") from None
+
+    def iter_instructions(self) -> Iterator[Instr]:
+        for block in self.blocks.values():
+            yield from block.instrs
+
+    @property
+    def instruction_count(self) -> int:
+        return sum(len(block) for block in self.blocks.values())
+
+    # -- derived structure ------------------------------------------------------
+    def cfg(self) -> "nx.DiGraph":
+        """The control-flow graph as a :class:`networkx.DiGraph` over labels."""
+        graph = nx.DiGraph()
+        for label, block in self.blocks.items():
+            graph.add_node(label)
+            for succ in block.successors():
+                graph.add_edge(label, succ)
+        return graph
+
+    def callees(self) -> Set[str]:
+        return {instr.callee for instr in self.iter_instructions()
+                if instr.opcode is Opcode.CALL and instr.callee}
+
+    def defined_registers(self) -> Set[Reg]:
+        regs: Set[Reg] = set()
+        for instr in self.iter_instructions():
+            regs.update(instr.writes())
+        return regs
+
+    def validate(self) -> None:
+        """Check internal consistency (used by tests and the compiler driver)."""
+        if self.entry not in self.blocks:
+            raise TeamPlayError(
+                f"function {self.name!r}: entry block {self.entry!r} missing")
+        for label, block in self.blocks.items():
+            if block.terminator is None:
+                raise TeamPlayError(
+                    f"function {self.name!r}: block {label!r} lacks a terminator")
+            for succ in block.successors():
+                if succ not in self.blocks:
+                    raise TeamPlayError(
+                        f"function {self.name!r}: block {label!r} jumps to "
+                        f"unknown block {succ!r}")
+            for instr in block.instrs[:-1]:
+                if instr.is_terminator:
+                    raise TeamPlayError(
+                        f"function {self.name!r}: block {label!r} has a "
+                        f"terminator in the middle")
+        region_labels = list(iter_block_labels(self.region))
+        if sorted(region_labels) != sorted(self.blocks):
+            missing = set(self.blocks) - set(region_labels)
+            extra = set(region_labels) - set(self.blocks)
+            duplicated = {l for l in region_labels if region_labels.count(l) > 1}
+            raise TeamPlayError(
+                f"function {self.name!r}: region tree inconsistent with CFG "
+                f"(missing={sorted(missing)}, extra={sorted(extra)}, "
+                f"duplicated={sorted(duplicated)})")
+
+
+@dataclass
+class Program:
+    """A whole translation unit."""
+
+    functions: Dict[str, Function] = field(default_factory=dict)
+    #: Global arrays: name -> number of int elements.
+    global_arrays: Dict[str, int] = field(default_factory=dict)
+    #: Scalar global initial values (globals are modelled as 1-element arrays).
+    metadata: Dict[str, object] = field(default_factory=dict)
+    source_name: str = "<memory>"
+
+    def add_function(self, function: Function) -> Function:
+        if function.name in self.functions:
+            raise TeamPlayError(f"duplicate function {function.name!r}")
+        self.functions[function.name] = function
+        return function
+
+    def function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise TeamPlayError(f"program has no function {name!r}") from None
+
+    def validate(self) -> None:
+        for function in self.functions.values():
+            function.validate()
+            for callee in function.callees():
+                if callee not in self.functions:
+                    raise TeamPlayError(
+                        f"function {function.name!r} calls unknown function "
+                        f"{callee!r}")
+
+    def call_graph(self) -> "nx.DiGraph":
+        graph = nx.DiGraph()
+        for name, function in self.functions.items():
+            graph.add_node(name)
+            for callee in function.callees():
+                graph.add_edge(name, callee)
+        return graph
+
+    def has_recursion(self) -> bool:
+        graph = self.call_graph()
+        return any(True for _ in nx.simple_cycles(graph))
+
+    @property
+    def task_functions(self) -> Dict[str, Function]:
+        """Functions annotated as task entry points (``task`` pragma)."""
+        return {fn.annotations["task"]: fn for fn in self.functions.values()
+                if "task" in fn.annotations}
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(fn.instruction_count for fn in self.functions.values())

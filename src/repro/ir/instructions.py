@@ -1,0 +1,202 @@
+"""Instructions and operands of the TeamPlay reproduction IR.
+
+The IR is deliberately small: enough to lower the TeamPlay-C subset, to be
+interpreted by the simulator, and to be costed by the static analysers.  Every
+opcode maps onto one of the instruction classes understood by the hardware
+timing/energy tables (see :data:`repro.hw.core.INSTRUCTION_CLASSES`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+class Opcode(enum.Enum):
+    """RISC-like opcodes."""
+
+    MOV = "mov"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    NEG = "neg"
+    NOT = "not"          # bitwise not
+    LNOT = "lnot"        # logical not (0/1 result)
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    LOAD = "load"        # dst <- array[index]
+    STORE = "store"      # array[index] <- value
+    BR = "br"            # conditional branch on src != 0
+    JMP = "jmp"
+    CALL = "call"
+    RET = "ret"
+    SELECT = "select"    # dst <- cond ? a : b, constant time
+    NOP = "nop"
+
+
+#: Opcode -> instruction class used by the hardware cost tables.
+_CLASS_OF_OPCODE = {
+    Opcode.MOV: "alu", Opcode.ADD: "alu", Opcode.SUB: "alu",
+    Opcode.AND: "alu", Opcode.OR: "alu", Opcode.XOR: "alu",
+    Opcode.SHL: "alu", Opcode.SHR: "alu", Opcode.NEG: "alu",
+    Opcode.NOT: "alu", Opcode.LNOT: "alu",
+    Opcode.CMPEQ: "alu", Opcode.CMPNE: "alu", Opcode.CMPLT: "alu",
+    Opcode.CMPLE: "alu", Opcode.CMPGT: "alu", Opcode.CMPGE: "alu",
+    Opcode.MUL: "mul",
+    Opcode.DIV: "div", Opcode.MOD: "div",
+    Opcode.LOAD: "load", Opcode.STORE: "store",
+    Opcode.BR: "branch", Opcode.JMP: "jump",
+    Opcode.CALL: "call", Opcode.RET: "ret",
+    Opcode.SELECT: "select", Opcode.NOP: "nop",
+}
+
+#: Opcodes that end a basic block.
+TERMINATORS = (Opcode.BR, Opcode.JMP, Opcode.RET)
+
+#: Commutative binary opcodes (used by the peephole optimiser).
+COMMUTATIVE = (Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR,
+               Opcode.CMPEQ, Opcode.CMPNE)
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An integer immediate."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Union[Reg, Imm]
+
+
+def instruction_class(opcode: Opcode) -> str:
+    """Instruction class of ``opcode`` for the hardware cost tables."""
+    return _CLASS_OF_OPCODE[opcode]
+
+
+@dataclass
+class Instr:
+    """A single IR instruction.
+
+    The fields not relevant to an opcode are left at their defaults:
+    ``dst``/``srcs`` for data processing, ``array`` for memory accesses,
+    ``true_target``/``false_target`` for control flow, ``callee``/``args``
+    for calls.
+    """
+
+    opcode: Opcode
+    dst: Optional[Reg] = None
+    srcs: Tuple[Operand, ...] = ()
+    array: Optional[str] = None
+    true_target: Optional[str] = None
+    false_target: Optional[str] = None
+    callee: Optional[str] = None
+    args: Tuple[Operand, ...] = ()
+    comment: str = ""
+
+    @property
+    def instruction_class(self) -> str:
+        return instruction_class(self.opcode)
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.opcode in TERMINATORS
+
+    @property
+    def is_memory_access(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.STORE)
+
+    def reads(self) -> Tuple[Reg, ...]:
+        """Registers read by this instruction."""
+        regs = [op for op in self.srcs if isinstance(op, Reg)]
+        regs.extend(op for op in self.args if isinstance(op, Reg))
+        return tuple(regs)
+
+    def writes(self) -> Tuple[Reg, ...]:
+        """Registers written by this instruction."""
+        return (self.dst,) if self.dst is not None else ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.opcode.value]
+        if self.dst is not None:
+            parts.append(repr(self.dst))
+        if self.array is not None:
+            parts.append(f"@{self.array}")
+        parts.extend(repr(op) for op in self.srcs)
+        if self.callee:
+            parts.append(f"{self.callee}({', '.join(repr(a) for a in self.args)})")
+        if self.true_target:
+            parts.append(f"->{self.true_target}")
+        if self.false_target:
+            parts.append(f"/{self.false_target}")
+        return " ".join(parts)
+
+
+# -- convenience constructors -------------------------------------------------
+def mov(dst: Reg, src: Operand, comment: str = "") -> Instr:
+    return Instr(Opcode.MOV, dst=dst, srcs=(src,), comment=comment)
+
+
+def binop(opcode: Opcode, dst: Reg, lhs: Operand, rhs: Operand) -> Instr:
+    return Instr(opcode, dst=dst, srcs=(lhs, rhs))
+
+
+def unop(opcode: Opcode, dst: Reg, src: Operand) -> Instr:
+    return Instr(opcode, dst=dst, srcs=(src,))
+
+
+def load(dst: Reg, array: str, index: Operand) -> Instr:
+    return Instr(Opcode.LOAD, dst=dst, array=array, srcs=(index,))
+
+
+def store(array: str, index: Operand, value: Operand) -> Instr:
+    return Instr(Opcode.STORE, array=array, srcs=(index, value))
+
+
+def branch(cond: Operand, true_target: str, false_target: str) -> Instr:
+    return Instr(Opcode.BR, srcs=(cond,), true_target=true_target,
+                 false_target=false_target)
+
+
+def jump(target: str) -> Instr:
+    return Instr(Opcode.JMP, true_target=target)
+
+
+def call(dst: Optional[Reg], callee: str, args: Tuple[Operand, ...]) -> Instr:
+    return Instr(Opcode.CALL, dst=dst, callee=callee, args=tuple(args))
+
+
+def ret(value: Optional[Operand] = None) -> Instr:
+    return Instr(Opcode.RET, srcs=(value,) if value is not None else ())
+
+
+def select(dst: Reg, cond: Operand, if_true: Operand, if_false: Operand) -> Instr:
+    return Instr(Opcode.SELECT, dst=dst, srcs=(cond, if_true, if_false))
+
+
+def nop(comment: str = "") -> Instr:
+    return Instr(Opcode.NOP, comment=comment)

@@ -1,0 +1,114 @@
+"""Region tree: structured control flow recorded during lowering.
+
+The TeamPlay-C frontend only produces reducible control flow (sequences,
+if/else, bounded loops), so the lowering can record a *region tree* alongside
+the control-flow graph.  Each leaf references exactly one basic block, and
+every basic block of a function appears in exactly one leaf.  Static analyses
+(WCET, worst-case energy) become simple structural recursions over this tree:
+
+* ``Seq``     — children executed in order,
+* ``Block``   — one basic block, executed once per region entry,
+* ``If``      — condition block, then either branch,
+* ``Loop``    — condition block evaluated ``bound + 1`` times, body ``bound``
+  times (the extra evaluation is the final, failing test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Union
+
+
+@dataclass
+class BlockRegion:
+    """Leaf region: a single basic block."""
+
+    label: str
+
+
+@dataclass
+class SeqRegion:
+    """A sequence of regions executed in order."""
+
+    children: List["Region"] = field(default_factory=list)
+
+
+@dataclass
+class IfRegion:
+    """Structured two-way branch.
+
+    ``cond_label`` names the block that evaluates the condition and ends in a
+    conditional branch; exactly one of ``then_region`` / ``else_region`` is
+    executed afterwards.  The join block is *not* part of this region — it is
+    the next child of the enclosing sequence.
+    """
+
+    cond_label: str
+    then_region: "Region"
+    else_region: "Region"
+
+
+@dataclass
+class LoopRegion:
+    """Structured bounded loop.
+
+    ``cond_label`` names the block evaluating the loop condition (executed at
+    most ``bound + 1`` times); ``body_region`` is executed at most ``bound``
+    times.  ``bound`` is ``None`` while the loop bound is still unknown; the
+    loop-bound analysis or a ``loopbound`` pragma fills it in before WCET
+    analysis, which rejects unbounded loops.
+    """
+
+    cond_label: str
+    body_region: "Region"
+    bound: Optional[int] = None
+    pragma_bound: Optional[int] = None
+    loop_id: int = 0
+
+
+Region = Union[BlockRegion, SeqRegion, IfRegion, LoopRegion]
+
+
+def iter_block_labels(region: Region) -> Iterator[str]:
+    """Yield every basic-block label referenced by ``region`` (pre-order)."""
+    if isinstance(region, BlockRegion):
+        yield region.label
+    elif isinstance(region, SeqRegion):
+        for child in region.children:
+            yield from iter_block_labels(child)
+    elif isinstance(region, IfRegion):
+        yield region.cond_label
+        yield from iter_block_labels(region.then_region)
+        yield from iter_block_labels(region.else_region)
+    elif isinstance(region, LoopRegion):
+        yield region.cond_label
+        yield from iter_block_labels(region.body_region)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown region type {type(region)!r}")
+
+
+def iter_loops(region: Region) -> Iterator[LoopRegion]:
+    """Yield every loop region nested anywhere inside ``region``."""
+    if isinstance(region, SeqRegion):
+        for child in region.children:
+            yield from iter_loops(child)
+    elif isinstance(region, IfRegion):
+        yield from iter_loops(region.then_region)
+        yield from iter_loops(region.else_region)
+    elif isinstance(region, LoopRegion):
+        yield region
+        yield from iter_loops(region.body_region)
+
+
+def max_loop_nesting(region: Region) -> int:
+    """Maximum loop nesting depth within ``region``."""
+    if isinstance(region, BlockRegion):
+        return 0
+    if isinstance(region, SeqRegion):
+        return max((max_loop_nesting(child) for child in region.children), default=0)
+    if isinstance(region, IfRegion):
+        return max(max_loop_nesting(region.then_region),
+                   max_loop_nesting(region.else_region))
+    if isinstance(region, LoopRegion):
+        return 1 + max_loop_nesting(region.body_region)
+    raise TypeError(f"unknown region type {type(region)!r}")  # pragma: no cover

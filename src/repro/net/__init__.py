@@ -1,0 +1,12 @@
+"""Communication substrates used by the use cases.
+
+* :mod:`repro.net.spacewire` — the SpaceWire on-board link of the space use
+  case (character-level encoding overhead, packetisation, link power),
+* :mod:`repro.net.radio` — the low-power radio of the camera pill and the
+  UAV downlink.
+"""
+
+from repro.net.spacewire import SpaceWireLink, SpaceWirePacket
+from repro.net.radio import RadioLink
+
+__all__ = ["RadioLink", "SpaceWireLink", "SpaceWirePacket"]

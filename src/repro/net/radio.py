@@ -1,0 +1,52 @@
+"""Low-power radio link model (camera pill uplink, UAV downlink)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+
+@dataclass
+class RadioLink:
+    """A simple packetised radio with startup overhead.
+
+    The camera pill transmits every captured (compressed, encrypted) frame to
+    an external receiver; the dominant costs are the per-bit transmit energy
+    and the transceiver wake-up overhead, both of which reward transmitting
+    fewer bytes (i.e. compressing on the device).
+    """
+
+    bitrate_bps: float = 2_000_000.0
+    energy_per_bit_j: float = 5.0e-9
+    wakeup_time_s: float = 200e-6
+    wakeup_energy_j: float = 3.0e-6
+    max_payload_bytes: int = 256
+    header_bytes: int = 6
+
+    def __post_init__(self):
+        if self.bitrate_bps <= 0:
+            raise PlatformError("radio bitrate must be positive")
+        if self.max_payload_bytes <= 0:
+            raise PlatformError("radio payload size must be positive")
+
+    def packet_count(self, payload_bytes: int) -> int:
+        if payload_bytes <= 0:
+            return 0
+        full, rest = divmod(payload_bytes, self.max_payload_bytes)
+        return full + (1 if rest else 0)
+
+    def bytes_on_air(self, payload_bytes: int) -> int:
+        return payload_bytes + self.packet_count(payload_bytes) * self.header_bytes
+
+    def transmit_time_s(self, payload_bytes: int) -> float:
+        if payload_bytes <= 0:
+            return 0.0
+        return (self.wakeup_time_s
+                + self.bytes_on_air(payload_bytes) * 8 / self.bitrate_bps)
+
+    def transmit_energy_j(self, payload_bytes: int) -> float:
+        if payload_bytes <= 0:
+            return 0.0
+        return (self.wakeup_energy_j
+                + self.bytes_on_air(payload_bytes) * 8 * self.energy_per_bit_j)

@@ -1,0 +1,100 @@
+"""SpaceWire link model.
+
+SpaceWire (ECSS-E-ST-50-12C) is the on-board network used by the paper's
+space use case to move images between processing nodes.  The model captures
+the properties that matter for ETS reasoning:
+
+* data characters are 10 bits on the wire (8 data bits + parity + data/control
+  flag), so the effective byte rate is ``link_rate / 10``,
+* each packet carries an address header and is terminated by an end-of-packet
+  marker,
+* the link consumes ``active_power_w`` while transmitting and
+  ``idle_power_w`` while idle (the standard's idle tokens keep the link
+  running).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import PlatformError
+
+#: Bits on the wire per transmitted data byte (8 data + parity + flag).
+BITS_PER_DATA_CHAR = 10
+#: Bits on the wire of an end-of-packet control character.
+BITS_PER_EOP_CHAR = 4
+
+
+@dataclass(frozen=True)
+class SpaceWirePacket:
+    """One SpaceWire packet: destination address path + cargo."""
+
+    address_bytes: int
+    cargo_bytes: int
+
+    @property
+    def wire_bits(self) -> int:
+        data_bits = (self.address_bytes + self.cargo_bytes) * BITS_PER_DATA_CHAR
+        return data_bits + BITS_PER_EOP_CHAR
+
+
+@dataclass
+class SpaceWireLink:
+    """A point-to-point SpaceWire link."""
+
+    link_rate_mbps: float = 100.0
+    max_packet_bytes: int = 4096
+    address_bytes: int = 1
+    active_power_w: float = 0.12
+    idle_power_w: float = 0.03
+
+    def __post_init__(self):
+        if self.link_rate_mbps <= 0:
+            raise PlatformError("SpaceWire link rate must be positive")
+        if self.max_packet_bytes <= 0:
+            raise PlatformError("packet size must be positive")
+
+    # -- packetisation ---------------------------------------------------------
+    def packetize(self, payload_bytes: int) -> List[SpaceWirePacket]:
+        """Split a payload into maximum-size packets."""
+        if payload_bytes < 0:
+            raise ValueError("payload must be non-negative")
+        if payload_bytes == 0:
+            return []
+        packets = []
+        remaining = payload_bytes
+        while remaining > 0:
+            cargo = min(remaining, self.max_packet_bytes)
+            packets.append(SpaceWirePacket(self.address_bytes, cargo))
+            remaining -= cargo
+        return packets
+
+    def packet_count(self, payload_bytes: int) -> int:
+        return math.ceil(payload_bytes / self.max_packet_bytes) if payload_bytes else 0
+
+    # -- time and energy ----------------------------------------------------------
+    def transfer_time_s(self, payload_bytes: int) -> float:
+        """Time to push the payload (with packet overheads) over the link."""
+        bits = sum(packet.wire_bits for packet in self.packetize(payload_bytes))
+        return bits / (self.link_rate_mbps * 1e6)
+
+    def transfer_energy_j(self, payload_bytes: int) -> float:
+        """Energy attributable to the transfer itself (above idle)."""
+        return (self.active_power_w - self.idle_power_w) \
+            * self.transfer_time_s(payload_bytes)
+
+    def window_energy_j(self, payload_bytes: int, window_s: float) -> float:
+        """Energy of the link over a window containing one transfer."""
+        transfer = self.transfer_time_s(payload_bytes)
+        if transfer > window_s + 1e-12:
+            raise PlatformError(
+                f"transfer of {payload_bytes} bytes ({transfer:.6f}s) does not "
+                f"fit in a {window_s}s window")
+        return (self.active_power_w * transfer
+                + self.idle_power_w * (window_s - transfer))
+
+    def effective_bandwidth_bytes_per_s(self) -> float:
+        """Payload bytes per second accounting for the char-level overhead."""
+        return self.link_rate_mbps * 1e6 / BITS_PER_DATA_CHAR

@@ -1,0 +1,18 @@
+"""Dynamic profiling (the PowProfiler stand-in).
+
+Complex architectures cannot be analysed statically; the TeamPlay workflow
+for them (Figure 2 of the paper) first builds a *sequential* binary, runs it
+many times while measuring time and energy, and feeds the measured profile
+back into the coordination layer.  This package provides that measurement
+step for both kinds of substrate:
+
+* programs compiled to the IR, executed on the simulator (used when a
+  predictable core model is available but the user prefers measured over
+  analysed numbers),
+* coarse work-unit tasks on complex cores, costed with the component-based
+  energy model plus measurement noise.
+"""
+
+from repro.profiling.powprofiler import PowProfiler, TaskProfile
+
+__all__ = ["PowProfiler", "TaskProfile"]

@@ -1,0 +1,38 @@
+"""Security analysis and hardening against time/power side channels.
+
+TeamPlay's security story focuses on information leakage through the time and
+energy/power side channels:
+
+* :mod:`repro.security.metrics` — leakage metrics with no prior attack model
+  (the "indiscernibility" methodology of Marquer et al.): Welch's t-test,
+  histogram overlap and derived scores in ``[0, 1]``,
+* :mod:`repro.security.analyzer` — the SecurityAnalyser: executes a task on
+  the simulator for different secret classes and quantifies how well the
+  classes can be distinguished from timing, energy and power traces,
+* :mod:`repro.security.transforms` — the SecurityOptimiser: source-level
+  hardening (taint analysis, branch balancing / ladderisation via
+  constant-time selects),
+* :mod:`repro.security.ciphers` — TeamPlay-C kernels (XTEA, modular
+  exponentiation, PIN comparison) in leaky and hardened variants, used by the
+  synthetic Cortex-M0 security validation the paper describes.
+"""
+
+from repro.security.analyzer import SecurityAnalyzer, SecurityReport
+from repro.security.metrics import (
+    histogram_overlap,
+    indiscernibility_score,
+    leakage_from_t,
+    welch_t_statistic,
+)
+from repro.security.transforms import HardeningReport, harden_module
+
+__all__ = [
+    "HardeningReport",
+    "SecurityAnalyzer",
+    "SecurityReport",
+    "harden_module",
+    "histogram_overlap",
+    "indiscernibility_score",
+    "leakage_from_t",
+    "welch_t_statistic",
+]

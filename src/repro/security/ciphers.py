@@ -1,0 +1,142 @@
+"""TeamPlay-C security kernels used for the synthetic Cortex-M0 validation.
+
+The paper validates the security tools on synthetic benchmarks on the
+Cortex-M0.  This module provides those benchmarks as TeamPlay-C source text
+in *leaky* and *hardened* variants:
+
+* modular exponentiation — square-and-multiply (key-dependent branch) vs the
+  Montgomery-ladder-style balanced version,
+* PIN comparison — early-exit vs constant-time accumulation,
+* XTEA block encryption — naturally constant-time, used as a control.
+
+Each function is annotated with ``secret`` pragmas so the SecurityAnalyser
+and the SecurityOptimiser can be driven directly from the source.
+"""
+
+from __future__ import annotations
+
+MODEXP_BITS = 8
+
+#: Square-and-multiply modular exponentiation; the multiply only happens when
+#: the current exponent bit is set, which leaks the exponent's Hamming weight
+#: through both time and energy.
+MODEXP_LEAKY_SOURCE = """
+#pragma teamplay task(modexp) secret(exponent) poi(modexp)
+int modexp(int base, int exponent, int modulus) {
+    int result = 1;
+    int b = base %% modulus;
+    int e = exponent;
+    #pragma teamplay loopbound(%(bits)d)
+    for (int i = 0; i < %(bits)d; i = i + 1) {
+        int bit = e & 1;
+        if (bit) {
+            result = (result * b) %% modulus;
+        }
+        b = (b * b) %% modulus;
+        e = e >> 1;
+    }
+    return result;
+}
+""" % {"bits": MODEXP_BITS}
+
+#: Balanced (ladderised) version: both the "multiply" and the "keep" value are
+#: computed every iteration and the result is chosen arithmetically.
+MODEXP_LADDER_SOURCE = """
+#pragma teamplay task(modexp_ladder) secret(exponent) poi(modexp_ladder)
+int modexp_ladder(int base, int exponent, int modulus) {
+    int result = 1;
+    int b = base %% modulus;
+    int e = exponent;
+    #pragma teamplay loopbound(%(bits)d)
+    for (int i = 0; i < %(bits)d; i = i + 1) {
+        int bit = e & 1;
+        int multiplied = (result * b) %% modulus;
+        result = bit * multiplied + (1 - bit) * result;
+        b = (b * b) %% modulus;
+        e = e >> 1;
+    }
+    return result;
+}
+""" % {"bits": MODEXP_BITS}
+
+#: Early-exit PIN comparison: stops at the first mismatching nibble, so the
+#: execution time reveals how many leading nibbles of the guess are correct.
+PIN_COMPARE_LEAKY_SOURCE = """
+#pragma teamplay task(pin_check) secret(pin) poi(pin_check)
+int pin_check(int pin, int guess) {
+    int match = 1;
+    int i = 0;
+    #pragma teamplay loopbound(4)
+    while (i < 4) {
+        int pin_digit = (pin >> (i * 4)) & 15;
+        int guess_digit = (guess >> (i * 4)) & 15;
+        if (pin_digit != guess_digit) {
+            match = 0;
+            i = 4;
+        } else {
+            i = i + 1;
+        }
+    }
+    return match;
+}
+"""
+
+#: Constant-time PIN comparison: always inspects all four nibbles and
+#: accumulates the difference.
+PIN_COMPARE_CT_SOURCE = """
+#pragma teamplay task(pin_check_ct) secret(pin) poi(pin_check_ct)
+int pin_check_ct(int pin, int guess) {
+    int diff = 0;
+    #pragma teamplay loopbound(4)
+    for (int i = 0; i < 4; i = i + 1) {
+        int pin_digit = (pin >> (i * 4)) & 15;
+        int guess_digit = (guess >> (i * 4)) & 15;
+        diff = diff | (pin_digit ^ guess_digit);
+    }
+    return diff == 0;
+}
+"""
+
+#: One XTEA encryption of a two-word block with a four-word key, 16 rounds.
+#: The round function uses only adds, shifts and xors, so it is naturally
+#: constant time; it serves as the control benchmark and as the encryption
+#: stage of the camera-pill application.
+XTEA_SOURCE = """
+int xtea_key[4] = {1886217008, 1936287828, 1684104562, 1852139619};
+
+#pragma teamplay task(xtea_encrypt) secret(k0) poi(xtea_encrypt)
+int xtea_encrypt(int v0, int v1, int k0) {
+    int sum = 0;
+    int delta = 1640531527;
+    xtea_key[0] = k0;
+    #pragma teamplay loopbound(16)
+    for (int round = 0; round < 16; round = round + 1) {
+        v0 = v0 + ((((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + xtea_key[sum & 3]));
+        sum = sum + delta;
+        v1 = v1 + ((((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + xtea_key[(sum >> 11) & 3]));
+    }
+    return v0 ^ v1;
+}
+"""
+
+
+def modexp_reference(base: int, exponent: int, modulus: int,
+                     bits: int = MODEXP_BITS) -> int:
+    """Python reference for the TeamPlay-C modular exponentiation kernels."""
+    result = 1
+    b = base % modulus
+    e = exponent
+    for _ in range(bits):
+        if e & 1:
+            result = (result * b) % modulus
+        b = (b * b) % modulus
+        e >>= 1
+    return result
+
+
+def pin_check_reference(pin: int, guess: int) -> int:
+    """Python reference for both PIN-comparison kernels."""
+    for i in range(4):
+        if (pin >> (i * 4)) & 15 != (guess >> (i * 4)) & 15:
+            return 0
+    return 1

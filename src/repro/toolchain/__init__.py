@@ -1,0 +1,29 @@
+"""End-to-end TeamPlay workflows.
+
+* :mod:`repro.toolchain.predictable` — the Figure 1 workflow for predictable
+  architectures: CSL → multi-criteria compiler (with WCET / energy / security
+  analysers) → coordination → contract system → certificate,
+* :mod:`repro.toolchain.complexflow` — the Figure 2 workflow for complex
+  architectures: CSL → sequential binary → dynamic profiling → coordination →
+  certificate,
+* :mod:`repro.toolchain.report` — comparison helpers used by the benchmarks
+  (baseline vs TeamPlay improvements, table formatting).
+"""
+
+from repro.toolchain.predictable import PredictableBuildResult, PredictableToolchain
+from repro.toolchain.complexflow import (
+    ComplexBuildResult,
+    ComplexToolchain,
+    WorkloadTask,
+)
+from repro.toolchain.report import ImprovementReport, format_table
+
+__all__ = [
+    "ComplexBuildResult",
+    "ComplexToolchain",
+    "ImprovementReport",
+    "PredictableBuildResult",
+    "PredictableToolchain",
+    "WorkloadTask",
+    "format_table",
+]

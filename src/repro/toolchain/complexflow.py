@@ -1,0 +1,225 @@
+"""The TeamPlay workflow for complex architectures (Figure 2).
+
+Static analysis is replaced by dynamic profiling:
+
+1. the CSL contract describes the tasks and their dependencies,
+2. a *sequential* deployment is generated first (all tasks on one CPU core);
+   instrumented runs of this deployment produce the measured time/energy
+   profile of every task (the PowProfiler pass),
+3. the measured profiles, extended to every core and operating point of the
+   platform, feed the coordination layer, which produces the parallel,
+   energy-aware deployment and its glue code,
+4. the contract system checks the budgets against the measured evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.contracts.checker import ContractChecker, TaskEvidence
+from repro.contracts.certificate import Certificate
+from repro.coordination.gluegen import generate_glue_code
+from repro.coordination.schedulability import SchedulabilityReport, analyse_schedule
+from repro.coordination.schedulers import (
+    EnergyAwareScheduler,
+    Schedule,
+    SequentialScheduler,
+    TimeGreedyScheduler,
+)
+from repro.coordination.taskgraph import Implementation, TaskGraph
+from repro.csl.ast_nodes import ContractSpec
+from repro.csl.extract import build_task_graph
+from repro.csl.parser import parse_csl
+from repro.energy.component_model import ComponentEnergyModel
+from repro.errors import TeamPlayError
+from repro.hw.core import CoreKind
+from repro.hw.platform import Platform
+from repro.profiling.powprofiler import PowProfiler, TaskProfile
+
+_SCHEDULERS = ("energy-aware", "time-greedy", "sequential")
+
+
+@dataclass(frozen=True)
+class WorkloadTask:
+    """A coarse task of a complex-architecture application.
+
+    ``work_units`` is the abstract amount of computation per activation (for
+    the DL use case it is the MAC count of one inference); ``kernel`` selects
+    the GPU affinity class (``conv``, ``matmul``, ``detect``, ``preprocess``)
+    and ``gpu_capable`` states whether a CUDA implementation exists at all.
+    """
+
+    name: str
+    work_units: float
+    kernel: Optional[str] = None
+    gpu_capable: bool = False
+    security_level: Optional[float] = None
+
+
+@dataclass
+class ComplexBuildResult:
+    """Everything the Figure 2 workflow produces."""
+
+    platform: str
+    spec: ContractSpec
+    profiles: Dict[str, TaskProfile]
+    sequential_schedule: Schedule
+    task_graph: TaskGraph
+    schedule: Schedule
+    schedulability: SchedulabilityReport
+    glue_code: str
+    certificate: Certificate
+    software_power_w: float = 0.0
+
+    @property
+    def makespan_s(self) -> float:
+        return self.schedule.makespan_s
+
+    def energy_per_period_j(self, platform: Platform) -> float:
+        window = self.spec.period_s() or self.spec.deadline_s()
+        return self.schedule.total_energy_j(platform, window)
+
+
+class ComplexToolchain:
+    """Facade running the full complex-architecture workflow."""
+
+    def __init__(self, platform: Platform, profiling_runs: int = 12,
+                 noise_std: float = 0.05, seed: int = 5):
+        if not platform.complex_cores:
+            raise TeamPlayError(
+                f"platform {platform.name!r} has no complex core; use the "
+                f"predictable workflow instead")
+        self.platform = platform
+        self.profiler = PowProfiler(platform, noise_std=noise_std, seed=seed)
+        self.profiling_runs = profiling_runs
+
+    # ------------------------------------------------------------------ build --
+    def build(self, tasks: Sequence[WorkloadTask], csl_text: str,
+              scheduler: str = "energy-aware",
+              allow_gpu: bool = True,
+              dvfs: bool = True,
+              power_down_unused: bool = False,
+              cpu_cores: Optional[Sequence[str]] = None,
+              glue_style: str = "posix") -> ComplexBuildResult:
+        """Run the two-pass complex-architecture workflow.
+
+        ``power_down_unused`` models the coordination layer additionally
+        offlining (hot-unplugging) the CPU cores its schedule never uses, so
+        their idle power disappears from the deployment's power draw.
+        """
+        if scheduler not in _SCHEDULERS:
+            raise TeamPlayError(f"unknown scheduler {scheduler!r}")
+        spec = parse_csl(csl_text)
+        workload = {task.name: task for task in tasks}
+        missing = set(spec.tasks) - set(workload)
+        if missing:
+            raise TeamPlayError(
+                f"no workload description for contract tasks {sorted(missing)}")
+
+        cpu_names = list(cpu_cores) if cpu_cores else [
+            core.name for core in self.platform.complex_cores
+            if core.kind is CoreKind.CPU]
+        gpu_names = [core.name for core in self.platform.complex_cores
+                     if core.kind is CoreKind.GPU]
+        if not cpu_names:
+            raise TeamPlayError("the platform offers no CPU cores to profile on")
+
+        # -- pass 1: sequential deployment + dynamic profiling -----------------
+        profiling_core = cpu_names[0]
+        profiles: Dict[str, TaskProfile] = {}
+        sequential_implementations: Dict[str, List[Implementation]] = {}
+        for name, task in workload.items():
+            profile = self.profiler.profile_workload(
+                name, profiling_core, task.work_units, kernel=task.kernel,
+                runs=self.profiling_runs)
+            profiles[name] = profile
+            sequential_implementations[name] = [Implementation(
+                core=profiling_core,
+                properties=profile.to_properties(task.security_level))]
+        sequential_graph = build_task_graph(spec, sequential_implementations,
+                                            name=f"{spec.system}-sequential")
+        sequential_schedule = SequentialScheduler(
+            self.platform, core=profiling_core).schedule(sequential_graph)
+
+        # -- pass 2: per-core/per-OPP implementations and coordination ------------
+        implementations: Dict[str, List[Implementation]] = {}
+        for name, task in workload.items():
+            cores = list(cpu_names)
+            if allow_gpu and task.gpu_capable:
+                cores.extend(gpu_names)
+            options: List[Implementation] = []
+            for core_name in cores:
+                core = self.platform.core(core_name)
+                opps = core.operating_points if dvfs else [core.nominal_opp]
+                for opp in opps:
+                    profile = self.profiler.profile_workload(
+                        name, core_name, task.work_units, kernel=task.kernel,
+                        runs=self.profiling_runs, opp=opp)
+                    options.append(Implementation(
+                        core=core_name,
+                        properties=profile.to_properties(task.security_level),
+                        opp_label=opp.label))
+            implementations[name] = options
+
+        task_graph = build_task_graph(spec, implementations)
+        schedule = self._schedule(task_graph, scheduler)
+        schedulability = analyse_schedule(schedule, task_graph, self.platform)
+        glue_code = generate_glue_code(schedule, task_graph, self.platform,
+                                       style=glue_style)
+
+        # -- contracts -------------------------------------------------------------
+        evidence = {
+            entry.task: TaskEvidence(
+                wcet_s=entry.implementation.wcet_s,
+                energy_j=entry.implementation.energy_j,
+                security_level=workload[entry.task].security_level)
+            for entry in schedule.entries
+        }
+        window = spec.period_s() or spec.deadline_s()
+        system_energy = (schedule.total_energy_j(self.platform, window)
+                         if window else None)
+        certificate = ContractChecker(self.platform).check(
+            spec, evidence, schedule=schedule, system_energy_j=system_energy)
+
+        software_power = self.software_power_w(
+            schedule, spec, used_cores_only=power_down_unused)
+
+        return ComplexBuildResult(
+            platform=self.platform.name,
+            spec=spec,
+            profiles=profiles,
+            sequential_schedule=sequential_schedule,
+            task_graph=task_graph,
+            schedule=schedule,
+            schedulability=schedulability,
+            glue_code=glue_code,
+            certificate=certificate,
+            software_power_w=software_power,
+        )
+
+    # ------------------------------------------------------------------ helpers --
+    def _schedule(self, graph: TaskGraph, scheduler: str) -> Schedule:
+        if scheduler == "energy-aware":
+            return EnergyAwareScheduler(self.platform).schedule(graph)
+        if scheduler == "time-greedy":
+            return TimeGreedyScheduler(self.platform).schedule(graph)
+        return SequentialScheduler(self.platform).schedule(graph)
+
+    def software_power_w(self, schedule: Schedule, spec: ContractSpec,
+                         used_cores_only: bool = False) -> float:
+        """Average computing power of the deployment over one period.
+
+        With ``used_cores_only`` the idle power of cores the schedule never
+        touches is excluded (they are assumed hot-unplugged / power-gated).
+        """
+        window = spec.period_s() or spec.deadline_s() or schedule.makespan_s
+        if not window:
+            return 0.0
+        used = set(schedule.by_core())
+        idle_power = 0.0
+        for core in self.platform.complex_cores:
+            if used_cores_only and core.name not in used:
+                continue
+            idle_power += core.idle_power()
+        return (schedule.task_energy_j + idle_power * window) / window

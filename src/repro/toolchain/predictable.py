@@ -1,0 +1,317 @@
+"""The TeamPlay workflow for predictable architectures (Figure 1).
+
+Pipeline stages, mirroring the paper's figure:
+
+1. the annotated C source and the CSL contract are parsed; the CSL layer
+   extracts the code structure (tasks, POIs),
+2. the multi-criteria optimising compiler explores its configuration space,
+   calling the WCET analyser, the EnergyAnalyser and (optionally) the
+   SecurityAnalyser for every candidate, and returns a Pareto front,
+3. per-task ETS properties are derived for every core and operating point of
+   the platform (the "ETS file"),
+4. the coordination layer selects versions/placements/operating points and
+   produces a static schedule plus the runtime glue code,
+5. the contract system checks every budget and emits the certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.evaluate import Variant, build_program
+from repro.compiler.fpa import FlowerPollinationOptimizer, pareto_front
+from repro.compiler.nsga2 import Nsga2Optimizer
+from repro.compiler.passes.spm import INSTRUCTION_BYTES
+from repro.contracts.checker import ContractChecker, TaskEvidence
+from repro.contracts.certificate import Certificate
+from repro.coordination.gluegen import generate_glue_code
+from repro.coordination.schedulability import SchedulabilityReport, analyse_schedule
+from repro.coordination.schedulers import (
+    EnergyAwareScheduler,
+    Schedule,
+    SequentialScheduler,
+    TimeGreedyScheduler,
+)
+from repro.coordination.taskgraph import EtsProperties, Implementation, TaskGraph
+from repro.csl.ast_nodes import ContractSpec
+from repro.csl.extract import CodeStructure, build_task_graph, extract_structure
+from repro.csl.parser import parse_csl
+from repro.energy.static_analyzer import EnergyAnalyzer
+from repro.errors import TeamPlayError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse
+from repro.hw.core import Core
+from repro.hw.platform import Platform
+from repro.security.analyzer import SecurityAnalyzer
+from repro.wcet.analyzer import WCETAnalyzer
+
+_SCHEDULERS = ("energy-aware", "time-greedy", "sequential")
+
+
+@dataclass
+class PredictableBuildResult:
+    """Everything the Figure 1 workflow produces."""
+
+    platform: str
+    spec: ContractSpec
+    structure: CodeStructure
+    variant: Variant
+    pareto_front: List[Variant]
+    task_properties: Dict[str, Dict[str, float]]
+    task_graph: TaskGraph
+    schedule: Schedule
+    schedulability: SchedulabilityReport
+    glue_code: str
+    certificate: Certificate
+    security_reports: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan_s(self) -> float:
+        return self.schedule.makespan_s
+
+    def energy_per_period_j(self, platform: Platform) -> float:
+        window = self.spec.period_s() or self.spec.deadline_s()
+        return self.schedule.total_energy_j(platform, window)
+
+
+class PredictableToolchain:
+    """Facade running the full predictable-architecture workflow."""
+
+    def __init__(self, platform: Platform, core: Optional[Core] = None):
+        if not platform.predictable_cores:
+            raise TeamPlayError(
+                f"platform {platform.name!r} has no predictable core; use the "
+                f"complex-architecture workflow instead")
+        self.platform = platform
+        self.core = core or platform.predictable_cores[0]
+
+    # ------------------------------------------------------------------ build --
+    def build(self, source: str, csl_text: str,
+              compiler_config: Optional[CompilerConfig] = None,
+              optimizer: str = "fpa",
+              generations: int = 4,
+              population_size: int = 8,
+              scheduler: str = "energy-aware",
+              dvfs: bool = True,
+              glue_style: str = "posix",
+              security_tasks: Sequence[str] = (),
+              security_samples: int = 6,
+              extra_implementations: Optional[
+                  Dict[str, List[Implementation]]] = None,
+              ) -> PredictableBuildResult:
+        """Run the workflow end to end.
+
+        ``compiler_config`` pins a single configuration (no search);
+        ``scheduler`` selects the coordination strategy; ``dvfs`` controls
+        whether lower operating points are offered to the scheduler;
+        ``security_tasks`` lists tasks whose security level must be measured
+        with the SecurityAnalyser; ``extra_implementations`` lets a use case
+        add placement options outside the compiled code (e.g. an FPGA
+        -offloaded version of a task).
+        """
+        if scheduler not in _SCHEDULERS:
+            raise TeamPlayError(f"unknown scheduler {scheduler!r}")
+        spec = parse_csl(csl_text)
+        module = parse(source)
+
+        # -- stage 2: multi-criteria compilation -----------------------------
+        entries = self._task_entries(spec, module)
+        if compiler_config is not None:
+            selected = self._evaluate(module, compiler_config, entries)
+            front = [selected]
+        else:
+            front = self._explore(module, entries, optimizer, generations,
+                                  population_size)
+            selected = min(front, key=lambda v: v.energy_j)
+
+        # -- stage 1/3: structure extraction and ETS properties -----------------
+        structure = extract_structure(spec, selected.program)
+        security_reports = self._security_levels(selected, structure,
+                                                 security_tasks,
+                                                 security_samples)
+        implementations = self._implementations(
+            spec, structure, selected, dvfs, security_reports,
+            extra_implementations or {})
+        task_properties = self._task_properties(structure, selected,
+                                                security_reports)
+
+        # -- stage 4: coordination -----------------------------------------------
+        task_graph = build_task_graph(spec, implementations)
+        schedule = self._schedule(task_graph, scheduler)
+        schedulability = analyse_schedule(schedule, task_graph, self.platform)
+        glue_code = generate_glue_code(schedule, task_graph, self.platform,
+                                       style=glue_style)
+
+        # -- stage 5: contracts ------------------------------------------------------
+        evidence = self._evidence(schedule, security_reports)
+        certificate = ContractChecker(self.platform).check(
+            spec, evidence, schedule=schedule)
+
+        return PredictableBuildResult(
+            platform=self.platform.name,
+            spec=spec,
+            structure=structure,
+            variant=selected,
+            pareto_front=front,
+            task_properties=task_properties,
+            task_graph=task_graph,
+            schedule=schedule,
+            schedulability=schedulability,
+            glue_code=glue_code,
+            certificate=certificate,
+            security_reports=security_reports,
+        )
+
+    # -------------------------------------------------------------- compilation --
+    @staticmethod
+    def _task_entries(spec: ContractSpec, module: ast.SourceModule) -> Dict[str, str]:
+        """task name -> entry function name."""
+        functions = set(module.function_names())
+        entries: Dict[str, str] = {}
+        for name, contract in spec.tasks.items():
+            entry = contract.entry_function
+            if entry not in functions:
+                # Fall back to a function annotated with task(<name>).
+                candidates = [fn.name for fn in module.functions
+                              if fn.pragmas.get("task") == name]
+                if not candidates:
+                    raise TeamPlayError(
+                        f"task {name!r}: no entry function {entry!r} in source")
+                entry = candidates[0]
+            entries[name] = entry
+        return entries
+
+    def _evaluate(self, module: ast.SourceModule, config: CompilerConfig,
+                  entries: Dict[str, str]) -> Variant:
+        """Compile once and aggregate the ETS of all tasks into one variant."""
+        program, statistics = build_program(module, config, self.platform)
+        wcet_analyzer = WCETAnalyzer(self.platform, core=self.core)
+        energy_analyzer = EnergyAnalyzer(self.platform, core=self.core)
+        total_cycles = 0.0
+        total_time = 0.0
+        total_energy = 0.0
+        for entry in entries.values():
+            wcet = wcet_analyzer.analyze(program, entry)
+            wcec = energy_analyzer.analyze(program, entry)
+            total_cycles += wcet.cycles
+            total_time += wcet.time_s
+            total_energy += wcec.energy_j
+        return Variant(
+            name=config.short_name(),
+            config=config,
+            program=program,
+            entry_function="<all tasks>",
+            wcet_cycles=total_cycles,
+            wcet_time_s=total_time,
+            energy_j=total_energy,
+            code_size_bytes=program.total_instructions * INSTRUCTION_BYTES,
+            pass_statistics=statistics,
+        )
+
+    def _explore(self, module: ast.SourceModule, entries: Dict[str, str],
+                 optimizer: str, generations: int, population_size: int
+                 ) -> List[Variant]:
+        def evaluator(config: CompilerConfig) -> Variant:
+            return self._evaluate(module, config, entries)
+
+        seeds = [CompilerConfig.baseline(), CompilerConfig.performance()]
+        if optimizer == "fpa":
+            search = FlowerPollinationOptimizer(
+                evaluator, population_size=population_size,
+                generations=generations)
+        elif optimizer == "nsga2":
+            search = Nsga2Optimizer(evaluator, population_size=population_size,
+                                    generations=generations)
+        else:
+            raise TeamPlayError(f"unknown optimizer {optimizer!r}")
+        return pareto_front(search.optimize(initial_configs=seeds))
+
+    # ------------------------------------------------------------ ETS properties --
+    def _security_levels(self, variant: Variant, structure: CodeStructure,
+                         security_tasks: Sequence[str],
+                         samples: int) -> Dict[str, float]:
+        levels: Dict[str, float] = {}
+        if not security_tasks:
+            return levels
+        analyzer = SecurityAnalyzer(self.platform, core=self.core,
+                                    samples_per_class=samples)
+        for task in security_tasks:
+            binding = structure.binding(task)
+            if not binding.secret_params:
+                continue
+            report = analyzer.analyze_task(variant.program, binding.function,
+                                           secret_classes=(3, 251))
+            levels[task] = report.security_level
+        return levels
+
+    def _implementations(self, spec: ContractSpec, structure: CodeStructure,
+                         variant: Variant, dvfs: bool,
+                         security_reports: Dict[str, float],
+                         extra: Dict[str, List[Implementation]]
+                         ) -> Dict[str, List[Implementation]]:
+        """Per-task implementations on every core (and OPP if DVFS enabled)."""
+        implementations: Dict[str, List[Implementation]] = {}
+        for task in spec.tasks:
+            binding = structure.binding(task)
+            options: List[Implementation] = []
+            for core in self.platform.predictable_cores:
+                wcet_analyzer = WCETAnalyzer(self.platform, core=core)
+                energy_analyzer = EnergyAnalyzer(self.platform, core=core)
+                opps = core.operating_points if dvfs else [core.nominal_opp]
+                for opp in opps:
+                    wcet = wcet_analyzer.analyze(variant.program,
+                                                 binding.function, opp=opp)
+                    wcec = energy_analyzer.analyze(variant.program,
+                                                   binding.function, opp=opp)
+                    options.append(Implementation(
+                        core=core.name,
+                        properties=EtsProperties(
+                            wcet_s=wcet.time_s,
+                            energy_j=wcec.energy_j,
+                            security_level=security_reports.get(task)),
+                        opp_label=opp.label,
+                    ))
+            options.extend(extra.get(task, []))
+            implementations[task] = options
+        return implementations
+
+    def _task_properties(self, structure: CodeStructure, variant: Variant,
+                         security_reports: Dict[str, float]
+                         ) -> Dict[str, Dict[str, float]]:
+        """The ETS file: per-task properties at the nominal operating point."""
+        wcet_analyzer = WCETAnalyzer(self.platform, core=self.core)
+        energy_analyzer = EnergyAnalyzer(self.platform, core=self.core)
+        properties: Dict[str, Dict[str, float]] = {}
+        for task, binding in structure.bindings.items():
+            wcet = wcet_analyzer.analyze(variant.program, binding.function)
+            wcec = energy_analyzer.analyze(variant.program, binding.function)
+            properties[task] = {
+                "function": binding.function,
+                "wcet_cycles": wcet.cycles,
+                "wcet_s": wcet.time_s,
+                "energy_j": wcec.energy_j,
+                "security": security_reports.get(task),
+            }
+        return properties
+
+    # ------------------------------------------------------------------ scheduling --
+    def _schedule(self, graph: TaskGraph, scheduler: str) -> Schedule:
+        if scheduler == "energy-aware":
+            return EnergyAwareScheduler(self.platform).schedule(graph)
+        if scheduler == "time-greedy":
+            return TimeGreedyScheduler(self.platform).schedule(graph)
+        return SequentialScheduler(self.platform).schedule(graph)
+
+    @staticmethod
+    def _evidence(schedule: Schedule,
+                  security_reports: Dict[str, float]) -> Dict[str, TaskEvidence]:
+        evidence: Dict[str, TaskEvidence] = {}
+        for entry in schedule.entries:
+            evidence[entry.task] = TaskEvidence(
+                wcet_s=entry.implementation.wcet_s,
+                energy_j=entry.implementation.energy_j,
+                security_level=security_reports.get(entry.task),
+            )
+        return evidence

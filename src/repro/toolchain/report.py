@@ -1,0 +1,86 @@
+"""Reporting helpers for baseline-vs-TeamPlay comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class ImprovementReport:
+    """Relative improvement of the TeamPlay build over a baseline build."""
+
+    name: str
+    baseline_time_s: float
+    teamplay_time_s: float
+    baseline_energy_j: float
+    teamplay_energy_j: float
+    deadline_s: Optional[float] = None
+    deadlines_met: bool = True
+
+    @staticmethod
+    def _improvement(baseline: float, improved: float) -> float:
+        if baseline <= 0:
+            return 0.0
+        return (baseline - improved) / baseline * 100.0
+
+    @property
+    def performance_improvement_pct(self) -> float:
+        """Reduction of execution time, in percent (positive = faster)."""
+        return self._improvement(self.baseline_time_s, self.teamplay_time_s)
+
+    @property
+    def energy_improvement_pct(self) -> float:
+        """Reduction of energy, in percent (positive = less energy)."""
+        return self._improvement(self.baseline_energy_j, self.teamplay_energy_j)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [
+            {"metric": "time_s", "baseline": self.baseline_time_s,
+             "teamplay": self.teamplay_time_s,
+             "improvement_pct": self.performance_improvement_pct},
+            {"metric": "energy_j", "baseline": self.baseline_energy_j,
+             "teamplay": self.teamplay_energy_j,
+             "improvement_pct": self.energy_improvement_pct},
+        ]
+
+    def summary(self) -> str:
+        lines = [f"== {self.name} =="]
+        lines.append(
+            f"  time:   baseline {self.baseline_time_s * 1e3:10.3f} ms -> "
+            f"TeamPlay {self.teamplay_time_s * 1e3:10.3f} ms "
+            f"({self.performance_improvement_pct:+.1f}%)")
+        lines.append(
+            f"  energy: baseline {self.baseline_energy_j * 1e3:10.4f} mJ -> "
+            f"TeamPlay {self.teamplay_energy_j * 1e3:10.4f} mJ "
+            f"({self.energy_improvement_pct:+.1f}%)")
+        if self.deadline_s is not None:
+            lines.append(
+                f"  deadline {self.deadline_s * 1e3:.1f} ms: "
+                f"{'met' if self.deadlines_met else 'MISSED'}")
+        return "\n".join(lines)
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Optional[Sequence[str]] = None,
+                 float_format: str = "{:.4g}") -> str:
+    """Render rows of dictionaries as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered))
+              for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        for row in rendered
+    ]
+    return "\n".join([header, separator] + body)

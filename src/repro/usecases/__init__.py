@@ -1,0 +1,19 @@
+"""The paper's four industrial use cases, rebuilt on the simulated substrates.
+
+* :mod:`repro.usecases.camera_pill` — capsule endoscopy imaging pipeline on a
+  Cortex-M0 + FPGA co-processor (Section IV-A),
+* :mod:`repro.usecases.space` — image processing and SpaceWire transmission
+  on the dual-LEON3 GR712RC running RTEMS (Section IV-B),
+* :mod:`repro.usecases.uav` — search-and-rescue and precision-agriculture
+  missions on Jetson-class boards (Section IV-C),
+* :mod:`repro.usecases.deep_learning` — CNN-based free-parking-spot detection
+  on the Cortex-M0 and the TK1 (Section IV-D).
+
+Each module exposes the use case's TeamPlay-C sources / workload description,
+its CSL contract, and a ``run_*`` comparison returning the baseline-vs-
+TeamPlay improvement that the corresponding benchmark regenerates.
+"""
+
+from repro.usecases import camera_pill, deep_learning, space, uav
+
+__all__ = ["camera_pill", "deep_learning", "space", "uav"]

@@ -1,0 +1,232 @@
+"""Deep-learning deployment use case (Section IV-D).
+
+A CNN detects free parking spots from an overhead camera.  Two deployments
+are studied:
+
+* **Cortex-M0**: the network's inner loops (convolution, dense layer) are
+  compiled with the multi-criteria compiler, which offers several variants of
+  the same kernels with different WCET/energy characteristics (experiment
+  E5) — exactly the guidance the paper says the compiler gives the designer,
+* **Apalis TK1**: only the coordination layer of the complex-architecture
+  workflow is used (with a manually extracted application structure, as in
+  the paper); the generated deployment performs similarly to the
+  human-optimised mapping (experiment E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.driver import MultiCriteriaCompiler
+from repro.coordination.schedulers import EnergyAwareScheduler, Schedule
+from repro.coordination.taskgraph import Implementation, TaskGraph
+from repro.csl.extract import build_task_graph
+from repro.csl.parser import parse_csl
+from repro.dl.dataset import ParkingDataset
+from repro.dl.kernels import conv2d_kernel_source, matmul_kernel_source
+from repro.dl.network import ParkingNet
+from repro.hw.platform import Platform
+from repro.hw.presets import apalis_tk1, nucleo_stm32f091rc
+from repro.profiling.powprofiler import PowProfiler
+from repro.toolchain.complexflow import ComplexToolchain, WorkloadTask
+from repro.toolchain.report import ImprovementReport
+
+
+# ---------------------------------------------------------------------------
+# E5: compiled kernel variants on the Cortex-M0
+# ---------------------------------------------------------------------------
+#: Compiler configurations offered to the designer for the CNN kernels.
+M0_CONFIGS = {
+    "baseline": CompilerConfig.baseline(),
+    "unroll4": CompilerConfig.baseline().with_(
+        unroll_limit=4, strength_reduction=True),
+    "unroll8": CompilerConfig.baseline().with_(
+        unroll_limit=8, strength_reduction=True),
+    "spm": CompilerConfig.baseline().with_(spm_allocation=True),
+    "unroll8+spm": CompilerConfig.baseline().with_(
+        unroll_limit=8, strength_reduction=True, spm_allocation=True),
+}
+
+
+@dataclass
+class KernelVariantRow:
+    """One row of the E5 variant table."""
+
+    kernel: str
+    config: str
+    opp: str
+    wcet_ms: float
+    energy_uj: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"kernel": self.kernel, "config": self.config, "opp": self.opp,
+                "wcet_ms": self.wcet_ms, "energy_uJ": self.energy_uj}
+
+
+def m0_platform() -> Platform:
+    return nucleo_stm32f091rc()
+
+
+def run_m0_variants(image_size: int = 10, matrix_size: int = 8,
+                    sweep_operating_points: bool = True
+                    ) -> List[KernelVariantRow]:
+    """Regenerate experiment E5: the variant table for the CNN kernels."""
+    board = m0_platform()
+    compiler = MultiCriteriaCompiler(board)
+    core = board.predictable_cores[0]
+    opps = core.operating_points if sweep_operating_points else [core.nominal_opp]
+
+    kernels = {
+        "conv2d": (conv2d_kernel_source(image_size), "conv2d"),
+        "matmul": (matmul_kernel_source(matrix_size), "matmul"),
+    }
+
+    rows: List[KernelVariantRow] = []
+    for kernel_name, (source, entry) in kernels.items():
+        for config_name, config in M0_CONFIGS.items():
+            for opp in opps:
+                scoped = MultiCriteriaCompiler(board, opp=opp)
+                variant = scoped.compile(source, entry, config)
+                rows.append(KernelVariantRow(
+                    kernel=kernel_name,
+                    config=config_name,
+                    opp=opp.label,
+                    wcet_ms=variant.wcet_time_s * 1e3,
+                    energy_uj=variant.energy_j * 1e6,
+                ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# E6: TK1 deployment vs the hand-optimised mapping
+# ---------------------------------------------------------------------------
+PARKING_CSL = """
+system parking_detection {
+    period 500 ms;
+    deadline 500 ms;
+
+    task capture     { budget time 100 ms; }
+    task inference   { budget time 400 ms; }
+    task postprocess { budget time 60 ms; }
+    task report      { budget time 40 ms; }
+
+    graph {
+        capture -> inference -> postprocess -> report;
+    }
+}
+"""
+
+
+def parking_network(spots: int = 8, training_scenes: int = 40,
+                    seed: int = 7) -> ParkingNet:
+    """The trained parking detector whose workload is deployed on the TK1."""
+    dataset = ParkingDataset(spots=spots, seed=seed)
+    network = ParkingNet(dataset)
+    network.train(dataset.batch(training_scenes))
+    return network
+
+
+def tk1_workload(network: Optional[ParkingNet] = None,
+                 work_scale: float = 8000.0) -> List[WorkloadTask]:
+    """The TK1 task set, sized from the network's MAC count.
+
+    ``work_scale`` converts one inference's MACs into total work units per
+    period (the application processes several camera tiles per activation).
+    """
+    network = network or parking_network()
+    inference_units = network.inference_macs() * work_scale
+    return [
+        WorkloadTask("capture", work_units=inference_units * 0.08,
+                     kernel="preprocess", gpu_capable=False),
+        WorkloadTask("inference", work_units=inference_units, kernel="conv",
+                     gpu_capable=True),
+        WorkloadTask("postprocess", work_units=inference_units * 0.05,
+                     kernel="matmul", gpu_capable=False),
+        WorkloadTask("report", work_units=inference_units * 0.01, kernel=None,
+                     gpu_capable=False),
+    ]
+
+
+@dataclass
+class Tk1Comparison:
+    """Outcome of the TK1 deployment experiment (E6)."""
+
+    teamplay_schedule: Schedule
+    manual_schedule: Schedule
+    report: ImprovementReport
+    teamplay_energy_j: float
+    manual_energy_j: float
+
+    @property
+    def energy_ratio(self) -> float:
+        """TeamPlay energy relative to the hand-optimised deployment."""
+        return self.teamplay_energy_j / self.manual_energy_j
+
+    @property
+    def time_ratio(self) -> float:
+        return (self.teamplay_schedule.makespan_s
+                / self.manual_schedule.makespan_s)
+
+
+def _manual_task_graph(board: Platform, tasks: List[WorkloadTask],
+                       csl_text: str, profiling_runs: int) -> TaskGraph:
+    """The human-optimised mapping: GPU at nominal for the CNN, fastest CPU
+    at nominal for everything else (no DVFS, no search)."""
+    spec = parse_csl(csl_text)
+    profiler = PowProfiler(board, noise_std=0.0)
+    gpu = next(core for core in board.complex_cores if core.kind.value == "gpu")
+    cpu = next(core for core in board.complex_cores if core.kind.value == "cpu")
+    implementations: Dict[str, List[Implementation]] = {}
+    for task in tasks:
+        core = gpu if task.gpu_capable else cpu
+        profile = profiler.profile_workload(
+            task.name, core.name, task.work_units, kernel=task.kernel,
+            runs=profiling_runs, opp=core.nominal_opp)
+        implementations[task.name] = [Implementation(
+            core=core.name, properties=profile.to_properties(),
+            opp_label=core.nominal_opp.label)]
+    return build_task_graph(spec, implementations,
+                            name=f"{spec.system}-manual")
+
+
+def run_tk1_comparison(profiling_runs: int = 8,
+                       work_scale: float = 8000.0) -> Tk1Comparison:
+    """Regenerate experiment E6: coordination-layer deployment vs manual.
+
+    As in the paper, only the coordination layer is used on this target (the
+    application structure and the energy/time estimates come from profiling),
+    so DVFS is left at the nominal operating points and the comparison is
+    about the mapping decisions.
+    """
+    board = apalis_tk1()
+    tasks = tk1_workload(work_scale=work_scale)
+
+    toolchain = ComplexToolchain(board, profiling_runs=profiling_runs)
+    teamplay = toolchain.build(tasks, PARKING_CSL, scheduler="energy-aware",
+                               allow_gpu=True, dvfs=False)
+
+    manual_graph = _manual_task_graph(board, tasks, PARKING_CSL, profiling_runs)
+    manual_schedule = EnergyAwareScheduler(board).schedule(manual_graph)
+
+    period = teamplay.spec.period_s()
+    teamplay_energy = teamplay.schedule.total_energy_j(board, period)
+    manual_energy = manual_schedule.total_energy_j(board, period)
+
+    report = ImprovementReport(
+        name="deep learning on TK1 (E6)",
+        baseline_time_s=manual_schedule.makespan_s,
+        teamplay_time_s=teamplay.schedule.makespan_s,
+        baseline_energy_j=manual_energy,
+        teamplay_energy_j=teamplay_energy,
+        deadline_s=period,
+        deadlines_met=teamplay.schedulability.feasible,
+    )
+    return Tk1Comparison(
+        teamplay_schedule=teamplay.schedule,
+        manual_schedule=manual_schedule,
+        report=report,
+        teamplay_energy_j=teamplay_energy,
+        manual_energy_j=manual_energy,
+    )

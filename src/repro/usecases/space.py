@@ -1,0 +1,258 @@
+"""Space-communication use case (Section IV-B).
+
+An image-processing and transmission application runs on the LEON3FT-based
+GR712RC board under RTEMS and ships images over SpaceWire.  Deadlines must be
+met so no image is lost, and every joule matters on a spacecraft.
+
+The paper reports a 52% energy improvement while meeting all deadlines when
+the TeamPlay methodology is applied.  ``run_comparison`` regenerates that
+experiment: the baseline is a traditional deployment (sequential on one core
+at the nominal clock, cores never power down); TeamPlay uses the
+multi-criteria compiler, energy-aware dual-core scheduling with DVFS, and the
+LEON3's idle power-down mode during slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler.config import CompilerConfig
+from repro.hw.platform import Platform
+from repro.hw.presets import gr712rc
+from repro.net.spacewire import SpaceWireLink
+from repro.rtos.executive import ExecutionLog, PeriodicExecutive
+from repro.toolchain.predictable import PredictableBuildResult, PredictableToolchain
+from repro.toolchain.report import ImprovementReport
+
+#: Image tile processed per period (48 x 48 pixels, already binned on-board).
+IMAGE_PIXELS = 2304
+#: Processing period: one tile every 200 ms.
+PERIOD_MS = 200
+#: Fraction of idle static power drawn when the TeamPlay build uses the
+#: LEON3 power-down mode during slack.
+POWER_DOWN_FACTOR = 0.35
+
+SPACE_SOURCE = """
+int raw_image[2304];
+int corrected[2304];
+int binned[576];
+int payload[640];
+int payload_len[1];
+
+#pragma teamplay task(acquire) poi(acquire)
+int acquire_image(int seed) {
+    int value = seed;
+    for (int i = 0; i < 2304; i = i + 1) {
+        value = (value * 1103 + 443) & 4095;
+        raw_image[i] = value;
+    }
+    return value;
+}
+
+#pragma teamplay task(correct) poi(correct)
+int radiometric_correction(int gain) {
+    int saturated = 0;
+    for (int i = 0; i < 2304; i = i + 1) {
+        int corrected_value = (raw_image[i] * gain) >> 6;
+        corrected_value = corrected_value - 32;
+        if (corrected_value < 0) {
+            corrected_value = 0;
+        }
+        if (corrected_value > 4095) {
+            corrected_value = 4095;
+            saturated = saturated + 1;
+        }
+        corrected[i] = corrected_value;
+    }
+    return saturated;
+}
+
+#pragma teamplay task(bin) poi(bin)
+int spatial_binning(int unused) {
+    for (int row = 0; row < 24; row = row + 1) {
+        for (int col = 0; col < 24; col = col + 1) {
+            int top = (row * 2) * 48 + col * 2;
+            int bottom = top + 48;
+            int sum = corrected[top] + corrected[top + 1]
+                    + corrected[bottom] + corrected[bottom + 1];
+            binned[row * 24 + col] = sum / 4;
+        }
+    }
+    return binned[0];
+}
+
+#pragma teamplay task(compress) poi(compress)
+int compress_image(int threshold) {
+    int out = 0;
+    int previous = 0;
+    int run = 0;
+    for (int i = 0; i < 576; i = i + 1) {
+        int delta = binned[i] - previous;
+        previous = binned[i];
+        if (delta < 0) {
+            delta = 0 - delta;
+        }
+        if (delta < threshold) {
+            run = run + 1;
+        } else {
+            payload[out] = run;
+            payload[out + 1] = binned[i];
+            out = out + 2;
+            run = 0;
+        }
+    }
+    payload[out] = run;
+    payload_len[0] = out + 1;
+    return out + 1;
+}
+
+#pragma teamplay task(packetize) poi(packetize)
+int packetize_payload(int apid) {
+    int crc = apid;
+    for (int i = 0; i < 640; i = i + 1) {
+        int word = 0;
+        if (i < payload_len[0]) {
+            word = payload[i];
+        }
+        crc = crc ^ word;
+        for (int bit = 0; bit < 4; bit = bit + 1) {
+            if (crc & 1) {
+                crc = (crc >> 1) ^ 33800;
+            } else {
+                crc = crc >> 1;
+            }
+        }
+    }
+    return crc;
+}
+"""
+
+SPACE_CSL = """
+system spacewire_imaging {
+    period 200 ms;
+    deadline 200 ms;
+    budget energy 160 mJ;
+
+    task acquire   { implements acquire_image;          budget time 30 ms; budget energy 12 mJ; }
+    task correct   { implements radiometric_correction; budget time 40 ms; budget energy 16 mJ; }
+    task bin       { implements spatial_binning;        budget time 20 ms; budget energy 8 mJ; }
+    task compress  { implements compress_image;         budget time 25 ms; budget energy 10 mJ; }
+    task packetize { implements packetize_payload;      budget time 45 ms; budget energy 18 mJ; }
+
+    graph {
+        acquire -> correct -> bin -> compress -> packetize;
+    }
+}
+"""
+
+#: Traditional deployment: standard optimisations only.
+BASELINE_CONFIG = CompilerConfig(
+    constant_folding=True, unroll_limit=0, inline_simple_functions=True,
+    dead_code_elimination=True, strength_reduction=False, spm_allocation=False)
+
+
+def platform() -> Platform:
+    """The GR712RC development board (dual LEON3FT)."""
+    return gr712rc()
+
+
+def spacewire_link() -> SpaceWireLink:
+    """The downlink carrying every compressed image."""
+    return SpaceWireLink(link_rate_mbps=100.0, max_packet_bytes=1024,
+                         active_power_w=0.12, idle_power_w=0.03)
+
+
+@dataclass
+class SpaceComparison:
+    """Outcome of the space experiment (E2)."""
+
+    baseline: PredictableBuildResult
+    teamplay: PredictableBuildResult
+    report: ImprovementReport
+    baseline_energy_per_period_j: float
+    teamplay_energy_per_period_j: float
+    spacewire_energy_per_period_j: float
+    executive_log: Optional[ExecutionLog] = None
+
+    @property
+    def all_deadlines_met(self) -> bool:
+        dynamic_ok = (self.executive_log is None
+                      or self.executive_log.deadline_misses == 0)
+        return self.teamplay.schedulability.feasible and dynamic_ok
+
+
+def build(toolchain: Optional[PredictableToolchain] = None,
+          config: Optional[CompilerConfig] = None,
+          scheduler: str = "energy-aware",
+          dvfs: bool = True,
+          generations: int = 3,
+          population_size: int = 6) -> PredictableBuildResult:
+    """Build the space application with the predictable workflow."""
+    board = platform()
+    toolchain = toolchain or PredictableToolchain(board)
+    return toolchain.build(
+        SPACE_SOURCE, SPACE_CSL,
+        compiler_config=config,
+        scheduler=scheduler,
+        dvfs=dvfs,
+        generations=generations,
+        population_size=population_size,
+        glue_style="rtems",
+    )
+
+
+def _energy_per_period(result: PredictableBuildResult, board: Platform,
+                       idle_factor: float) -> float:
+    """Task energy plus (possibly power-gated) idle energy over one period."""
+    window = result.spec.period_s()
+    task_energy = result.schedule.task_energy_j
+    idle_energy = result.schedule.idle_energy_j(board, window) * idle_factor
+    return task_energy + idle_energy
+
+
+def run_comparison(generations: int = 3, population_size: int = 6,
+                   validate_dynamically: bool = True) -> SpaceComparison:
+    """Regenerate experiment E2: traditional deployment vs TeamPlay on the GR712RC."""
+    board = platform()
+    toolchain = PredictableToolchain(board)
+
+    baseline = build(toolchain, config=BASELINE_CONFIG, scheduler="sequential",
+                     dvfs=False)
+    teamplay = build(toolchain, config=None, scheduler="energy-aware", dvfs=True,
+                     generations=generations, population_size=population_size)
+
+    link = spacewire_link()
+    image_bytes = 640 * 4
+    window = baseline.spec.period_s()
+    spacewire_energy = link.window_energy_j(image_bytes, window)
+
+    baseline_energy = _energy_per_period(baseline, board, idle_factor=1.0)
+    teamplay_energy = _energy_per_period(teamplay, board,
+                                         idle_factor=POWER_DOWN_FACTOR)
+
+    executive_log = None
+    if validate_dynamically:
+        executive = PeriodicExecutive(board, teamplay.task_graph,
+                                      teamplay.schedule, period_s=window)
+        executive_log = executive.run(periods=20, jitter=0.25, seed=3)
+
+    report = ImprovementReport(
+        name="space / SpaceWire (E2)",
+        baseline_time_s=baseline.schedule.makespan_s,
+        teamplay_time_s=teamplay.schedule.makespan_s,
+        baseline_energy_j=baseline_energy + spacewire_energy,
+        teamplay_energy_j=teamplay_energy + spacewire_energy,
+        deadline_s=window,
+        deadlines_met=teamplay.schedulability.feasible
+        and (executive_log is None or executive_log.deadline_misses == 0),
+    )
+    return SpaceComparison(
+        baseline=baseline,
+        teamplay=teamplay,
+        report=report,
+        baseline_energy_per_period_j=baseline_energy,
+        teamplay_energy_per_period_j=teamplay_energy,
+        spacewire_energy_per_period_j=spacewire_energy,
+        executive_log=executive_log,
+    )

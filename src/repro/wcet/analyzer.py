@@ -1,0 +1,105 @@
+"""The WCET analyser (aiT stand-in).
+
+Computes safe worst-case execution time bounds for tasks compiled to the IR,
+using the same per-instruction timing tables as the simulator but always
+charging the worst case (taken branches, maximum divider latency, flash wait
+states unless code was placed in the scratchpad).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import AnalysisError
+from repro.hw.core import Core
+from repro.hw.dvfs import OperatingPoint
+from repro.hw.platform import Platform
+from repro.ir.cfg import Function, Program
+from repro.ir.instructions import Instr, Opcode
+from repro.wcet.structural import StructuralCostEngine
+
+
+@dataclass
+class WCETResult:
+    """Outcome of a WCET analysis for one entry function."""
+
+    function: str
+    cycles: float
+    time_s: float
+    frequency_hz: float
+    per_function_cycles: Dict[str, float] = field(default_factory=dict)
+
+    def scaled_to(self, frequency_hz: float) -> "WCETResult":
+        """The same cycle bound expressed at a different clock frequency."""
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        return WCETResult(
+            function=self.function,
+            cycles=self.cycles,
+            time_s=self.cycles / frequency_hz,
+            frequency_hz=frequency_hz,
+            per_function_cycles=dict(self.per_function_cycles),
+        )
+
+
+class WCETAnalyzer:
+    """Static WCET analysis on IR programs for a predictable core."""
+
+    def __init__(self, platform: Platform, core: Optional[Core] = None,
+                 opp: Optional[OperatingPoint] = None):
+        core = core or next(iter(platform.predictable_cores), None)
+        if core is None:
+            raise AnalysisError(
+                f"platform {platform.name!r} has no predictable core; use the "
+                f"dynamic profiling workflow for complex architectures")
+        self.platform = platform
+        self.core = core
+        self.opp = opp or core.nominal_opp
+
+    # -- cost model (mirrors the simulator, worst case) ------------------------
+    def _instr_cycles(self, function: Function, instr: Instr) -> float:
+        cls = instr.instruction_class
+        cycles = float(self.core.max_cycles_for(cls))
+        fetch_region = function.code_region or self.platform.memory.code_region
+        cycles += self.platform.memory.fetch_wait_states(fetch_region)
+        if instr.opcode is Opcode.LOAD:
+            cycles += self.platform.memory.data_wait_states(write=False)
+        elif instr.opcode is Opcode.STORE:
+            cycles += self.platform.memory.data_wait_states(write=True)
+        return cycles
+
+    # -- public API --------------------------------------------------------------
+    def analyze(self, program: Program, function_name: str,
+                opp: Optional[OperatingPoint] = None) -> WCETResult:
+        """Compute the WCET bound of ``function_name`` (including callees)."""
+        program.validate()
+        if program.has_recursion():
+            raise AnalysisError("programs with recursion are not analysable")
+        engine = StructuralCostEngine(program, self._instr_cycles)
+        cycles = engine.function_cost(function_name)
+
+        per_function: Dict[str, float] = {}
+        for name in program.functions:
+            try:
+                per_function[name] = engine.function_cost(name)
+            except AnalysisError:
+                # Functions not reachable from the entry may legitimately
+                # lack loop bounds; they simply don't get a standalone bound.
+                continue
+
+        opp = opp or self.opp
+        return WCETResult(
+            function=function_name,
+            cycles=cycles,
+            time_s=self.core.time_for_cycles(cycles, opp),
+            frequency_hz=opp.frequency_hz,
+            per_function_cycles=per_function,
+        )
+
+    def analyze_all_tasks(self, program: Program,
+                          opp: Optional[OperatingPoint] = None
+                          ) -> Dict[str, WCETResult]:
+        """WCET of every function carrying a ``task`` annotation."""
+        return {task: self.analyze(program, fn.name, opp)
+                for task, fn in program.task_functions.items()}

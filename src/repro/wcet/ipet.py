@@ -1,0 +1,60 @@
+"""IPET-style longest-path cross-check.
+
+The classical way to compute a WCET bound is Implicit Path Enumeration
+(IPET): maximise the sum of block costs times execution counts subject to
+flow-conservation constraints, usually with an ILP solver.  This module
+implements the special case that suffices for structured code as a
+cross-check on the structural engine: for *acyclic* CFGs (or a single loop
+iteration's body) the IPET optimum equals the longest weighted path, which we
+compute exactly on the DAG.
+
+It is primarily used by tests to validate the structural engine and exposed
+publicly because it is useful when experimenting with hand-built CFGs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import networkx as nx
+
+from repro.errors import AnalysisError
+from repro.ir.cfg import Function
+from repro.ir.instructions import Instr
+
+InstrCost = Callable[[Function, Instr], float]
+
+
+def acyclic_longest_path_cost(function: Function, instr_cost: InstrCost,
+                              entry: Optional[str] = None) -> float:
+    """Longest-path cost through an *acyclic* CFG starting at ``entry``.
+
+    Raises :class:`AnalysisError` if the CFG contains a cycle — loops must be
+    handled by the structural engine (or by unrolling before calling this).
+    """
+    graph = function.cfg()
+    if not nx.is_directed_acyclic_graph(graph):
+        raise AnalysisError(
+            f"function {function.name!r} has cycles; IPET longest-path "
+            f"requires an acyclic CFG")
+    entry = entry or function.entry
+
+    block_costs: Dict[str, float] = {
+        label: sum(instr_cost(function, instr) for instr in block.instrs)
+        for label, block in function.blocks.items()
+    }
+
+    order = list(nx.topological_sort(graph))
+    best: Dict[str, float] = {label: float("-inf") for label in order}
+    if entry not in best:
+        raise AnalysisError(f"entry block {entry!r} not in CFG")
+    best[entry] = block_costs[entry]
+    for label in order:
+        if best[label] == float("-inf"):
+            continue
+        for succ in graph.successors(label):
+            candidate = best[label] + block_costs[succ]
+            if candidate > best[succ]:
+                best[succ] = candidate
+    reachable = [cost for cost in best.values() if cost != float("-inf")]
+    return max(reachable) if reachable else 0.0

@@ -1,0 +1,104 @@
+"""Structural worst-case cost engine.
+
+Both the WCET analysis and the worst-case energy analysis reduce to the same
+recursion over the region tree recorded during lowering:
+
+* a basic block costs the sum of its instructions' worst-case costs,
+* a sequence costs the sum of its children,
+* an ``if`` costs the condition block plus the more expensive branch,
+* a bounded loop costs ``(bound + 1)`` condition evaluations plus ``bound``
+  body executions,
+* a call costs the call instruction plus the callee's worst-case cost
+  (memoised; recursion is rejected).
+
+The engine is parameterised by a per-instruction cost callable so the same
+code serves cycles (WCET) and joules (worst-case energy consumption).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.errors import AnalysisError, UnboundedLoopError
+from repro.ir.cfg import Function, Program
+from repro.ir.instructions import Instr, Opcode
+from repro.ir.regions import (
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+
+#: cost(function, instr) -> float; the function is passed so costs can depend
+#: on its placement (e.g. scratchpad-resident code has cheaper fetches).
+InstrCost = Callable[[Function, Instr], float]
+
+
+class StructuralCostEngine:
+    """Computes worst-case costs of functions of a program."""
+
+    def __init__(self, program: Program, instr_cost: InstrCost,
+                 call_overhead: Optional[Callable[[Function], float]] = None):
+        self.program = program
+        self.instr_cost = instr_cost
+        self.call_overhead = call_overhead
+        self._function_cost: Dict[str, float] = {}
+        self._in_progress: set = set()
+
+    # -- public API -----------------------------------------------------------
+    def function_cost(self, name: str) -> float:
+        """Worst-case cost of one invocation of function ``name``."""
+        if name in self._function_cost:
+            return self._function_cost[name]
+        if name in self._in_progress:
+            raise AnalysisError(
+                f"recursive call cycle involving {name!r}; the static "
+                f"analyses require recursion-free programs")
+        self._in_progress.add(name)
+        try:
+            function = self.program.function(name)
+            cost = self._region_cost(function, function.region)
+        finally:
+            self._in_progress.discard(name)
+        self._function_cost[name] = cost
+        return cost
+
+    def block_cost(self, function: Function, label: str) -> float:
+        """Worst-case cost of a single basic block (including calls made)."""
+        return self._block_cost(function, label)
+
+    # -- recursion -----------------------------------------------------------
+    def _region_cost(self, function: Function, region: Region) -> float:
+        if isinstance(region, BlockRegion):
+            return self._block_cost(function, region.label)
+        if isinstance(region, SeqRegion):
+            return sum(self._region_cost(function, child)
+                       for child in region.children)
+        if isinstance(region, IfRegion):
+            cond = self._block_cost(function, region.cond_label)
+            then_cost = self._region_cost(function, region.then_region)
+            else_cost = self._region_cost(function, region.else_region)
+            return cond + max(then_cost, else_cost)
+        if isinstance(region, LoopRegion):
+            if region.bound is None:
+                raise UnboundedLoopError(function.name,
+                                         f"loop at block {region.cond_label!r}")
+            if region.bound < 0:
+                raise AnalysisError(
+                    f"negative loop bound in {function.name!r}")
+            cond = self._block_cost(function, region.cond_label)
+            body = self._region_cost(function, region.body_region)
+            return (region.bound + 1) * cond + region.bound * body
+        raise AnalysisError(f"unknown region type {type(region)!r}")
+
+    def _block_cost(self, function: Function, label: str) -> float:
+        block = function.block(label)
+        total = 0.0
+        for instr in block.instrs:
+            total += self.instr_cost(function, instr)
+            if instr.opcode is Opcode.CALL:
+                total += self.function_cost(instr.callee)
+                if self.call_overhead is not None:
+                    total += self.call_overhead(self.program.function(instr.callee))
+        return total

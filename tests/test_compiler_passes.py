@@ -1,0 +1,211 @@
+"""Tests for the compiler's optimisation passes (semantics preservation and effect)."""
+
+import random
+
+import pytest
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.evaluate import build_program, evaluate_config
+from repro.compiler.passes.ast_passes import (
+    fold_constants,
+    inline_simple_functions,
+    unroll_loops,
+)
+from repro.compiler.passes.ir_passes import eliminate_dead_code, strength_reduce
+from repro.compiler.passes.spm import allocate_scratchpad
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lowering import compile_source, lower_module
+from repro.frontend.parser import parse
+from repro.hw.presets import nucleo_stm32f091rc
+from repro.ir.instructions import Opcode
+from repro.sim.machine import Simulator
+from repro.wcet.loopbounds import infer_loop_bounds
+
+SOURCE = """
+int data[16];
+
+int scale(int x) { return x * 8 + 4 / 2; }
+
+int kernel(int gain) {
+    int acc = 0;
+    int unused = gain * 123;
+    for (int i = 0; i < 16; i = i + 1) {
+        acc = acc + data[i] * gain + scale(i) * 1 + 0;
+    }
+    if (acc > 64 * 4) { acc = acc - 16 * 2; }
+    return acc;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return nucleo_stm32f091rc()
+
+
+def _run_reference(gain, data):
+    def scale(x):
+        return x * 8 + 2
+    acc = 0
+    for i in range(16):
+        acc += data[i] * gain + scale(i)
+    if acc > 256:
+        acc -= 32
+    return acc
+
+
+def _simulate(module_or_program, platform, gain, data):
+    if isinstance(module_or_program, ast.SourceModule):
+        program = lower_module(module_or_program)
+    else:
+        program = module_or_program
+    return Simulator(program, platform).run("kernel", [gain],
+                                            globals_init={"data": data}).return_value
+
+
+class TestAstPasses:
+    def test_constant_folding_counts_and_preserves_semantics(self, platform):
+        module = parse(SOURCE)
+        infer_loop_bounds(module)
+        folds = fold_constants(module)
+        assert folds >= 4
+        data = list(range(16))
+        assert _simulate(module, platform, 3, data) == _run_reference(3, data)
+
+    def test_constant_folding_is_idempotent(self):
+        module = parse(SOURCE)
+        fold_constants(module)
+        assert fold_constants(module) == 0
+
+    def test_folding_keeps_division_by_zero(self):
+        module = parse("int f(void) { return 1 / 0; }")
+        fold_constants(module)
+        expr = module.function("f").body[0].value
+        assert isinstance(expr, ast.Binary)  # not folded away
+
+    def test_unrolling_removes_loops_and_preserves_semantics(self, platform):
+        module = parse(SOURCE)
+        infer_loop_bounds(module)
+        unrolled = unroll_loops(module, limit=16)
+        assert unrolled == 1
+        assert not any(isinstance(s, ast.For)
+                       for s in ast.walk_stmts(module.function("kernel").body))
+        data = [random.Random(1).randrange(100) for _ in range(16)]
+        assert _simulate(module, platform, 5, data) == _run_reference(5, data)
+
+    def test_unrolling_respects_limit(self):
+        module = parse(SOURCE)
+        infer_loop_bounds(module)
+        assert unroll_loops(module, limit=8) == 0
+        assert unroll_loops(module, limit=0) == 0
+
+    def test_inlining_simple_functions(self, platform):
+        module = parse(SOURCE)
+        infer_loop_bounds(module)
+        inlined = inline_simple_functions(module)
+        assert inlined >= 1
+        assert not any(isinstance(node, ast.Call)
+                       for stmt in ast.walk_stmts(module.function("kernel").body)
+                       for expr in ast.stmt_expressions(stmt)
+                       for node in ast.walk_expr(expr))
+        data = list(range(16))
+        assert _simulate(module, platform, 2, data) == _run_reference(2, data)
+
+    def test_functions_with_loops_not_inlined(self):
+        module = parse("""
+        int looped(int n) {
+            int s = 0;
+            for (int i = 0; i < 4; i = i + 1) { s = s + n; }
+            return s;
+        }
+        int caller(int a) { return looped(a); }
+        """)
+        assert inline_simple_functions(module) == 0
+
+
+class TestIrPasses:
+    def test_dead_code_elimination_removes_unused(self, platform):
+        module = parse(SOURCE)
+        infer_loop_bounds(module)
+        program = lower_module(module)
+        before = program.total_instructions
+        removed = eliminate_dead_code(program)
+        assert removed >= 1
+        assert program.total_instructions == before - removed
+        data = list(range(16))
+        assert _simulate(program, platform, 4, data) == _run_reference(4, data)
+
+    def test_strength_reduction_rewrites_mul_by_power_of_two(self, platform):
+        program = compile_source("int kernel(int gain) { return gain * 8 + gain * 5; }")
+        rewrites = strength_reduce(program)
+        assert rewrites >= 1
+        opcodes = [i.opcode for i in program.functions["kernel"].iter_instructions()]
+        assert Opcode.SHL in opcodes
+        result = Simulator(program, nucleo_stm32f091rc()).run("kernel", [7])
+        assert result.return_value == 7 * 8 + 7 * 5
+
+    def test_strength_reduction_handles_identities(self):
+        program = compile_source(
+            "int kernel(int g) { int a = g * 1; int b = a + 0; int c = b * 0; return a + b + c; }")
+        strength_reduce(program)
+        assert Opcode.MUL not in [i.opcode for i in
+                                  program.functions["kernel"].iter_instructions()]
+
+    def test_spm_allocation_respects_capacity(self, platform):
+        module = parse(SOURCE)
+        infer_loop_bounds(module)
+        program = lower_module(module)
+        allocation = allocate_scratchpad(program, platform)
+        assert allocation.used_bytes <= allocation.capacity_bytes
+        assert allocation.placed_functions
+        for name in allocation.placed_functions:
+            assert program.functions[name].code_region == "spm"
+
+    def test_spm_allocation_noop_without_scratchpad(self):
+        from repro.hw.memory import MemoryRegion, MemorySystem
+        from repro.hw.platform import Platform
+        from repro.hw.presets import cortex_m0
+        board = Platform(name="no-spm", cores=[cortex_m0()],
+                         memory=MemorySystem(regions={
+                             "flash": MemoryRegion("flash", 1 << 16, 2, 4, 1e-9),
+                             "sram": MemoryRegion("sram", 1 << 15, 0, 0, 1e-9)}))
+        program = compile_source("int f(int a) { return a; }")
+        allocation = allocate_scratchpad(program, board)
+        assert allocation.placed_functions == []
+
+
+class TestBuildAndEvaluate:
+    def test_build_program_never_mutates_input(self, platform):
+        module = parse(SOURCE)
+        build_program(module, CompilerConfig.performance(), platform)
+        # The original module still contains its loop and its call.
+        kernel = module.function("kernel")
+        assert any(isinstance(s, ast.For) for s in ast.walk_stmts(kernel.body))
+
+    def test_all_configs_preserve_semantics(self, platform):
+        module = parse(SOURCE)
+        data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]
+        expected = _run_reference(6, data)
+        for config in (CompilerConfig.baseline(), CompilerConfig.performance(),
+                       CompilerConfig(constant_folding=False,
+                                      dead_code_elimination=False),
+                       CompilerConfig.baseline().with_(strength_reduction=True,
+                                                       unroll_limit=16)):
+            program, _stats = build_program(module, config, platform)
+            assert _simulate(program, platform, 6, data) == expected
+
+    def test_performance_config_improves_wcet_and_energy(self, platform):
+        module = parse(SOURCE)
+        base = evaluate_config(module, CompilerConfig.baseline(), platform, "kernel")
+        fast = evaluate_config(module, CompilerConfig.performance(), platform, "kernel")
+        assert fast.wcet_cycles < base.wcet_cycles
+        assert fast.energy_j < base.energy_j
+        assert fast.pass_statistics.get("unrolled_loops", 0) >= 1
+
+    def test_variant_objectives_and_dominance(self, platform):
+        module = parse(SOURCE)
+        base = evaluate_config(module, CompilerConfig.baseline(), platform, "kernel")
+        fast = evaluate_config(module, CompilerConfig.performance(), platform, "kernel")
+        assert fast.dominates(base)
+        assert not base.dominates(fast)
+        assert len(base.objectives()) == 2

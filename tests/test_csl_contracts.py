@@ -1,0 +1,219 @@
+"""Tests for the Contract Specification Language and the contract system."""
+
+import json
+
+import pytest
+
+from repro.contracts import (
+    Certificate,
+    ContractChecker,
+    Obligation,
+    TaskEvidence,
+    obligations_from_spec,
+)
+from repro.contracts.obligations import (
+    PROPERTY_ENERGY,
+    PROPERTY_SECURITY,
+    PROPERTY_TIME,
+    RELATION_AT_LEAST,
+    RELATION_AT_MOST,
+)
+from repro.coordination import EtsProperties, Implementation, TimeGreedyScheduler
+from repro.csl import build_task_graph, extract_structure, parse_csl
+from repro.errors import CSLError
+from repro.frontend.lowering import compile_source
+from repro.hw.presets import gr712rc
+
+CSL_TEXT = """
+// The demo system.
+system demo {
+    period 50 ms;
+    deadline 40 ms;
+    budget energy 10 mJ;
+    security level 0.5;
+
+    task sense {
+        implements read_sensor;
+        budget time 5 ms;
+        budget energy 1 mJ;
+    }
+    task crunch {
+        budget time 20 ms;
+        budget energy 6 mJ;
+        security level 0.7;
+        version accurate on leon3-0, leon3-1;
+    }
+    graph { sense -> crunch; }
+}
+"""
+
+SOURCE = """
+#pragma teamplay task(sense) poi(sensing)
+int read_sensor(int channel) { return channel * 3; }
+
+#pragma teamplay task(crunch)
+int crunch(int value) {
+    int acc = 0;
+    for (int i = 0; i < 8; i = i + 1) { acc = acc + value * i; }
+    return acc;
+}
+
+#pragma teamplay task(orphan)
+int orphan(int x) { return x; }
+"""
+
+
+class TestCslParser:
+    def test_full_spec(self):
+        spec = parse_csl(CSL_TEXT)
+        assert spec.system == "demo"
+        assert spec.period_s() == pytest.approx(0.05)
+        assert spec.deadline_s() == pytest.approx(0.04)
+        assert spec.energy_budget.to("mJ") == pytest.approx(10)
+        assert spec.security_level == 0.5
+        assert spec.task("sense").entry_function == "read_sensor"
+        assert spec.task("crunch").entry_function == "crunch"
+        assert spec.task("crunch").placements[0].cores == ["leon3-0", "leon3-1"]
+        assert spec.edges == [("sense", "crunch")]
+
+    def test_period_implies_deadline(self):
+        spec = parse_csl("system s { period 10 ms; task t { } graph { t; } }")
+        assert spec.deadline_s() == pytest.approx(0.01)
+
+    def test_graph_chains_expand_to_edges(self):
+        spec = parse_csl("""
+        system s { task a { } task b { } task c { }
+                   graph { a -> b -> c; a -> c; } }
+        """)
+        assert set(spec.edges) == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    @pytest.mark.parametrize("text", [
+        "system s { }",
+        "system s { task a { } graph { a -> b; } }",
+        "system s { task a { budget mass 3 ms; } }",
+        "system s { task a { security level 2.0; } }",
+        "system s { task a { deadline 5 mJ; } }",
+        "system s { task a { } task a { } }",
+        "system s { task a { period 5 ms }  }",
+    ])
+    def test_invalid_specs_rejected(self, text):
+        with pytest.raises(CSLError):
+            parse_csl(text)
+
+
+class TestExtraction:
+    def test_structure_binds_tasks_and_collects_pois(self):
+        spec = parse_csl(CSL_TEXT)
+        program = compile_source(SOURCE)
+        structure = extract_structure(spec, program)
+        assert structure.binding("sense").function == "read_sensor"
+        assert structure.binding("crunch").function == "crunch"
+        assert "sensing" in structure.points_of_interest
+        assert "orphan" in structure.unbound_functions
+
+    def test_missing_entry_function_rejected(self):
+        spec = parse_csl("system s { task ghost { implements phantom; } graph { ghost; } }")
+        program = compile_source("int real(int a) { return a; }")
+        with pytest.raises(CSLError):
+            extract_structure(spec, program)
+
+    def test_build_task_graph_with_versions_and_budget_metadata(self):
+        spec = parse_csl(CSL_TEXT)
+        impls = {
+            "sense": [Implementation("leon3-0", EtsProperties(0.001, 0.0001))],
+            "crunch": {
+                "accurate": [Implementation("leon3-0", EtsProperties(0.01, 0.004))],
+                "approx": [Implementation("leon3-1", EtsProperties(0.005, 0.002))],
+            },
+        }
+        graph = build_task_graph(spec, impls)
+        assert graph.deadline_s == pytest.approx(0.04)
+        assert graph.tasks["crunch"].security_requirement == 0.7
+        assert {v.name for v in graph.tasks["crunch"].versions} == {"accurate", "approx"}
+        assert graph.edges == [("sense", "crunch")]
+
+    def test_build_task_graph_requires_all_tasks(self):
+        spec = parse_csl(CSL_TEXT)
+        with pytest.raises(CSLError):
+            build_task_graph(spec, {"sense": [
+                Implementation("leon3-0", EtsProperties(0.001, 0.0001))]})
+
+
+class TestObligationsAndChecker:
+    def test_obligations_extracted(self):
+        spec = parse_csl(CSL_TEXT)
+        obligations = obligations_from_spec(spec)
+        subjects = {(o.subject, o.property) for o in obligations}
+        assert ("sense", PROPERTY_TIME) in subjects
+        assert ("crunch", PROPERTY_SECURITY) in subjects
+        assert ("system", PROPERTY_ENERGY) in subjects
+        assert ("system", PROPERTY_TIME) in subjects
+
+    def test_obligation_relations(self):
+        at_most = Obligation("t", PROPERTY_TIME, RELATION_AT_MOST, 1.0)
+        at_least = Obligation("t", PROPERTY_SECURITY, RELATION_AT_LEAST, 0.5)
+        assert at_most.holds_for(0.9) and not at_most.holds_for(1.1)
+        assert at_least.holds_for(0.6) and not at_least.holds_for(0.4)
+
+    def _evidence(self, crunch_security=0.9):
+        return {
+            "sense": TaskEvidence(wcet_s=0.002, energy_j=0.0005,
+                                  security_level=0.9),
+            "crunch": TaskEvidence(wcet_s=0.015, energy_j=0.004,
+                                   security_level=crunch_security),
+        }
+
+    def test_valid_certificate(self):
+        spec = parse_csl(CSL_TEXT)
+        checker = ContractChecker(gr712rc())
+        certificate = checker.check(spec, self._evidence(),
+                                    system_energy_j=0.008)
+        assert certificate.valid
+        assert certificate.obligation_for("system", PROPERTY_ENERGY).satisfied
+        # Without a schedule the system time bound is the sum of task WCETs.
+        system_time = certificate.obligation_for("system", PROPERTY_TIME)
+        assert system_time.value == pytest.approx(0.017)
+
+    def test_violated_budget_is_reported(self):
+        spec = parse_csl(CSL_TEXT)
+        checker = ContractChecker(gr712rc())
+        certificate = checker.check(spec, self._evidence(crunch_security=0.2),
+                                    system_energy_j=0.008)
+        assert not certificate.valid
+        violated = certificate.violated
+        assert any(o.obligation.subject == "crunch"
+                   and o.obligation.property == PROPERTY_SECURITY for o in violated)
+
+    def test_missing_evidence_means_not_proven(self):
+        spec = parse_csl(CSL_TEXT)
+        checker = ContractChecker(gr712rc())
+        certificate = checker.check(spec, {"sense": TaskEvidence(wcet_s=0.001)})
+        assert not certificate.valid
+
+    def test_certificate_uses_schedule_makespan_and_energy(self):
+        spec = parse_csl(CSL_TEXT)
+        board = gr712rc()
+        impls = {
+            "sense": [Implementation("leon3-0", EtsProperties(0.002, 0.0005))],
+            "crunch": [Implementation("leon3-1", EtsProperties(0.015, 0.004))],
+        }
+        graph = build_task_graph(spec, impls)
+        schedule = TimeGreedyScheduler(board).schedule(graph)
+        certificate = ContractChecker(board).check(spec, {
+            "sense": TaskEvidence(0.002, 0.0005, 0.9),
+            "crunch": TaskEvidence(0.015, 0.004, 0.9),
+        }, schedule=schedule)
+        system_time = certificate.obligation_for("system", PROPERTY_TIME)
+        assert system_time.value == pytest.approx(schedule.makespan_s)
+        assert certificate.metadata["makespan_s"] == pytest.approx(0.017)
+
+    def test_certificate_serialisation_round_trip(self, tmp_path):
+        spec = parse_csl(CSL_TEXT)
+        certificate = ContractChecker(gr712rc()).check(
+            spec, self._evidence(), system_energy_j=0.008)
+        path = tmp_path / "certificate.json"
+        certificate.write(str(path))
+        data = json.loads(path.read_text())
+        assert data["valid"] is True
+        assert len(data["obligations"]) == len(certificate.obligations)
+        assert all("derivation" in o for o in data["obligations"])

@@ -1,0 +1,171 @@
+"""Tests for the TeamPlay-C lexer, pragma parser and parser."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lexer import tokenize
+from repro.frontend.parser import parse
+from repro.frontend.pragmas import merge_pragmas, parse_pragma
+from repro.units import Quantity
+
+
+class TestLexer:
+    def test_identifiers_keywords_numbers(self):
+        tokens = tokenize("int x = 0x1F + 42;")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "ID", "OP", "NUM", "OP", "NUM", "OP", "EOF"]
+        assert tokens[3].value == "0x1F"
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("int a; // trailing\n/* block\n comment */ int b;")
+        names = [t.value for t in tokens if t.kind == "ID"]
+        assert names == ["a", "b"]
+
+    def test_multichar_operators(self):
+        values = [t.value for t in tokenize("a <<= b >> c != d && e")
+                  if t.kind == "OP"]
+        assert values == ["<<=", ">>", "!=", "&&"]
+
+    def test_pragma_token(self):
+        tokens = tokenize("#pragma teamplay task(capture)\nint f(void) { return 0; }")
+        assert tokens[0].kind == "PRAGMA"
+        assert "task(capture)" in tokens[0].value
+
+    def test_line_numbers(self):
+        tokens = tokenize("int a;\nint b;")
+        b_token = [t for t in tokens if t.value == "b"][0]
+        assert b_token.line == 2
+
+    def test_unterminated_comment(self):
+        with pytest.raises(FrontendError):
+            tokenize("/* never closed")
+
+    def test_unknown_character(self):
+        with pytest.raises(FrontendError):
+            tokenize("int a = $;")
+
+    def test_unsupported_preprocessor(self):
+        with pytest.raises(FrontendError):
+            tokenize("#include <stdio.h>")
+
+
+class TestPragmas:
+    def test_task_and_quantities(self):
+        result = parse_pragma("teamplay task(capture) period(100 ms) deadline(80 ms)")
+        assert result["task"] == "capture"
+        assert isinstance(result["period"], Quantity)
+        assert result["deadline"].to("ms") == pytest.approx(80)
+
+    def test_loopbound_and_secret(self):
+        result = parse_pragma("teamplay loopbound(64) secret(key, nonce)")
+        assert result["loopbound"] == 64
+        assert result["secret"] == ["key", "nonce"]
+
+    def test_security_level(self):
+        assert parse_pragma("teamplay security_level(0.8)")["security_level"] == 0.8
+
+    def test_non_teamplay_pragma_ignored(self):
+        assert parse_pragma("GCC optimize(3)") == {}
+
+    def test_malformed_pragma(self):
+        with pytest.raises(FrontendError):
+            parse_pragma("teamplay task capture")
+        with pytest.raises(FrontendError):
+            parse_pragma("teamplay loopbound(many)")
+
+    def test_merge(self):
+        merged = merge_pragmas({"a": 1, "b": 2}, {"b": 3})
+        assert merged == {"a": 1, "b": 3}
+
+
+class TestParser:
+    def test_function_and_globals(self):
+        module = parse("""
+        int table[4] = {1, 2, -3, 4};
+        int f(int a, int b) { return a + b; }
+        void g(void) { return; }
+        """)
+        assert module.function_names() == ["f", "g"]
+        assert module.globals[0].size == 4
+        assert module.globals[0].init == [1, 2, -3, 4]
+
+    def test_operator_precedence(self):
+        module = parse("int f(int a, int b) { return a + b * 2 == a; }")
+        expr = module.function("f").body[0].value
+        assert isinstance(expr, ast.Binary) and expr.op == "=="
+        assert isinstance(expr.lhs, ast.Binary) and expr.lhs.op == "+"
+        assert isinstance(expr.lhs.rhs, ast.Binary) and expr.lhs.rhs.op == "*"
+
+    def test_if_else_chain(self):
+        module = parse("""
+        int f(int a) {
+            if (a > 0) { return 1; } else if (a < 0) { return 2; } else { return 3; }
+        }
+        """)
+        stmt = module.function("f").body[0]
+        assert isinstance(stmt, ast.If)
+        assert isinstance(stmt.else_body[0], ast.If)
+
+    def test_for_loop_with_declaration(self):
+        module = parse("int f(void) { int s = 0; for (int i = 0; i < 8; i = i + 1) { s += i; } return s; }")
+        loop = module.function("f").body[1]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert loop.bound is None  # bound comes from inference or pragma
+
+    def test_loopbound_pragma_attaches_to_loop(self):
+        module = parse("""
+        int f(int n) {
+            int s = 0;
+            #pragma teamplay loopbound(10)
+            while (s < n) { s = s + 1; }
+            return s;
+        }
+        """)
+        loop = module.function("f").body[1]
+        assert isinstance(loop, ast.While)
+        assert loop.bound == 10
+
+    def test_function_pragmas(self):
+        module = parse("""
+        #pragma teamplay task(encrypt) secret(key)
+        int encrypt(int data, int key) { return data ^ key; }
+        """)
+        fn = module.function("encrypt")
+        assert fn.pragmas["task"] == "encrypt"
+        assert fn.pragmas["secret"] == ["key"]
+
+    def test_compound_assignment_and_arrays(self):
+        module = parse("int buf[8];\nint f(int i) { buf[i] += 2; return buf[i]; }")
+        assign = module.function("f").body[0]
+        assert isinstance(assign, ast.Assign) and assign.op == "+="
+        assert isinstance(assign.target, ast.Index)
+
+    def test_clone_module_is_deep(self):
+        module = parse("int f(int a) { return a + 1; }")
+        clone = ast.clone_module(module)
+        clone.function("f").body[0].value.rhs.value = 99
+        assert module.function("f").body[0].value.rhs.value == 1
+
+    def test_syntax_errors(self):
+        with pytest.raises(FrontendError):
+            parse("int f(int a) { return a + ; }")
+        with pytest.raises(FrontendError):
+            parse("int f(int a) { if a { return 1; } }")
+        with pytest.raises(FrontendError):
+            parse("int f(int a) { return 1; ")
+        with pytest.raises(FrontendError):
+            parse("float f(void) { return 0; }")
+
+    def test_assignment_target_must_be_lvalue(self):
+        with pytest.raises(FrontendError):
+            parse("int f(int a) { 3 = a; return 0; }")
+
+    def test_global_initialiser_too_long(self):
+        with pytest.raises(FrontendError):
+            parse("int t[2] = {1, 2, 3};")
+
+    def test_array_size_must_be_positive(self):
+        with pytest.raises(FrontendError):
+            parse("int t[0];")

@@ -1,0 +1,123 @@
+"""Tests for memory systems, platforms, presets and the battery model."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.hw.battery import Battery
+from repro.hw.memory import MemoryRegion, MemorySystem
+from repro.hw.platform import Platform
+from repro.hw.presets import (
+    apalis_tk1,
+    camera_pill_board,
+    gr712rc,
+    jetson_nano,
+    jetson_tx2,
+    nucleo_stm32f091rc,
+    platform_by_name,
+)
+
+
+class TestMemorySystem:
+    def test_default_regions_exist(self):
+        memory = MemorySystem()
+        assert memory.fetch_wait_states() >= 0
+        assert memory.data_wait_states() >= 0
+        assert not memory.has_scratchpad
+
+    def test_scratchpad_must_exist(self):
+        with pytest.raises(PlatformError):
+            MemorySystem(regions={
+                "flash": MemoryRegion("flash", 1024, 1, 1, 1e-10),
+                "sram": MemoryRegion("sram", 1024, 0, 0, 1e-10),
+            }, scratchpad_region="spm")
+
+    def test_invalid_region_parameters(self):
+        with pytest.raises(PlatformError):
+            MemoryRegion("bad", 0, 0, 0, 0)
+        with pytest.raises(PlatformError):
+            MemoryRegion("bad", 16, -1, 0, 0)
+
+    def test_unknown_region_lookup(self):
+        with pytest.raises(PlatformError):
+            MemorySystem().region("tcm")
+
+    def test_write_wait_states_differ_from_read(self):
+        memory = nucleo_stm32f091rc().memory
+        assert memory.data_wait_states(write=True) >= memory.data_wait_states()
+
+
+class TestPlatform:
+    def test_presets_instantiate(self):
+        for factory in (nucleo_stm32f091rc, camera_pill_board, gr712rc,
+                        apalis_tk1, jetson_tx2, jetson_nano):
+            platform = factory()
+            assert platform.cores
+            assert platform.summary()["name"] == platform.name
+
+    def test_platform_by_name(self):
+        assert platform_by_name("gr712rc").name == "gr712rc"
+        with pytest.raises(ValueError):
+            platform_by_name("raspberry-pi")
+
+    def test_predictable_classification(self):
+        assert nucleo_stm32f091rc().predictable
+        assert gr712rc().predictable
+        assert camera_pill_board().predictable  # the FPGA is not schedulable
+        assert not apalis_tk1().predictable
+
+    def test_core_lookup(self):
+        platform = gr712rc()
+        assert platform.core("leon3-0").name == "leon3-0"
+        with pytest.raises(PlatformError):
+            platform.core("leon3-9")
+
+    def test_duplicate_core_names_rejected(self):
+        core = nucleo_stm32f091rc().cores[0]
+        with pytest.raises(PlatformError):
+            Platform(name="dup", cores=[core, core])
+
+    def test_accelerators_not_schedulable(self):
+        pill = camera_pill_board()
+        assert len(pill.accelerators) == 1
+        assert all(core not in pill.schedulable_cores
+                   for core in pill.accelerators)
+
+    def test_idle_power_positive(self):
+        assert apalis_tk1().idle_power_w() > 0
+        assert nucleo_stm32f091rc().idle_power_w() > 0
+
+
+class TestBattery:
+    def test_capacity_and_discharge(self):
+        battery = Battery(capacity_wh=10, usable_fraction=1.0)
+        assert battery.capacity_j == pytest.approx(36_000)
+        drawn = battery.discharge(1_000)
+        assert drawn == pytest.approx(1_000)
+        assert battery.remaining_j == pytest.approx(35_000)
+        assert battery.state_of_charge == pytest.approx(35 / 36)
+
+    def test_discharge_clamps_at_zero(self):
+        battery = Battery(capacity_wh=0.001, usable_fraction=1.0)
+        drawn = battery.discharge(1e9)
+        assert drawn == pytest.approx(battery.capacity_j)
+        assert battery.depleted
+
+    def test_endurance(self):
+        battery = Battery(capacity_wh=1, usable_fraction=1.0)
+        assert battery.endurance_s(3600) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            battery.endurance_s(0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Battery(capacity_wh=0)
+        with pytest.raises(ValueError):
+            Battery(capacity_wh=1, usable_fraction=0)
+        with pytest.raises(ValueError):
+            Battery(capacity_wh=1).discharge(-1)
+
+    def test_reset(self):
+        battery = Battery(capacity_wh=1)
+        battery.discharge(100)
+        battery.reset()
+        assert battery.consumed_j == 0

@@ -1,0 +1,184 @@
+"""Tests for the runtime substrates: RTOS executive, SpaceWire/radio links and
+the dynamic profiler."""
+
+import pytest
+
+from repro.coordination import (
+    EtsProperties,
+    Implementation,
+    Task,
+    TaskGraph,
+    TimeGreedyScheduler,
+)
+from repro.errors import PlatformError, ProfilingError, SchedulingError
+from repro.frontend.lowering import compile_source
+from repro.hw.presets import apalis_tk1, gr712rc, nucleo_stm32f091rc
+from repro.net.radio import RadioLink
+from repro.net.spacewire import BITS_PER_DATA_CHAR, SpaceWireLink
+from repro.profiling.powprofiler import PowProfiler, TaskProfile
+from repro.rtos.executive import PeriodicExecutive
+
+
+def _pipeline_graph(period=0.1):
+    graph = TaskGraph(name="pipeline", deadline_s=period, period_s=period)
+    graph.add_task(Task.single_version(
+        "produce", [Implementation("leon3-0", EtsProperties(0.01, 0.001))]))
+    graph.add_task(Task.single_version(
+        "consume", [Implementation("leon3-1", EtsProperties(0.02, 0.002))]))
+    graph.add_edge("produce", "consume")
+    return graph
+
+
+class TestPeriodicExecutive:
+    def test_replay_respects_deadlines_and_energy(self):
+        board = gr712rc()
+        graph = _pipeline_graph()
+        schedule = TimeGreedyScheduler(board).schedule(graph)
+        log = PeriodicExecutive(board, graph, schedule).run(periods=15, jitter=0.3)
+        assert len(log.periods) == 15
+        assert log.deadline_misses == 0
+        assert log.worst_makespan_s <= schedule.makespan_s + 1e-12
+        assert log.total_energy_j > 0
+        assert log.average_power_w > 0
+
+    def test_jitter_zero_reproduces_static_schedule(self):
+        board = gr712rc()
+        graph = _pipeline_graph()
+        schedule = TimeGreedyScheduler(board).schedule(graph)
+        log = PeriodicExecutive(board, graph, schedule).run(periods=3, jitter=0.0)
+        assert log.worst_makespan_s == pytest.approx(schedule.makespan_s)
+        assert log.average_makespan_s == pytest.approx(schedule.makespan_s)
+
+    def test_schedule_longer_than_period_rejected(self):
+        board = gr712rc()
+        graph = _pipeline_graph(period=0.02)
+        schedule = TimeGreedyScheduler(board).schedule(graph)
+        with pytest.raises(SchedulingError):
+            PeriodicExecutive(board, graph, schedule, period_s=0.02)
+
+    def test_requires_a_period(self):
+        board = gr712rc()
+        graph = _pipeline_graph()
+        graph.period_s = None
+        graph.deadline_s = None
+        schedule = TimeGreedyScheduler(board).schedule(graph)
+        with pytest.raises(SchedulingError):
+            PeriodicExecutive(board, graph, schedule)
+
+    def test_invalid_run_parameters(self):
+        board = gr712rc()
+        graph = _pipeline_graph()
+        schedule = TimeGreedyScheduler(board).schedule(graph)
+        executive = PeriodicExecutive(board, graph, schedule)
+        with pytest.raises(ValueError):
+            executive.run(periods=0)
+        with pytest.raises(ValueError):
+            executive.run(jitter=1.5)
+
+
+class TestSpaceWire:
+    def test_packetisation(self):
+        link = SpaceWireLink(max_packet_bytes=1000)
+        packets = link.packetize(2500)
+        assert [p.cargo_bytes for p in packets] == [1000, 1000, 500]
+        assert link.packet_count(2500) == 3
+        assert link.packetize(0) == []
+
+    def test_transfer_time_accounts_for_char_overhead(self):
+        link = SpaceWireLink(link_rate_mbps=100, max_packet_bytes=1 << 20,
+                             address_bytes=0)
+        payload = 10_000
+        expected = payload * BITS_PER_DATA_CHAR / 100e6
+        assert link.transfer_time_s(payload) == pytest.approx(expected, rel=1e-3)
+        assert link.effective_bandwidth_bytes_per_s() == pytest.approx(10e6)
+
+    def test_energy_scales_with_payload(self):
+        link = SpaceWireLink()
+        assert link.transfer_energy_j(1 << 20) > link.transfer_energy_j(1 << 10)
+
+    def test_window_energy_requires_fitting_transfer(self):
+        link = SpaceWireLink(link_rate_mbps=1)
+        with pytest.raises(PlatformError):
+            link.window_energy_j(10 * 1024 * 1024, window_s=0.001)
+        energy = link.window_energy_j(1024, window_s=1.0)
+        assert energy > link.idle_power_w * 0.999
+
+    def test_invalid_link_parameters(self):
+        with pytest.raises(PlatformError):
+            SpaceWireLink(link_rate_mbps=0)
+
+
+class TestRadio:
+    def test_packet_count_and_air_bytes(self):
+        radio = RadioLink(max_payload_bytes=100, header_bytes=10)
+        assert radio.packet_count(250) == 3
+        assert radio.bytes_on_air(250) == 250 + 30
+        assert radio.packet_count(0) == 0
+
+    def test_time_and_energy_include_wakeup(self):
+        radio = RadioLink()
+        assert radio.transmit_time_s(0) == 0.0
+        assert radio.transmit_time_s(100) > radio.wakeup_time_s
+        assert radio.transmit_energy_j(100) > radio.wakeup_energy_j
+        assert radio.transmit_energy_j(1000) > radio.transmit_energy_j(100)
+
+
+class TestPowProfiler:
+    def test_profile_statistics(self):
+        profile = TaskProfile(task="t", times_s=[1.0, 2.0, 3.0, 4.0],
+                              energies_j=[1.0, 2.0, 3.0, 4.0], wcet_margin=1.5)
+        assert profile.mean_time_s == pytest.approx(2.5)
+        assert profile.max_time_s == pytest.approx(4.0)
+        assert profile.estimated_wcet_s == pytest.approx(6.0)
+        assert profile.percentile_time_s(0.5) == pytest.approx(2.0)
+        properties = profile.to_properties(security_level=0.7)
+        assert properties.wcet_s == pytest.approx(6.0)
+        assert properties.security_level == 0.7
+
+    def test_mismatched_samples_rejected(self):
+        with pytest.raises(ProfilingError):
+            TaskProfile(task="t", times_s=[1.0], energies_j=[1.0, 2.0])
+
+    def test_profile_program_on_simulator(self):
+        board = nucleo_stm32f091rc()
+        program = compile_source("""
+        int f(int n) {
+            int s = 0;
+            #pragma teamplay loopbound(64)
+            for (int i = 0; i < 64; i = i + 1) { s = s + i % (n + 1); }
+            return s;
+        }
+        """)
+        profiler = PowProfiler(board, noise_std=0.05, seed=2)
+        profile = profiler.profile_program(program, "f",
+                                           lambda rng: [rng.randrange(1, 50)],
+                                           runs=10)
+        assert profile.runs == 10
+        assert profile.estimated_wcet_s > profile.mean_time_s
+        assert profile.max_energy_j > 0
+
+    def test_profile_workload_reflects_operating_point(self):
+        board = apalis_tk1()
+        profiler = PowProfiler(board, noise_std=0.0)
+        gpu = board.core("gk20a-gpu")
+        slow = profiler.profile_workload("detect", "gk20a-gpu", 1e8, kernel="detect",
+                                         runs=5, opp=gpu.operating_points[0])
+        fast = profiler.profile_workload("detect", "gk20a-gpu", 1e8, kernel="detect",
+                                         runs=5, opp=gpu.nominal_opp)
+        assert slow.mean_time_s > fast.mean_time_s
+
+    def test_profile_workload_requires_complex_core(self):
+        board = nucleo_stm32f091rc()
+        profiler = PowProfiler(board)
+        with pytest.raises(ProfilingError):
+            profiler.profile_workload("x", "m0", 1e6)
+
+    def test_implementations_cover_cores_and_opps(self):
+        board = apalis_tk1()
+        profiler = PowProfiler(board, noise_std=0.0)
+        impls = profiler.implementations_for("detect", 1e8, kernel="detect",
+                                             cores=["a15-0", "gk20a-gpu"], runs=3)
+        cores = {impl.core for impl in impls}
+        assert cores == {"a15-0", "gk20a-gpu"}
+        a15_opps = [impl.opp_label for impl in impls if impl.core == "a15-0"]
+        assert len(a15_opps) == len(board.core("a15-0").operating_points)

@@ -1,0 +1,99 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.units import Quantity
+
+
+class TestParsing:
+    def test_parse_millijoules(self):
+        q = Quantity.parse("2.5 mJ")
+        assert q.dimension == units.ENERGY
+        assert q.value == pytest.approx(2.5e-3)
+
+    def test_parse_without_space(self):
+        assert Quantity.parse("100ms").value == pytest.approx(0.1)
+
+    def test_parse_megahertz(self):
+        q = Quantity.parse("48 MHz")
+        assert q.dimension == units.FREQUENCY
+        assert q.value == pytest.approx(48e6)
+
+    def test_parse_unknown_unit(self):
+        with pytest.raises(ValueError):
+            Quantity.parse("3 parsec")
+
+    def test_parse_garbage(self):
+        with pytest.raises(ValueError):
+            Quantity.parse("fast")
+
+
+class TestArithmetic:
+    def test_addition_same_dimension(self):
+        total = units.millijoules(1) + units.microjoules(500)
+        assert total.value == pytest.approx(1.5e-3)
+
+    def test_addition_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            units.millijoules(1) + units.milliseconds(1)
+
+    def test_scalar_multiplication(self):
+        assert (units.seconds(2) * 3).value == pytest.approx(6)
+        assert (3 * units.seconds(2)).value == pytest.approx(6)
+
+    def test_energy_divided_by_time_is_power(self):
+        power = units.joules(10) / units.seconds(2)
+        assert power.dimension == units.POWER
+        assert power.value == pytest.approx(5)
+
+    def test_energy_divided_by_power_is_time(self):
+        duration = units.joules(10) / units.watts(2)
+        assert duration.dimension == units.TIME
+        assert duration.value == pytest.approx(5)
+
+    def test_same_dimension_division_is_ratio(self):
+        assert units.seconds(1) / units.milliseconds(100) == pytest.approx(10)
+
+    def test_division_by_zero_quantity(self):
+        with pytest.raises(ZeroDivisionError):
+            units.joules(1) / units.seconds(0)
+
+    def test_comparisons(self):
+        assert units.milliseconds(5) < units.milliseconds(6)
+        assert units.milliseconds(6) >= units.milliseconds(6)
+        with pytest.raises(ValueError):
+            _ = units.milliseconds(5) < units.millijoules(5)
+
+
+class TestConversions:
+    def test_to_unit(self):
+        assert units.seconds(0.25).to("ms") == pytest.approx(250)
+
+    def test_to_wrong_dimension(self):
+        with pytest.raises(ValueError):
+            units.seconds(1).to("mJ")
+
+    def test_cycles_to_time_roundtrip(self):
+        duration = units.cycles_to_time(48_000, 48e6)
+        assert duration.value == pytest.approx(1e-3)
+        assert units.time_to_cycles(duration, 48e6) == pytest.approx(48_000)
+
+    def test_cycles_to_time_requires_positive_frequency(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_time(100, 0)
+
+    def test_energy_from_power(self):
+        energy = units.energy_from_power(units.watts(2), units.seconds(3))
+        assert energy.dimension == units.ENERGY
+        assert energy.value == pytest.approx(6)
+
+    def test_energy_from_power_type_check(self):
+        with pytest.raises(ValueError):
+            units.energy_from_power(units.seconds(1), units.seconds(1))
+
+    def test_close_to(self):
+        assert units.seconds(1.0).close_to(units.seconds(1.0 + 1e-12))
+        assert not units.seconds(1.0).close_to(units.seconds(1.1))
