@@ -9,7 +9,23 @@ by roughly what factor, and whether deadlines/certificates hold.
 
 from __future__ import annotations
 
+import pathlib
 from typing import Optional
+
+import pytest
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark in this directory ``bench`` (opt-in via -m bench).
+
+    The hook receives the whole session's items, so filter to this
+    directory — tier-1 tests must stay unmarked.
+    """
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.bench)
 
 
 def print_experiment(experiment: str, claim: str,

@@ -7,20 +7,34 @@ analysers, and searches the configuration space with multi-objective
 optimisers — the Flower Pollination Algorithm used by WCC (Jadhav & Falk,
 SCOPES'19) and an NSGA-II baseline — to produce a Pareto front of compiled
 variants trading execution time, energy and security.
+
+All evaluation is served by the batched engine in
+:mod:`repro.compiler.engine`: staged variant/lowering/analysis caches plus
+numpy-vectorised Pareto machinery shared by both optimisers.
 """
 
 from repro.compiler.config import CompilerConfig
 from repro.compiler.evaluate import Variant, evaluate_config
 from repro.compiler.driver import MultiCriteriaCompiler, ParetoFront
+from repro.compiler.engine import (
+    AnalysisCache,
+    BatchEvaluator,
+    EvaluationEngine,
+    VariantCache,
+)
 from repro.compiler.fpa import FlowerPollinationOptimizer
 from repro.compiler.nsga2 import Nsga2Optimizer
 
 __all__ = [
+    "AnalysisCache",
+    "BatchEvaluator",
     "CompilerConfig",
+    "EvaluationEngine",
     "FlowerPollinationOptimizer",
     "MultiCriteriaCompiler",
     "Nsga2Optimizer",
     "ParetoFront",
     "Variant",
+    "VariantCache",
     "evaluate_config",
 ]

@@ -9,6 +9,12 @@ the multi-objective search:
 * :meth:`MultiCriteriaCompiler.task_properties` — the per-task ETS properties
   file handed to the coordination layer and the contract system (the "ETS"
   arrow in Figure 1 of the paper).
+
+All variant evaluation flows through one
+:class:`~repro.compiler.engine.EvaluationEngine` per (module, entry,
+security-context): repeated ``compile`` calls, search runs and the
+exhaustive grid share the engine's variant/lowering/analysis caches, so
+revisited configurations and sub-structure are never re-analysed.
 """
 
 from __future__ import annotations
@@ -16,21 +22,26 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.compiler.config import CompilerConfig
-from repro.compiler.evaluate import SecurityEvaluator, Variant, evaluate_config
-from repro.compiler.fpa import FlowerPollinationOptimizer, pareto_front
+from repro.compiler.engine import (
+    AnalysisCache,
+    BatchEvaluator,
+    EvaluationEngine,
+    LoweringCache,
+)
+from repro.compiler.engine.vectorized import pareto_front
+from repro.compiler.evaluate import SecurityEvaluator, Variant
+from repro.compiler.fpa import FlowerPollinationOptimizer
 from repro.compiler.nsga2 import Nsga2Optimizer
-from repro.energy.static_analyzer import EnergyAnalyzer
 from repro.errors import CompilationError
 from repro.frontend import ast_nodes as ast
-from repro.frontend.parser import parse
+from repro.frontend.parser import parse_cached
 from repro.hw.core import Core
 from repro.hw.dvfs import OperatingPoint
 from repro.hw.platform import Platform
 from repro.security.analyzer import SecurityAnalyzer
-from repro.wcet.analyzer import WCETAnalyzer
 
 
 @dataclass
@@ -77,13 +88,20 @@ class MultiCriteriaCompiler:
                 f"multi-criteria compiler targets predictable architectures")
         self.opp = opp or self.core.nominal_opp
         self.security_samples = security_samples
+        # Shared caches: the analysis cache is platform-wide, lowering
+        # caches are per source module, the engines (and their variant
+        # caches) per (module, entry, security context).  Parsing is cached
+        # process-wide (parse_cached).
+        self._analysis = AnalysisCache(platform)
+        self._lowerings: Dict[int, LoweringCache] = {}
+        self._engines: Dict[Tuple[int, str, bool], EvaluationEngine] = {}
 
     # -- helpers -----------------------------------------------------------------
     @staticmethod
     def _as_module(source: Union[str, ast.SourceModule]) -> ast.SourceModule:
         if isinstance(source, ast.SourceModule):
             return source
-        return parse(source)
+        return parse_cached(source)
 
     def _security_evaluator(self, module: ast.SourceModule,
                             entry_function: str) -> Optional[SecurityEvaluator]:
@@ -106,18 +124,41 @@ class MultiCriteriaCompiler:
 
         return evaluate
 
+    def _engine(self, module: ast.SourceModule, entry_function: str,
+                evaluate_security: bool) -> EvaluationEngine:
+        """The shared evaluation engine for (module, entry, security context)."""
+        security_evaluator = (self._security_evaluator(module, entry_function)
+                              if evaluate_security else None)
+        key = (id(module), entry_function, security_evaluator is not None)
+        engine = self._engines.get(key)
+        if engine is None:
+            lowering = self._lowerings.setdefault(id(module), LoweringCache())
+            engine = EvaluationEngine(
+                module, self.platform, [entry_function],
+                core=self.core, opp=self.opp,
+                security_evaluator=security_evaluator,
+                analysis_cache=self._analysis,
+                lowering_cache=lowering,
+            )
+            self._engines[key] = engine
+        return engine
+
     # -- single-configuration compilation ---------------------------------------------
     def compile(self, source: Union[str, ast.SourceModule], entry_function: str,
                 config: Optional[CompilerConfig] = None,
                 evaluate_security: bool = False) -> Variant:
-        """Compile under ``config`` (default: baseline) and analyse the result."""
+        """Compile under ``config`` (default: baseline) and analyse the result.
+
+        The returned variant is served from the compiler's shared engine
+        cache: repeated calls with an equal configuration return the *same*
+        object.  Treat it (including ``program`` and ``pass_statistics``) as
+        read-only; use :func:`repro.compiler.evaluate.evaluate_config` for a
+        private, freshly built variant.
+        """
         module = self._as_module(source)
         config = config or CompilerConfig.baseline()
-        security_evaluator = (self._security_evaluator(module, entry_function)
-                              if evaluate_security else None)
-        return evaluate_config(module, config, self.platform, entry_function,
-                               core=self.core, opp=self.opp,
-                               security_evaluator=security_evaluator)
+        engine = self._engine(module, entry_function, evaluate_security)
+        return engine.evaluate(config)
 
     # -- multi-objective exploration ------------------------------------------------------
     def explore(self, source: Union[str, ast.SourceModule], entry_function: str,
@@ -126,17 +167,13 @@ class MultiCriteriaCompiler:
                 population_size: int = 10,
                 generations: int = 6,
                 seed: int = 7,
-                seed_configs: Optional[Sequence[CompilerConfig]] = None
+                seed_configs: Optional[Sequence[CompilerConfig]] = None,
+                parallel: bool = False
                 ) -> ParetoFront:
         """Search the configuration space; returns the Pareto front."""
         module = self._as_module(source)
-        security_evaluator = (self._security_evaluator(module, entry_function)
-                              if evaluate_security else None)
-
-        def evaluator(config: CompilerConfig) -> Variant:
-            return evaluate_config(module, config, self.platform, entry_function,
-                                   core=self.core, opp=self.opp,
-                                   security_evaluator=security_evaluator)
+        engine = self._engine(module, entry_function, evaluate_security)
+        evaluator = BatchEvaluator(engine, parallel=parallel)
 
         seeds = list(seed_configs or [CompilerConfig.baseline(),
                                       CompilerConfig.performance()])
@@ -187,12 +224,12 @@ class MultiCriteriaCompiler:
         the contract system.
         """
         opp = opp or self.opp
-        wcet_analyzer = WCETAnalyzer(self.platform, core=self.core, opp=opp)
-        energy_analyzer = EnergyAnalyzer(self.platform, core=self.core, opp=opp)
         properties: Dict[str, Dict[str, float]] = {}
         for task, function in variant.program.task_functions.items():
-            wcet = wcet_analyzer.analyze(variant.program, function.name, opp=opp)
-            wcec = energy_analyzer.analyze(variant.program, function.name, opp=opp)
+            wcet = self._analysis.wcet(variant.program, function.name,
+                                       core=self.core, opp=opp)
+            wcec = self._analysis.wcec(variant.program, function.name,
+                                       core=self.core, opp=opp)
             properties[task] = {
                 "function": function.name,
                 "wcet_cycles": wcet.cycles,

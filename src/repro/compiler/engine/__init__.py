@@ -1,0 +1,87 @@
+"""Batched variant-evaluation engine with shared analysis caching.
+
+This package is the single entry point for evaluating compiler
+configurations during the multi-objective (energy/time/security) search.
+The seed code rebuilt and re-analysed every candidate from scratch; the
+engine memoises the pipeline at three stages so shared sub-structure is
+computed once:
+
+``CompilerConfig`` ──┐
+                     ▼
+  [1] VariantCache ── canonical config key ──────────────► Variant
+                     │ miss
+                     ▼
+  [2] LoweringCache ─ AST-stage key (harden/fold/inline/unroll)
+                     │ hit: Program.clone() of the cached lowered IR
+                     │ miss: clone module → AST passes → lower
+                     ▼
+      IR passes (DCE, strength reduction, SPM) on the private clone
+                     ▼
+  [3] AnalysisCache ─ structural program fingerprint
+                     │ one StructuralCostEngine sweep fills the whole
+                     │ per-function cycles/energy table per (core[, OPP]);
+                     │ every further entry point, operating point or core
+                     ▼ is a table lookup
+              Variant (WCET, WCEC, security, code size)
+
+Stage [2] means configurations differing only in IR-level flags skip
+re-lowering; stage [3] means the WCET/Energy analysers' per-function results
+are reused across every variant sharing a program *and* across the
+coordination layer's per-core/per-OPP ETS sweeps (cycle bounds are
+frequency-independent, so DVFS sweeps reuse one cycles table).
+
+:class:`BatchEvaluator` evaluates whole populations at once (deduplicated,
+optionally over a process pool with a serial fallback), and
+:mod:`~repro.compiler.engine.vectorized` supplies the numpy-vectorised
+``non_dominated_sort`` / ``crowding_distance`` / ``pareto_front`` used by
+both NSGA-II and the FPA optimiser — with the seed's pure-Python
+implementations retained in :mod:`~repro.compiler.engine.reference` as the
+property-tested oracle.
+"""
+
+from repro.compiler.engine.batch import BatchEvaluator
+from repro.compiler.engine.cache import (
+    AnalysisCache,
+    CacheStats,
+    LoweringCache,
+    VariantCache,
+    ast_stage_key,
+    canonical_key,
+    program_fingerprint,
+)
+from repro.compiler.engine.evaluator import ALL_TASKS_ENTRY, EvaluationEngine
+from repro.compiler.engine.reference import (
+    ObjectivePoint,
+    crowding_distance_reference,
+    non_dominated_sort_reference,
+    pareto_front_reference,
+)
+from repro.compiler.engine.vectorized import (
+    crowding_distance,
+    dominance_matrix,
+    non_dominated_sort,
+    objectives_matrix,
+    pareto_front,
+)
+
+__all__ = [
+    "ALL_TASKS_ENTRY",
+    "AnalysisCache",
+    "BatchEvaluator",
+    "CacheStats",
+    "EvaluationEngine",
+    "LoweringCache",
+    "ObjectivePoint",
+    "VariantCache",
+    "ast_stage_key",
+    "canonical_key",
+    "crowding_distance",
+    "crowding_distance_reference",
+    "dominance_matrix",
+    "non_dominated_sort",
+    "non_dominated_sort_reference",
+    "objectives_matrix",
+    "pareto_front",
+    "pareto_front_reference",
+    "program_fingerprint",
+]

@@ -1,0 +1,519 @@
+"""Staged caches for the batched variant-evaluation engine.
+
+Three cache stages, from coarsest to finest:
+
+1. :class:`VariantCache` — fully evaluated :class:`Variant` objects keyed on
+   the *canonical key* of their :class:`CompilerConfig`.  Configurations that
+   compare equal (however they were constructed: directly, via ``with_`` or
+   decoded from genes) share one entry, so revisited points of the search
+   space cost a dictionary lookup across generations *and* across optimiser
+   runs.
+2. :class:`LoweringCache` — lowered IR programs keyed on the *AST-stage key*:
+   the subset of configuration fields consumed before/during lowering
+   (hardening, constant folding, inlining, unrolling).  Configurations that
+   differ only in IR-level flags (DCE, strength reduction, SPM allocation)
+   skip the clone/bound-inference/AST-pass/lowering pipeline entirely and
+   receive an independent :meth:`Program.clone` to run their IR passes on.
+3. :class:`AnalysisCache` — per-function worst-case cost tables keyed on a
+   structural fingerprint of the analysed program.  One
+   :class:`StructuralCostEngine` run computes every function's cycles (or
+   joules) at once; every further WCET/WCEC query against the same program —
+   other task entry points, other operating points (cycle counts are
+   frequency-independent), the coordination layer's per-core sweeps — is a
+   table lookup.
+
+All three stages are exact: cached results are bit-for-bit identical to what
+the uncached pipeline produces (covered by ``tests/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.config import CompilerConfig
+from repro.errors import AnalysisError
+from repro.energy.static_analyzer import EnergyAnalyzer, WCECResult
+from repro.hw.core import Core
+from repro.hw.dvfs import OperatingPoint
+from repro.hw.platform import Platform
+from repro.ir.cfg import Program
+from repro.ir.instructions import Opcode
+from repro.ir.regions import (
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+)
+from repro.wcet.analyzer import WCETAnalyzer, WCETResult
+from repro.wcet.structural import StructuralCostEngine
+
+#: Attribute used to memoise a program's structural fingerprint.  The engine
+#: computes it only after all IR passes have run; the IR is immutable from
+#: then on as far as the evaluation pipeline is concerned.
+_FINGERPRINT_ATTR = "_engine_fingerprint"
+
+#: Local alias, avoids an attribute lookup in the block-cost hot loop.
+_CALL_OPCODE = Opcode.CALL
+
+
+def canonical_key(config: CompilerConfig) -> Tuple:
+    """Canonical cache key of a configuration.
+
+    Two configurations produce the same compiled variant iff their canonical
+    keys are equal; the key is simply the ordered tuple of every field (each
+    field toggles or parameterises exactly one pass).
+    """
+    return (
+        config.constant_folding,
+        config.unroll_limit,
+        config.inline_simple_functions,
+        config.dead_code_elimination,
+        config.strength_reduction,
+        config.spm_allocation,
+        config.harden_security,
+    )
+
+
+def ast_stage_key(config: CompilerConfig) -> Tuple:
+    """Cache key of the AST-level pipeline stage.
+
+    Only hardening, constant folding, inlining and unrolling run before the
+    IR is produced (see :func:`repro.compiler.evaluate.lower_with_ast_passes`),
+    so the lowered program is fully determined by these four fields.
+    """
+    return (
+        config.constant_folding,
+        config.unroll_limit,
+        config.inline_simple_functions,
+        config.harden_security,
+    )
+
+
+def pre_unroll_key(config: CompilerConfig) -> Tuple:
+    """Cache key of the AST passes that run before unrolling."""
+    return (
+        config.constant_folding,
+        config.inline_simple_functions,
+        config.harden_security,
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of the three cache stages."""
+
+    variant_hits: int = 0
+    variant_misses: int = 0
+    lowering_hits: int = 0
+    lowering_misses: int = 0
+    ir_stage_hits: int = 0
+    ir_stage_misses: int = 0
+    analysis_hits: int = 0
+    analysis_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "variant_hits": self.variant_hits,
+            "variant_misses": self.variant_misses,
+            "lowering_hits": self.lowering_hits,
+            "lowering_misses": self.lowering_misses,
+            "ir_stage_hits": self.ir_stage_hits,
+            "ir_stage_misses": self.ir_stage_misses,
+            "analysis_hits": self.analysis_hits,
+            "analysis_misses": self.analysis_misses,
+        }
+
+
+class VariantCache:
+    """Cross-generation cache of fully evaluated variants."""
+
+    def __init__(self):
+        self._variants: Dict[Tuple, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._variants)
+
+    def __contains__(self, config: CompilerConfig) -> bool:
+        return canonical_key(config) in self._variants
+
+    def get(self, config: CompilerConfig):
+        variant = self._variants.get(canonical_key(config))
+        if variant is not None:
+            self.hits += 1
+        return variant
+
+    def put(self, config: CompilerConfig, variant) -> None:
+        self.misses += 1
+        self._variants[canonical_key(config)] = variant
+
+
+class LoweringCache:
+    """Cache of lowered programs shared across IR-level flag combinations.
+
+    Stores the pristine post-lowering program per AST-stage key; ``get``
+    returns an independent clone so the caller's in-place IR passes cannot
+    corrupt the cached original.
+    """
+
+    def __init__(self):
+        self._lowered: Dict[Tuple, Tuple[Program, Dict[str, int]]] = {}
+        self._pre_unroll: Dict[Tuple, Tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_pre_unroll(self, config: CompilerConfig) -> Optional[Tuple]:
+        """The cached (module, statistics) pair before unrolling, if any.
+
+        The stored module is pristine — callers must clone it before
+        mutating (the engine always unrolls a fresh clone).
+        """
+        return self._pre_unroll.get(pre_unroll_key(config))
+
+    def put_pre_unroll(self, config: CompilerConfig, module,
+                       statistics: Dict[str, int]) -> None:
+        self._pre_unroll[pre_unroll_key(config)] = (module, dict(statistics))
+
+    def get(self, config: CompilerConfig
+            ) -> Optional[Tuple[Program, Dict[str, int]]]:
+        entry = self._lowered.get(ast_stage_key(config))
+        if entry is None:
+            return None
+        self.hits += 1
+        program, statistics = entry
+        return program.clone(share_instructions=True), dict(statistics)
+
+    def put(self, config: CompilerConfig, program: Program,
+            statistics: Dict[str, int]) -> None:
+        self.misses += 1
+        # Keep a private pristine copy; the caller mutates its own clone.
+        # Instruction sharing is safe: the IR passes are copy-on-write at
+        # instruction granularity.
+        self._lowered[ast_stage_key(config)] = (
+            program.clone(share_instructions=True), dict(statistics))
+
+
+class IrStageCache:
+    """Cache of programs after the platform-independent IR passes.
+
+    Keyed on the AST-stage key plus the DCE/strength-reduction flags: the
+    only remaining pass (scratchpad allocation) runs last, so configurations
+    differing only in ``spm_allocation`` share everything up to here.
+    """
+
+    def __init__(self):
+        self._programs: Dict[Tuple, Tuple[Program, Dict[str, int]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(config: CompilerConfig) -> Tuple:
+        return ast_stage_key(config) + (config.dead_code_elimination,
+                                        config.strength_reduction)
+
+    def get(self, config: CompilerConfig
+            ) -> Optional[Tuple[Program, Dict[str, int]]]:
+        entry = self._programs.get(self.key(config))
+        if entry is None:
+            return None
+        self.hits += 1
+        program, statistics = entry
+        return program.clone(share_instructions=True), dict(statistics)
+
+    def put(self, config: CompilerConfig, program: Program,
+            statistics: Dict[str, int]) -> None:
+        self.misses += 1
+        self._programs[self.key(config)] = (
+            program.clone(share_instructions=True), dict(statistics))
+
+
+def _region_signature(region: Region) -> Tuple:
+    """Cost-relevant serialisation of a region tree (labels and loop bounds)."""
+    if isinstance(region, BlockRegion):
+        return ("B", region.label)
+    if isinstance(region, SeqRegion):
+        return ("S",) + tuple(_region_signature(c) for c in region.children)
+    if isinstance(region, IfRegion):
+        return ("I", region.cond_label,
+                _region_signature(region.then_region),
+                _region_signature(region.else_region))
+    if isinstance(region, LoopRegion):
+        return ("L", region.cond_label, region.bound,
+                _region_signature(region.body_region))
+    raise TypeError(f"unknown region type {type(region)!r}")  # pragma: no cover
+
+
+def program_fingerprint(program: Program) -> Tuple:
+    """Structural fingerprint capturing everything the cost analyses read.
+
+    Two programs with equal fingerprints have identical worst-case cost
+    tables on any core of the platform: the fingerprint covers each
+    function's placement (``code_region``), its region tree including loop
+    bounds, and each block's instruction sequence (opcode, callee, accessed
+    array).  Memoised on the program object — only fingerprint programs that
+    will no longer be mutated.
+    """
+    cached = getattr(program, _FINGERPRINT_ATTR, None)
+    if cached is not None:
+        return cached
+    functions = []
+    for name, function in program.functions.items():
+        blocks = []
+        for label, block in function.blocks.items():
+            # Enum members (not .value) keep this loop fast: accessing
+            # Opcode.value goes through a descriptor on every instruction.
+            signature = [label]
+            signature.extend((instr.opcode, instr.callee, instr.array)
+                             for instr in block.instrs)
+            blocks.append(tuple(signature))
+        functions.append((name, function.code_region, function.entry,
+                          _region_signature(function.region), tuple(blocks)))
+    fingerprint = tuple(functions)
+    setattr(program, _FINGERPRINT_ATTR, fingerprint)
+    return fingerprint
+
+
+class _BlockMemoCostEngine(StructuralCostEngine):
+    """Structural cost engine with a cross-program block-cost memo.
+
+    The worst-case cost of a *call-free* basic block is a pure left-to-right
+    sum of per-instruction costs, so identical instruction sequences cost
+    exactly the same wherever they occur — across functions, programs and
+    variants.  Blocks containing calls interleave callee costs into the sum
+    and fall back to the uncached recursion.
+    """
+
+    def __init__(self, program, instr_cost, block_memo: Dict[Tuple, float]):
+        super().__init__(program, instr_cost)
+        self._block_memo = block_memo
+
+    def _block_cost(self, function, label: str) -> float:
+        block = function.block(label)
+        opcodes = []
+        for instr in block.instrs:
+            opcode = instr.opcode
+            if opcode is _CALL_OPCODE:
+                return super()._block_cost(function, label)
+            opcodes.append(opcode)
+        key = (function.code_region, tuple(opcodes))
+        cost = self._block_memo.get(key)
+        if cost is None:
+            cost = super()._block_cost(function, label)
+            self._block_memo[key] = cost
+        return cost
+
+
+class AnalysisCache:
+    """Shared per-function WCET/WCEC result tables, keyed by program structure.
+
+    Bound to one :class:`Platform`.  The first WCET query for a (program,
+    core) pair runs the structural cost engine over *every* function once and
+    records per-function cycle bounds (plus the analysis errors of functions
+    that legitimately have none, e.g. unreachable code with unbounded loops);
+    likewise for energy per (program, core, operating point).  Subsequent
+    queries are dictionary lookups, which makes multi-entry evaluation, DVFS
+    sweeps and per-core ETS derivation nearly free.
+    """
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self.hits = 0
+        self.misses = 0
+        self._checked: Dict[Tuple, bool] = {}
+        self._cycle_tables: Dict[Tuple, Tuple[Dict[str, float], Dict[str, Exception]]] = {}
+        self._energy_tables: Dict[Tuple, Tuple[Dict[str, float], Dict[str, Exception]]] = {}
+        self._wcet_analyzers: Dict[str, WCETAnalyzer] = {}
+        self._energy_analyzers: Dict[str, EnergyAnalyzer] = {}
+        # Per-instruction cost memos.  A cycle cost depends only on the
+        # opcode and the fetch region of the enclosing function; an energy
+        # cost only on the opcode (and the operating point) — so each
+        # distinct cost is computed once per core ever, not once per
+        # instruction occurrence per program.
+        self._cycle_costs: Dict[str, Dict[Tuple, float]] = {}
+        self._energy_costs: Dict[Tuple, Dict[Tuple, float]] = {}
+        # Cross-program block-cost memos (call-free blocks only).
+        self._cycle_block_costs: Dict[str, Dict[Tuple, float]] = {}
+        self._energy_block_costs: Dict[Tuple, Dict[Tuple, float]] = {}
+
+    # -- analyzer instances (cost models are deterministic per core) ----------
+    def _default_core(self) -> Core:
+        core = next(iter(self.platform.predictable_cores), None)
+        if core is None:
+                raise AnalysisError(
+                f"platform {self.platform.name!r} has no predictable core; use "
+                f"the dynamic profiling workflow for complex architectures")
+        return core
+
+    def _wcet_analyzer(self, core: Core) -> WCETAnalyzer:
+        analyzer = self._wcet_analyzers.get(core.name)
+        if analyzer is None:
+            analyzer = WCETAnalyzer(self.platform, core=core)
+            self._wcet_analyzers[core.name] = analyzer
+        return analyzer
+
+    def _energy_analyzer(self, core: Core) -> EnergyAnalyzer:
+        analyzer = self._energy_analyzers.get(core.name)
+        if analyzer is None:
+            analyzer = EnergyAnalyzer(self.platform, core=core)
+            self._energy_analyzers[core.name] = analyzer
+        return analyzer
+
+    # -- shared validation ----------------------------------------------------
+    def _check_analysable(self, program: Program, fingerprint: Tuple) -> None:
+        """``validate()`` + recursion check, once per distinct program.
+
+        The recursion check is an iterative three-colour DFS over the call
+        graph — same verdict as ``Program.has_recursion()`` without paying
+        for a networkx graph per program.
+        """
+        if self._checked.get(fingerprint):
+            return
+        program.validate()
+        callees = {name: function.callees()
+                   for name, function in program.functions.items()}
+        state: Dict[str, int] = {}  # 1 = on stack, 2 = done
+        for root in callees:
+            if state.get(root):
+                continue
+            stack = [(root, iter(callees[root]))]
+            state[root] = 1
+            while stack:
+                name, remaining = stack[-1]
+                advanced = False
+                for callee in remaining:
+                    mark = state.get(callee)
+                    if mark == 1:
+                        raise AnalysisError(
+                            "programs with recursion are not analysable")
+                    if mark is None and callee in callees:
+                        state[callee] = 1
+                        stack.append((callee, iter(callees[callee])))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[name] = 2
+                    stack.pop()
+        self._checked[fingerprint] = True
+
+    # -- cost tables ------------------------------------------------------------
+    def _cycles(self, program: Program, core: Core
+                ) -> Tuple[Dict[str, float], Dict[str, Exception]]:
+        fingerprint = program_fingerprint(program)
+        key = (fingerprint, core.name)
+        entry = self._cycle_tables.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        self._check_analysable(program, fingerprint)
+        analyzer = self._wcet_analyzer(core)
+        memo = self._cycle_costs.setdefault(core.name, {})
+
+        def instr_cycles(function, instr):
+            memo_key = (function.code_region, instr.opcode)
+            cost = memo.get(memo_key)
+            if cost is None:
+                cost = analyzer._instr_cycles(function, instr)
+                memo[memo_key] = cost
+            return cost
+
+        engine = _BlockMemoCostEngine(
+            program, instr_cycles,
+            self._cycle_block_costs.setdefault(core.name, {}))
+        table: Dict[str, float] = {}
+        errors: Dict[str, Exception] = {}
+        for name in program.functions:
+            try:
+                table[name] = engine.function_cost(name)
+            except AnalysisError as error:
+                # Functions not reachable from an entry may legitimately
+                # lack loop bounds; they simply don't get a standalone bound.
+                errors[name] = error
+        entry = (table, errors)
+        self._cycle_tables[key] = entry
+        return entry
+
+    def _energy(self, program: Program, core: Core, opp: OperatingPoint
+                ) -> Tuple[Dict[str, float], Dict[str, Exception]]:
+        fingerprint = program_fingerprint(program)
+        key = (fingerprint, core.name, opp.label)
+        entry = self._energy_tables.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        self._check_analysable(program, fingerprint)
+        analyzer = self._energy_analyzer(core)
+        memo = self._energy_costs.setdefault((core.name, opp.label), {})
+
+        def instr_energy(function, instr):
+            cost = memo.get(instr.opcode)
+            if cost is None:
+                cost = analyzer._instr_energy(function, instr, opp)
+                memo[instr.opcode] = cost
+            return cost
+
+        engine = _BlockMemoCostEngine(
+            program, instr_energy,
+            self._energy_block_costs.setdefault((core.name, opp.label), {}))
+        table: Dict[str, float] = {}
+        errors: Dict[str, Exception] = {}
+        for name in program.functions:
+            try:
+                table[name] = engine.function_cost(name)
+            except AnalysisError as error:
+                errors[name] = error
+        entry = (table, errors)
+        self._energy_tables[key] = entry
+        return entry
+
+    @staticmethod
+    def _entry_cost(program: Program, function_name: str,
+                    table: Dict[str, float],
+                    errors: Dict[str, Exception]) -> float:
+        if function_name in table:
+            return table[function_name]
+        if function_name in errors:
+            raise errors[function_name]
+        # Unknown function: raise the same error the engine would have.
+        program.function(function_name)
+        raise KeyError(function_name)  # pragma: no cover - function() raises
+
+    # -- public API mirroring the stock analysers ------------------------------
+    def wcet(self, program: Program, function_name: str,
+             core: Optional[Core] = None,
+             opp: Optional[OperatingPoint] = None) -> WCETResult:
+        """Cached equivalent of ``WCETAnalyzer(...).analyze(...)``."""
+        core = core or self._default_core()
+        opp = opp or core.nominal_opp
+        table, errors = self._cycles(program, core)
+        cycles = self._entry_cost(program, function_name, table, errors)
+        return WCETResult(
+            function=function_name,
+            cycles=cycles,
+            time_s=core.time_for_cycles(cycles, opp),
+            frequency_hz=opp.frequency_hz,
+            per_function_cycles=dict(table),
+        )
+
+    def wcec(self, program: Program, function_name: str,
+             core: Optional[Core] = None,
+             opp: Optional[OperatingPoint] = None) -> WCECResult:
+        """Cached equivalent of ``EnergyAnalyzer(...).analyze(...)``."""
+        core = core or self._default_core()
+        opp = opp or core.nominal_opp
+        table, errors = self._energy(program, core, opp)
+        dynamic = self._entry_cost(program, function_name, table, errors)
+        wcet_result = self.wcet(program, function_name, core=core, opp=opp)
+        analyzer = self._energy_analyzer(core)
+        static = analyzer.model.static_power(opp) * wcet_result.time_s
+        return WCECResult(
+            function=function_name,
+            dynamic_energy_j=dynamic,
+            static_energy_j=static,
+            wcet_time_s=wcet_result.time_s,
+            frequency_hz=opp.frequency_hz,
+        )

@@ -1,0 +1,185 @@
+"""The evaluation engine: single entry point for variant evaluation.
+
+An :class:`EvaluationEngine` binds one source module, one platform/core/OPP
+and one optional security evaluator, and evaluates compiler configurations
+against them through the staged caches of
+:mod:`repro.compiler.engine.cache`:
+
+* the variant cache short-circuits revisited configurations entirely,
+* the lowering cache shares the lowered IR between configurations that
+  differ only in IR-level flags,
+* the analysis cache shares per-function WCET/WCEC tables between every
+  query against the same compiled program (multiple task entries, DVFS
+  sweeps, per-core ETS derivation).
+
+With ``entry_functions`` naming a single function the engine produces the
+same variants as :func:`repro.compiler.evaluate.evaluate_config`; with
+several it produces the aggregate all-tasks variants the predictable
+toolchain optimises (sum of per-entry WCET/energy, entry ``"<all tasks>"``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.engine.cache import (
+    AnalysisCache,
+    CacheStats,
+    IrStageCache,
+    LoweringCache,
+    VariantCache,
+)
+from repro.compiler.evaluate import (
+    SecurityEvaluator,
+    Variant,
+    apply_pre_unroll_passes,
+    run_ir_optimisations,
+    run_spm_allocation,
+    unroll_and_lower,
+)
+from repro.compiler.passes.spm import INSTRUCTION_BYTES
+from repro.errors import CompilationError
+from repro.frontend import ast_nodes as ast
+from repro.hw.core import Core
+from repro.hw.dvfs import OperatingPoint
+from repro.hw.platform import Platform
+from repro.ir.cfg import Program
+
+#: Entry-function label of aggregate multi-task variants.
+ALL_TASKS_ENTRY = "<all tasks>"
+
+
+class EvaluationEngine:
+    """Evaluates compiler configurations with shared analysis caching."""
+
+    def __init__(self, module: ast.SourceModule, platform: Platform,
+                 entry_functions: Sequence[str],
+                 core: Optional[Core] = None,
+                 opp: Optional[OperatingPoint] = None,
+                 security_evaluator: Optional[SecurityEvaluator] = None,
+                 analysis_cache: Optional[AnalysisCache] = None,
+                 lowering_cache: Optional[LoweringCache] = None,
+                 variant_cache: Optional[VariantCache] = None,
+                 aggregate: bool = False):
+        if not entry_functions:
+            raise CompilationError("engine needs at least one entry function")
+        self.module = module
+        self.platform = platform
+        self.entry_functions = list(entry_functions)
+        #: Aggregate mode always produces "<all tasks>" variants (summed ETS
+        #: over the entries, no security objective), matching the predictable
+        #: toolchain's whole-application evaluation even for one task.
+        self.aggregate = aggregate
+        self.core = core
+        self.opp = opp
+        self.security_evaluator = security_evaluator
+        # Caches can be shared across engines: the analysis cache is safe to
+        # share platform-wide, the lowering/variant caches are per-module (and
+        # per security context for the variant cache).
+        self.analysis = analysis_cache or AnalysisCache(platform)
+        self.lowering = lowering_cache or LoweringCache()
+        self.ir_stage = IrStageCache()
+        self.variants = variant_cache or VariantCache()
+
+    # -- statistics ------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            variant_hits=self.variants.hits,
+            variant_misses=self.variants.misses,
+            lowering_hits=self.lowering.hits,
+            lowering_misses=self.lowering.misses,
+            ir_stage_hits=self.ir_stage.hits,
+            ir_stage_misses=self.ir_stage.misses,
+            analysis_hits=self.analysis.hits,
+            analysis_misses=self.analysis.misses,
+        )
+
+    # -- pipeline stages ---------------------------------------------------------
+    def _build(self, config: CompilerConfig):
+        """Lower and optimise through the staged caches.
+
+        Stage order (each stage's cache key subsumes the previous one's):
+        lowering (AST-stage key) → platform-independent IR passes (+ DCE/SR
+        flags) → scratchpad allocation (per variant, runs last).
+        """
+        staged = self.ir_stage.get(config)
+        if staged is None:
+            lowered = self.lowering.get(config)
+            if lowered is None:
+                program, statistics = self._lower(config)
+                self.lowering.put(config, program, statistics)
+            else:
+                program, statistics = lowered
+            statistics.update(run_ir_optimisations(program, config))
+            self.ir_stage.put(config, program, statistics)
+        else:
+            program, statistics = staged
+        statistics.update(run_spm_allocation(program, config, self.platform))
+        return program, statistics
+
+    def _lower(self, config: CompilerConfig):
+        """AST passes + lowering, sharing the pre-unroll module when possible."""
+        pre = self.lowering.get_pre_unroll(config)
+        if pre is None:
+            working, statistics = apply_pre_unroll_passes(self.module, config)
+            self.lowering.put_pre_unroll(config, working, statistics)
+        else:
+            working, statistics = pre
+            statistics = dict(statistics)
+        # The cached pre-unroll module stays pristine: unrolling (and, for
+        # hygiene, lowering) always operates on a private clone.
+        working = ast.clone_module(working)
+        return unroll_and_lower(working, config, statistics), statistics
+
+    def _analyse(self, config: CompilerConfig, program: Program,
+                 statistics: Dict[str, int], name: Optional[str]) -> Variant:
+        for entry in self.entry_functions:
+            if entry not in program.functions:
+                raise CompilationError(
+                    f"entry function {entry!r} not found")
+        total_cycles = 0.0
+        total_time = 0.0
+        total_energy = 0.0
+        for entry in self.entry_functions:
+            wcet = self.analysis.wcet(program, entry, core=self.core,
+                                      opp=self.opp)
+            wcec = self.analysis.wcec(program, entry, core=self.core,
+                                      opp=self.opp)
+            total_cycles += wcet.cycles
+            total_time += wcet.time_s
+            total_energy += wcec.energy_j
+
+        single_entry = (self.entry_functions[0]
+                        if len(self.entry_functions) == 1 and not self.aggregate
+                        else None)
+        security = None
+        if single_entry is not None and self.security_evaluator is not None:
+            security = self.security_evaluator(program, single_entry)
+
+        return Variant(
+            name=name or config.short_name(),
+            config=config,
+            program=program,
+            entry_function=single_entry or ALL_TASKS_ENTRY,
+            wcet_cycles=total_cycles,
+            wcet_time_s=total_time,
+            energy_j=total_energy,
+            code_size_bytes=program.total_instructions * INSTRUCTION_BYTES,
+            security_level=security,
+            pass_statistics=statistics,
+        )
+
+    # -- public API -----------------------------------------------------------------
+    def evaluate(self, config: CompilerConfig,
+                 name: Optional[str] = None) -> Variant:
+        """Evaluate one configuration (cached)."""
+        cached = self.variants.get(config)
+        if cached is not None:
+            return cached
+        program, statistics = self._build(config)
+        variant = self._analyse(config, program, statistics, name)
+        self.variants.put(config, variant)
+        return variant
+

@@ -1,0 +1,104 @@
+"""Pure-Python reference implementations of the Pareto machinery.
+
+These are the seed repository's original O(N²) double-loop implementations,
+retained verbatim as the behavioural oracle for the numpy-vectorised versions
+in :mod:`repro.compiler.engine.vectorized`.  The property tests in
+``tests/test_properties.py`` assert exact agreement (front composition *and*
+ordering, crowding tie-breaking, deduplication) on random objective vectors;
+the optimisers themselves only ever call the vectorised versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import CompilationError
+
+
+@dataclass
+class ObjectivePoint:
+    """A minimal stand-in for :class:`Variant` carrying only objectives.
+
+    Useful for exercising the Pareto machinery on raw objective vectors
+    (property tests, benchmarks) without building compiled variants.
+    """
+
+    values: Tuple[float, ...]
+
+    def objectives(self) -> Tuple[float, ...]:
+        return self.values
+
+    def dominates(self, other: "ObjectivePoint") -> bool:
+        mine, theirs = self.objectives(), other.objectives()
+        if len(mine) != len(theirs):
+            raise CompilationError(
+                "cannot compare variants with different objective sets")
+        return (all(a <= b for a, b in zip(mine, theirs))
+                and any(a < b for a, b in zip(mine, theirs)))
+
+
+def non_dominated_sort_reference(variants: Sequence) -> List[List[int]]:
+    """Indices of ``variants`` grouped into successive non-dominated fronts."""
+    count = len(variants)
+    dominated_by: List[List[int]] = [[] for _ in range(count)]
+    domination_count = [0] * count
+    fronts: List[List[int]] = [[]]
+
+    for i in range(count):
+        for j in range(count):
+            if i == j:
+                continue
+            if variants[i].dominates(variants[j]):
+                dominated_by[i].append(j)
+            elif variants[j].dominates(variants[i]):
+                domination_count[i] += 1
+        if domination_count[i] == 0:
+            fronts[0].append(i)
+
+    current = 0
+    while fronts[current]:
+        next_front: List[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    return [front for front in fronts if front]
+
+
+def crowding_distance_reference(variants: Sequence,
+                                front: Sequence[int]) -> Dict[int, float]:
+    """Crowding distance of each index in ``front``."""
+    distance = {i: 0.0 for i in front}
+    if not front:
+        return distance
+    objective_count = len(variants[front[0]].objectives())
+    for objective in range(objective_count):
+        ordered = sorted(front, key=lambda i: variants[i].objectives()[objective])
+        low = variants[ordered[0]].objectives()[objective]
+        high = variants[ordered[-1]].objectives()[objective]
+        distance[ordered[0]] = distance[ordered[-1]] = float("inf")
+        if high == low:
+            continue
+        for position in range(1, len(ordered) - 1):
+            previous = variants[ordered[position - 1]].objectives()[objective]
+            following = variants[ordered[position + 1]].objectives()[objective]
+            distance[ordered[position]] += (following - previous) / (high - low)
+    return distance
+
+
+def pareto_front_reference(variants: Sequence) -> List:
+    """Non-dominated subset of ``variants`` (first occurrence wins on ties)."""
+    front: List = []
+    for candidate in variants:
+        if any(other.dominates(candidate) for other in variants
+               if other is not candidate):
+            continue
+        if any(existing.objectives() == candidate.objectives()
+               for existing in front):
+            continue
+        front.append(candidate)
+    return front

@@ -79,11 +79,13 @@ class Variant:
         }
 
 
-def build_program(module: ast.SourceModule, config: CompilerConfig,
-                  platform: Platform) -> Tuple[Program, Dict[str, int]]:
-    """Apply the configuration's passes and lower to IR.
+def apply_pre_unroll_passes(module: ast.SourceModule, config: CompilerConfig
+                            ) -> Tuple[ast.SourceModule, Dict[str, int]]:
+    """Loop-bound inference plus the AST passes that run before unrolling.
 
-    The input module is never modified; every build starts from a fresh clone.
+    Only hardening, constant folding and inlining are consumed here, so the
+    result is shared between configurations differing in ``unroll_limit``.
+    The input module is never modified; the returned module is a fresh clone.
     """
     working = ast.clone_module(module)
     statistics: Dict[str, int] = {}
@@ -96,21 +98,73 @@ def build_program(module: ast.SourceModule, config: CompilerConfig,
         statistics["constant_folds"] = fold_constants(working)
     if config.inline_simple_functions:
         statistics["inlined_calls"] = inline_simple_functions(working)
+    return working, statistics
+
+
+def unroll_and_lower(working: ast.SourceModule, config: CompilerConfig,
+                     statistics: Dict[str, int]) -> Program:
+    """Unroll (mutating ``working`` in place) and lower to IR."""
     if config.unroll_limit:
         statistics["unrolled_loops"] = unroll_loops(working, config.unroll_limit)
         if config.constant_folding:
             statistics["constant_folds"] = (statistics.get("constant_folds", 0)
                                             + fold_constants(working))
+    return lower_module(working)
 
-    program = lower_module(working)
 
+def lower_with_ast_passes(module: ast.SourceModule, config: CompilerConfig
+                          ) -> Tuple[Program, Dict[str, int]]:
+    """Run the AST-level passes selected by ``config`` and lower to IR.
+
+    Only the AST-level knobs of ``config`` (security hardening, constant
+    folding, inlining, unrolling) influence the result — the IR-level passes
+    run separately in :func:`run_ir_passes`.  This split is what lets the
+    evaluation engine share one lowered program between configurations that
+    differ only in IR-level flags.
+
+    The input module is never modified; every build starts from a fresh clone.
+    """
+    working, statistics = apply_pre_unroll_passes(module, config)
+    return unroll_and_lower(working, config, statistics), statistics
+
+
+def run_ir_optimisations(program: Program,
+                         config: CompilerConfig) -> Dict[str, int]:
+    """Run the platform-independent IR passes (DCE, strength reduction)."""
+    statistics: Dict[str, int] = {}
     if config.dead_code_elimination:
         statistics["dead_instructions"] = eliminate_dead_code(program)
     if config.strength_reduction:
         statistics["strength_reductions"] = strength_reduce(program)
+    return statistics
+
+
+def run_spm_allocation(program: Program, config: CompilerConfig,
+                       platform: Platform) -> Dict[str, int]:
+    """Run the platform-dependent scratchpad allocation pass (always last)."""
+    statistics: Dict[str, int] = {}
     if config.spm_allocation:
         allocation = allocate_scratchpad(program, platform)
         statistics["spm_functions"] = len(allocation.placed_functions)
+    return statistics
+
+
+def run_ir_passes(program: Program, config: CompilerConfig,
+                  platform: Platform) -> Dict[str, int]:
+    """Run the IR-level passes selected by ``config`` on ``program`` in place."""
+    statistics = run_ir_optimisations(program, config)
+    statistics.update(run_spm_allocation(program, config, platform))
+    return statistics
+
+
+def build_program(module: ast.SourceModule, config: CompilerConfig,
+                  platform: Platform) -> Tuple[Program, Dict[str, int]]:
+    """Apply the configuration's passes and lower to IR.
+
+    The input module is never modified; every build starts from a fresh clone.
+    """
+    program, statistics = lower_with_ast_passes(module, config)
+    statistics.update(run_ir_passes(program, config, platform))
     return program, statistics
 
 

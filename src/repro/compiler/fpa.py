@@ -6,6 +6,13 @@ are encoded as vectors in ``[0, 1]^N``; *global pollination* moves a solution
 towards a Pareto-archive member along a Lévy flight, *local pollination*
 mixes two random population members.  Non-dominated solutions are collected
 in an archive which is the algorithm's result.
+
+Pareto-front filtering is the numpy-vectorised implementation from
+:mod:`repro.compiler.engine.vectorized` (re-exported here for backwards
+compatibility); candidate evaluation goes through the evaluation engine's
+:class:`~repro.compiler.engine.batch.BatchEvaluator` when one is supplied,
+which adds cross-generation variant caching and staged lowering/analysis
+memoisation on top of this optimiser's own per-run cache.
 """
 
 from __future__ import annotations
@@ -13,10 +20,14 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.compiler.config import CompilerConfig
+from repro.compiler.engine.batch import BatchEvaluator
+from repro.compiler.engine.vectorized import pareto_front
 from repro.compiler.evaluate import Variant
+
+__all__ = ["Evaluator", "FlowerPollinationOptimizer", "pareto_front"]
 
 #: Maps a configuration to its evaluated variant.
 Evaluator = Callable[[CompilerConfig], Variant]
@@ -32,30 +43,19 @@ def _levy_step(rng: random.Random, beta: float = 1.5) -> float:
     return u / (v ** (1 / beta))
 
 
-def pareto_front(variants: Sequence[Variant]) -> List[Variant]:
-    """Non-dominated subset of ``variants`` (first occurrence wins on ties)."""
-    front: List[Variant] = []
-    for candidate in variants:
-        if any(other.dominates(candidate) for other in variants
-               if other is not candidate):
-            continue
-        if any(existing.objectives() == candidate.objectives() for existing in front):
-            continue
-        front.append(candidate)
-    return front
-
-
 @dataclass
 class FlowerPollinationOptimizer:
     """Multi-objective FPA over the compiler configuration space."""
 
-    evaluator: Evaluator
+    evaluator: Union[Evaluator, BatchEvaluator]
     population_size: int = 10
     generations: int = 8
     switch_probability: float = 0.8
     seed: int = 7
     #: Evaluation cache keyed by the decoded configuration, so re-visited
     #: configurations (frequent with only a handful of genes) are free.
+    #: ``evaluations`` counts the unique configurations seen this run, even
+    #: when a shared engine cache made their evaluation a lookup.
     _cache: Dict[CompilerConfig, Variant] = field(default_factory=dict, repr=False)
     evaluations: int = field(default=0, repr=False)
 
@@ -65,6 +65,17 @@ class FlowerPollinationOptimizer:
             self._cache[config] = self.evaluator(config)
             self.evaluations += 1
         return self._cache[config]
+
+    def _evaluate_population(self, population: Sequence[Sequence[float]]
+                             ) -> List[Variant]:
+        """Evaluate a whole population at once (batched when possible)."""
+        configs = [CompilerConfig.from_genes(genes) for genes in population]
+        if isinstance(self.evaluator, BatchEvaluator):
+            fresh = [c for c in dict.fromkeys(configs) if c not in self._cache]
+            for config, variant in zip(fresh, self.evaluator.evaluate(fresh)):
+                self._cache[config] = variant
+                self.evaluations += 1
+        return [self._evaluate(genes) for genes in population]
 
     def optimize(self, initial_configs: Optional[Sequence[CompilerConfig]] = None
                  ) -> List[Variant]:
@@ -79,7 +90,7 @@ class FlowerPollinationOptimizer:
             population.append([rng.random() for _ in range(dims)])
         population = population[:self.population_size]
 
-        variants = [self._evaluate(genes) for genes in population]
+        variants = self._evaluate_population(population)
         archive = pareto_front(variants)
 
         for _generation in range(self.generations):

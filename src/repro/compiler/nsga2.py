@@ -4,82 +4,47 @@ Included as the comparison point for the Flower Pollination Algorithm: both
 optimisers expose the same interface (an ``optimize`` method returning the
 final Pareto archive of :class:`Variant` objects), so ablation benchmarks can
 swap one for the other.
+
+The non-dominated sorting and crowding-distance machinery re-exported here is
+the numpy-vectorised implementation from
+:mod:`repro.compiler.engine.vectorized` (one broadcasted objective-matrix
+comparison instead of the seed's O(N²) Python double loop); population
+evaluation is batched through the engine's
+:class:`~repro.compiler.engine.batch.BatchEvaluator` when one is supplied.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.compiler.config import CompilerConfig
+from repro.compiler.engine.batch import BatchEvaluator
+from repro.compiler.engine.vectorized import (
+    crowding_distance,
+    non_dominated_sort,
+    pareto_front,
+)
 from repro.compiler.evaluate import Variant
-from repro.compiler.fpa import pareto_front
+
+__all__ = ["Evaluator", "Nsga2Optimizer", "crowding_distance",
+           "non_dominated_sort"]
 
 Evaluator = Callable[[CompilerConfig], Variant]
-
-
-def non_dominated_sort(variants: Sequence[Variant]) -> List[List[int]]:
-    """Indices of ``variants`` grouped into successive non-dominated fronts."""
-    count = len(variants)
-    dominated_by: List[List[int]] = [[] for _ in range(count)]
-    domination_count = [0] * count
-    fronts: List[List[int]] = [[]]
-
-    for i in range(count):
-        for j in range(count):
-            if i == j:
-                continue
-            if variants[i].dominates(variants[j]):
-                dominated_by[i].append(j)
-            elif variants[j].dominates(variants[i]):
-                domination_count[i] += 1
-        if domination_count[i] == 0:
-            fronts[0].append(i)
-
-    current = 0
-    while fronts[current]:
-        next_front: List[int] = []
-        for i in fronts[current]:
-            for j in dominated_by[i]:
-                domination_count[j] -= 1
-                if domination_count[j] == 0:
-                    next_front.append(j)
-        current += 1
-        fronts.append(next_front)
-    return [front for front in fronts if front]
-
-
-def crowding_distance(variants: Sequence[Variant],
-                      front: Sequence[int]) -> Dict[int, float]:
-    """Crowding distance of each index in ``front``."""
-    distance = {i: 0.0 for i in front}
-    if not front:
-        return distance
-    objective_count = len(variants[front[0]].objectives())
-    for objective in range(objective_count):
-        ordered = sorted(front, key=lambda i: variants[i].objectives()[objective])
-        low = variants[ordered[0]].objectives()[objective]
-        high = variants[ordered[-1]].objectives()[objective]
-        distance[ordered[0]] = distance[ordered[-1]] = float("inf")
-        if high == low:
-            continue
-        for position in range(1, len(ordered) - 1):
-            previous = variants[ordered[position - 1]].objectives()[objective]
-            following = variants[ordered[position + 1]].objectives()[objective]
-            distance[ordered[position]] += (following - previous) / (high - low)
-    return distance
 
 
 @dataclass
 class Nsga2Optimizer:
     """NSGA-II over the compiler configuration space."""
 
-    evaluator: Evaluator
+    evaluator: Union[Evaluator, BatchEvaluator]
     population_size: int = 12
     generations: int = 8
     mutation_probability: float = 0.2
     seed: int = 11
+    #: Per-run cache; ``evaluations`` counts unique configurations seen this
+    #: run even when a shared engine cache made them lookups.
     _cache: Dict[CompilerConfig, Variant] = field(default_factory=dict, repr=False)
     evaluations: int = field(default=0, repr=False)
 
@@ -89,6 +54,17 @@ class Nsga2Optimizer:
             self._cache[config] = self.evaluator(config)
             self.evaluations += 1
         return config, self._cache[config]
+
+    def _evaluate_population(self, population: Sequence[Sequence[float]]
+                             ) -> List[Variant]:
+        """Evaluate a whole generation at once (batched when possible)."""
+        configs = [CompilerConfig.from_genes(genes) for genes in population]
+        if isinstance(self.evaluator, BatchEvaluator):
+            fresh = [c for c in dict.fromkeys(configs) if c not in self._cache]
+            for config, variant in zip(fresh, self.evaluator.evaluate(fresh)):
+                self._cache[config] = variant
+                self.evaluations += 1
+        return [self._evaluate(genes)[1] for genes in population]
 
     def _select(self, rng: random.Random, population: List[List[float]],
                 ranks: Dict[int, int], crowding: Dict[int, float]) -> List[float]:
@@ -110,7 +86,7 @@ class Nsga2Optimizer:
 
         archive: List[Variant] = []
         for _generation in range(self.generations):
-            variants = [self._evaluate(genes)[1] for genes in population]
+            variants = self._evaluate_population(population)
             archive = pareto_front(archive + variants)
 
             fronts = non_dominated_sort(variants)
@@ -135,5 +111,5 @@ class Nsga2Optimizer:
                 offspring.append(child)
             population = offspring
 
-        final_variants = [self._evaluate(genes)[1] for genes in population]
+        final_variants = self._evaluate_population(population)
         return pareto_front(archive + final_variants)

@@ -7,9 +7,9 @@ tree (which references blocks by label) remains valid.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict
 
-from repro.ir.cfg import Function, Program
+from repro.ir.cfg import Program
 from repro.ir.instructions import Imm, Instr, Opcode, Reg
 
 #: Opcodes that must never be removed even if their destination is unused.
@@ -19,34 +19,33 @@ _SIDE_EFFECTS = {Opcode.STORE, Opcode.CALL, Opcode.RET, Opcode.BR, Opcode.JMP}
 # ---------------------------------------------------------------------------
 # Dead-code elimination
 # ---------------------------------------------------------------------------
-def _used_registers(function: Function) -> Set[str]:
-    used: Set[str] = set()
-    for instr in function.iter_instructions():
-        for reg in instr.reads():
-            used.add(reg.name)
-    return used
-
-
 def eliminate_dead_code(program: Program) -> int:
     """Remove instructions whose results are never read.
 
     Returns the number of instructions removed (across all functions).  The
     pass iterates to a fixed point because removing one dead instruction can
-    make its operands' producers dead too.
+    make its operands' producers dead too.  Read counts are maintained
+    incrementally across iterations (same fixed point as recomputing the
+    used-register set from scratch, without re-walking every operand).
     """
     removed_total = 0
     for function in program.functions.values():
+        reads: Dict[str, int] = {}
+        for instr in function.iter_instructions():
+            for reg in instr.reads():
+                reads[reg.name] = reads.get(reg.name, 0) + 1
         while True:
-            used = _used_registers(function)
             removed = 0
             for block in function.blocks.values():
                 kept = []
                 for instr in block.instrs:
-                    is_dead = (instr.opcode not in _SIDE_EFFECTS
-                               and instr.dst is not None
-                               and instr.dst.name not in used)
-                    if is_dead:
+                    dst = instr.dst
+                    if (dst is not None
+                            and instr.opcode not in _SIDE_EFFECTS
+                            and not reads.get(dst.name)):
                         removed += 1
+                        for reg in instr.reads():
+                            reads[reg.name] -= 1
                     else:
                         kept.append(instr)
                 block.instrs = kept
@@ -61,6 +60,11 @@ def eliminate_dead_code(program: Program) -> int:
 # ---------------------------------------------------------------------------
 def _is_power_of_two(value: int) -> bool:
     return value > 0 and (value & (value - 1)) == 0
+
+
+#: Opcodes _reduce_instr can do anything with (cheap pre-filter).
+_REDUCIBLE_OPS = frozenset((Opcode.MUL, Opcode.ADD, Opcode.SUB, Opcode.OR,
+                            Opcode.XOR, Opcode.SHL, Opcode.SHR))
 
 
 def _reduce_instr(instr: Instr) -> bool:
@@ -106,11 +110,26 @@ def _reduce_instr(instr: Instr) -> bool:
 
 
 def strength_reduce(program: Program) -> int:
-    """Apply peephole strength reduction; returns the number of rewrites."""
+    """Apply peephole strength reduction; returns the number of rewrites.
+
+    Copy-on-write at instruction granularity: rewritten instructions are
+    replaced by modified clones instead of being mutated in place, so
+    programs produced by instruction-sharing clones (see
+    ``Program.clone(share_instructions=True)``) never corrupt each other.
+    """
     rewrites = 0
     for function in program.functions.values():
         for block in function.blocks.values():
-            for instr in block.instrs:
-                if _reduce_instr(instr):
+            instrs = block.instrs
+            for index, instr in enumerate(instrs):
+                if instr.opcode not in _REDUCIBLE_OPS or len(instr.srcs) != 2:
+                    continue
+                candidate = instr.clone()
+                if _reduce_instr(candidate):
+                    instrs[index] = candidate
                     rewrites += 1
+                elif candidate.srcs != instr.srcs:
+                    # Commutative normalisation only ("imm op reg" swapped):
+                    # keep it, exactly as the in-place pass did.
+                    instrs[index] = candidate
     return rewrites

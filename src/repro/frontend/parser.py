@@ -334,3 +334,22 @@ def parse(source: str, source_name: str = "<memory>") -> ast.SourceModule:
     tokens = tokenize(source)
     parser = _Parser(tokens, source_name)
     return parser.parse_module()
+
+
+#: Process-wide parse cache for :func:`parse_cached`.
+_PARSE_CACHE: dict = {}
+
+
+def parse_cached(source: str, source_name: str = "<memory>") -> ast.SourceModule:
+    """Parse with memoisation on the source text.
+
+    Returns a shared :class:`SourceModule` instance: callers must treat it as
+    read-only (the compilation pipeline always clones before running passes).
+    Use :func:`parse` when the caller intends to mutate the module.
+    """
+    key = (source, source_name)
+    module = _PARSE_CACHE.get(key)
+    if module is None:
+        module = parse(source, source_name)
+        _PARSE_CACHE[key] = module
+    return module

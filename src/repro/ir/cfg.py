@@ -47,6 +47,19 @@ class BasicBlock:
             return self.instrs[:-1]
         return list(self.instrs)
 
+    def clone(self, share_instructions: bool = False) -> "BasicBlock":
+        """An independent copy whose instruction *list* can be rewritten freely.
+
+        With ``share_instructions`` the :class:`Instr` objects themselves are
+        shared with the original: safe for the compilation pipeline, whose IR
+        passes are copy-on-write at instruction granularity (they rebuild
+        instruction lists and replace rewritten instructions with clones,
+        never mutating an ``Instr`` in place).
+        """
+        if share_instructions:
+            return BasicBlock(self.label, list(self.instrs))
+        return BasicBlock(self.label, [instr.clone() for instr in self.instrs])
+
     def __len__(self) -> int:
         return len(self.instrs)
 
@@ -113,6 +126,28 @@ class Function:
             regs.update(instr.writes())
         return regs
 
+    def clone(self, share_instructions: bool = False) -> "Function":
+        """An independent copy: blocks, instructions and region tree are new.
+
+        Shared with the original: operand objects (immutable) and annotation
+        *values* (annotations/local_arrays mappings themselves are copied).
+        With ``share_instructions`` the :class:`Instr` objects are shared too
+        (see :meth:`BasicBlock.clone`).
+        """
+        from repro.ir.regions import clone_region
+        return Function(
+            name=self.name,
+            params=list(self.params),
+            blocks={label: block.clone(share_instructions)
+                    for label, block in self.blocks.items()},
+            entry=self.entry,
+            region=clone_region(self.region),
+            local_arrays=dict(self.local_arrays),
+            code_region=self.code_region,
+            secret_params=list(self.secret_params),
+            annotations=dict(self.annotations),
+        )
+
     def validate(self) -> None:
         """Check internal consistency (used by tests and the compiler driver)."""
         if self.entry not in self.blocks:
@@ -174,6 +209,22 @@ class Program:
                     raise TeamPlayError(
                         f"function {function.name!r} calls unknown function "
                         f"{callee!r}")
+
+    def clone(self, share_instructions: bool = False) -> "Program":
+        """An independent copy safe to hand to the IR passes.
+
+        ``share_instructions`` shares the (effectively immutable) ``Instr``
+        objects between the copies — an order of magnitude cheaper, and safe
+        for the compiler pipeline whose passes are copy-on-write at
+        instruction granularity.
+        """
+        return Program(
+            functions={name: fn.clone(share_instructions)
+                       for name, fn in self.functions.items()},
+            global_arrays=dict(self.global_arrays),
+            metadata=dict(self.metadata),
+            source_name=self.source_name,
+        )
 
     def call_graph(self) -> "nx.DiGraph":
         graph = nx.DiGraph()

@@ -140,6 +140,17 @@ class Instr:
         """Registers written by this instruction."""
         return (self.dst,) if self.dst is not None else ()
 
+    def clone(self) -> "Instr":
+        """An independent copy (operands are immutable and stay shared).
+
+        Bypasses ``__init__`` — cloning is on the variant-evaluation hot
+        path and a plain ``__dict__`` copy is several times faster than
+        re-running the dataclass constructor.
+        """
+        new = object.__new__(Instr)
+        new.__dict__ = self.__dict__.copy()
+        return new
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [self.opcode.value]
         if self.dst is not None:

@@ -69,6 +69,23 @@ class LoopRegion:
 Region = Union[BlockRegion, SeqRegion, IfRegion, LoopRegion]
 
 
+def clone_region(region: Region) -> Region:
+    """A structurally independent copy of a region tree."""
+    if isinstance(region, BlockRegion):
+        return BlockRegion(region.label)
+    if isinstance(region, SeqRegion):
+        return SeqRegion([clone_region(child) for child in region.children])
+    if isinstance(region, IfRegion):
+        return IfRegion(region.cond_label,
+                        clone_region(region.then_region),
+                        clone_region(region.else_region))
+    if isinstance(region, LoopRegion):
+        return LoopRegion(region.cond_label, clone_region(region.body_region),
+                          bound=region.bound, pragma_bound=region.pragma_bound,
+                          loop_id=region.loop_id)
+    raise TypeError(f"unknown region type {type(region)!r}")  # pragma: no cover
+
+
 def iter_block_labels(region: Region) -> Iterator[str]:
     """Yield every basic-block label referenced by ``region`` (pre-order)."""
     if isinstance(region, BlockRegion):

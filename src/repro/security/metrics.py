@@ -87,7 +87,9 @@ def histogram_overlap(group_a: Sequence[float], group_b: Sequence[float],
 
     hist_a = histogram(group_a)
     hist_b = histogram(group_b)
-    return sum(min(a, b) for a, b in zip(hist_a, hist_b))
+    # Clamp: summing many bin ratios can exceed 1.0 by a few ULPs
+    # (e.g. 1.0000000000000002), and the overlap is a probability mass.
+    return min(1.0, max(0.0, sum(min(a, b) for a, b in zip(hist_a, hist_b))))
 
 
 def total_variation_distance(group_a: Sequence[float], group_b: Sequence[float],

@@ -20,10 +20,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.compiler.config import CompilerConfig
-from repro.compiler.evaluate import Variant, build_program
+from repro.compiler.engine import (
+    AnalysisCache,
+    BatchEvaluator,
+    EvaluationEngine,
+    LoweringCache,
+)
+from repro.compiler.evaluate import Variant
 from repro.compiler.fpa import FlowerPollinationOptimizer, pareto_front
 from repro.compiler.nsga2 import Nsga2Optimizer
-from repro.compiler.passes.spm import INSTRUCTION_BYTES
 from repro.contracts.checker import ContractChecker, TaskEvidence
 from repro.contracts.certificate import Certificate
 from repro.coordination.gluegen import generate_glue_code
@@ -38,14 +43,12 @@ from repro.coordination.taskgraph import EtsProperties, Implementation, TaskGrap
 from repro.csl.ast_nodes import ContractSpec
 from repro.csl.extract import CodeStructure, build_task_graph, extract_structure
 from repro.csl.parser import parse_csl
-from repro.energy.static_analyzer import EnergyAnalyzer
 from repro.errors import TeamPlayError
 from repro.frontend import ast_nodes as ast
-from repro.frontend.parser import parse
+from repro.frontend.parser import parse_cached
 from repro.hw.core import Core
 from repro.hw.platform import Platform
 from repro.security.analyzer import SecurityAnalyzer
-from repro.wcet.analyzer import WCETAnalyzer
 
 _SCHEDULERS = ("energy-aware", "time-greedy", "sequential")
 
@@ -86,6 +89,34 @@ class PredictableToolchain:
                 f"complex-architecture workflow instead")
         self.platform = platform
         self.core = core or platform.predictable_cores[0]
+        # Shared evaluation caches: builds on the same toolchain instance
+        # (e.g. a baseline/TeamPlay comparison over one source) reuse parsed
+        # modules, lowered IR and per-function analysis tables.
+        self._analysis = AnalysisCache(platform)
+        self._lowerings: Dict[int, LoweringCache] = {}
+        self._engines: Dict[tuple, EvaluationEngine] = {}
+
+    # ------------------------------------------------------------------ caches --
+    @staticmethod
+    def _parse_source(source: str) -> ast.SourceModule:
+        return parse_cached(source)
+
+    def _engine(self, module: ast.SourceModule,
+                entries: Dict[str, str]) -> EvaluationEngine:
+        """The shared aggregate evaluation engine for (module, task entries)."""
+        key = (id(module), tuple(entries.items()))
+        engine = self._engines.get(key)
+        if engine is None:
+            lowering = self._lowerings.setdefault(id(module), LoweringCache())
+            engine = EvaluationEngine(
+                module, self.platform, list(entries.values()),
+                core=self.core,
+                analysis_cache=self._analysis,
+                lowering_cache=lowering,
+                aggregate=True,
+            )
+            self._engines[key] = engine
+        return engine
 
     # ------------------------------------------------------------------ build --
     def build(self, source: str, csl_text: str,
@@ -114,15 +145,16 @@ class PredictableToolchain:
         if scheduler not in _SCHEDULERS:
             raise TeamPlayError(f"unknown scheduler {scheduler!r}")
         spec = parse_csl(csl_text)
-        module = parse(source)
+        module = self._parse_source(source)
 
         # -- stage 2: multi-criteria compilation -----------------------------
         entries = self._task_entries(spec, module)
+        engine = self._engine(module, entries)
         if compiler_config is not None:
-            selected = self._evaluate(module, compiler_config, entries)
+            selected = engine.evaluate(compiler_config)
             front = [selected]
         else:
-            front = self._explore(module, entries, optimizer, generations,
+            front = self._explore(engine, optimizer, generations,
                                   population_size)
             selected = min(front, key=lambda v: v.energy_j)
 
@@ -183,39 +215,10 @@ class PredictableToolchain:
             entries[name] = entry
         return entries
 
-    def _evaluate(self, module: ast.SourceModule, config: CompilerConfig,
-                  entries: Dict[str, str]) -> Variant:
-        """Compile once and aggregate the ETS of all tasks into one variant."""
-        program, statistics = build_program(module, config, self.platform)
-        wcet_analyzer = WCETAnalyzer(self.platform, core=self.core)
-        energy_analyzer = EnergyAnalyzer(self.platform, core=self.core)
-        total_cycles = 0.0
-        total_time = 0.0
-        total_energy = 0.0
-        for entry in entries.values():
-            wcet = wcet_analyzer.analyze(program, entry)
-            wcec = energy_analyzer.analyze(program, entry)
-            total_cycles += wcet.cycles
-            total_time += wcet.time_s
-            total_energy += wcec.energy_j
-        return Variant(
-            name=config.short_name(),
-            config=config,
-            program=program,
-            entry_function="<all tasks>",
-            wcet_cycles=total_cycles,
-            wcet_time_s=total_time,
-            energy_j=total_energy,
-            code_size_bytes=program.total_instructions * INSTRUCTION_BYTES,
-            pass_statistics=statistics,
-        )
-
-    def _explore(self, module: ast.SourceModule, entries: Dict[str, str],
-                 optimizer: str, generations: int, population_size: int
-                 ) -> List[Variant]:
-        def evaluator(config: CompilerConfig) -> Variant:
-            return self._evaluate(module, config, entries)
-
+    def _explore(self, engine: EvaluationEngine, optimizer: str,
+                 generations: int, population_size: int) -> List[Variant]:
+        """Search the configuration space over the shared evaluation engine."""
+        evaluator = BatchEvaluator(engine)
         seeds = [CompilerConfig.baseline(), CompilerConfig.performance()]
         if optimizer == "fpa":
             search = FlowerPollinationOptimizer(
@@ -257,14 +260,14 @@ class PredictableToolchain:
             binding = structure.binding(task)
             options: List[Implementation] = []
             for core in self.platform.predictable_cores:
-                wcet_analyzer = WCETAnalyzer(self.platform, core=core)
-                energy_analyzer = EnergyAnalyzer(self.platform, core=core)
                 opps = core.operating_points if dvfs else [core.nominal_opp]
                 for opp in opps:
-                    wcet = wcet_analyzer.analyze(variant.program,
-                                                 binding.function, opp=opp)
-                    wcec = energy_analyzer.analyze(variant.program,
-                                                   binding.function, opp=opp)
+                    wcet = self._analysis.wcet(variant.program,
+                                               binding.function,
+                                               core=core, opp=opp)
+                    wcec = self._analysis.wcec(variant.program,
+                                               binding.function,
+                                               core=core, opp=opp)
                     options.append(Implementation(
                         core=core.name,
                         properties=EtsProperties(
@@ -281,12 +284,12 @@ class PredictableToolchain:
                          security_reports: Dict[str, float]
                          ) -> Dict[str, Dict[str, float]]:
         """The ETS file: per-task properties at the nominal operating point."""
-        wcet_analyzer = WCETAnalyzer(self.platform, core=self.core)
-        energy_analyzer = EnergyAnalyzer(self.platform, core=self.core)
         properties: Dict[str, Dict[str, float]] = {}
         for task, binding in structure.bindings.items():
-            wcet = wcet_analyzer.analyze(variant.program, binding.function)
-            wcec = energy_analyzer.analyze(variant.program, binding.function)
+            wcet = self._analysis.wcet(variant.program, binding.function,
+                                       core=self.core)
+            wcec = self._analysis.wcec(variant.program, binding.function,
+                                       core=self.core)
             properties[task] = {
                 "function": binding.function,
                 "wcet_cycles": wcet.cycles,

@@ -168,6 +168,19 @@ def platform() -> Platform:
     return camera_pill_board()
 
 
+#: Lazily-created shared toolchain: repeated ``build`` calls reuse its
+#: evaluation-engine caches (parsed module, lowered IR, analysis tables).
+_DEFAULT_TOOLCHAIN: Optional[PredictableToolchain] = None
+
+
+def default_toolchain() -> PredictableToolchain:
+    """The module's shared toolchain (warm caches across builds)."""
+    global _DEFAULT_TOOLCHAIN
+    if _DEFAULT_TOOLCHAIN is None:
+        _DEFAULT_TOOLCHAIN = PredictableToolchain(platform())
+    return _DEFAULT_TOOLCHAIN
+
+
 def radio() -> RadioLink:
     """The pill's body-area radio used to transmit every frame."""
     return RadioLink(bitrate_bps=1_000_000, energy_per_bit_j=8.0e-9,
@@ -214,8 +227,8 @@ def build(toolchain: Optional[PredictableToolchain] = None,
           population_size: int = 6,
           use_fpga: bool = False) -> PredictableBuildResult:
     """Build the camera-pill application with the predictable workflow."""
-    board = platform()
-    toolchain = toolchain or PredictableToolchain(board)
+    toolchain = toolchain or default_toolchain()
+    board = toolchain.platform
     extra: Dict[str, list] = {}
     if use_fpga:
         extra["filter"] = [fpga_filter_implementation(board)]

@@ -157,6 +157,19 @@ def platform() -> Platform:
     return gr712rc()
 
 
+#: Lazily-created shared toolchain: repeated ``build`` calls reuse its
+#: evaluation-engine caches (parsed module, lowered IR, analysis tables).
+_DEFAULT_TOOLCHAIN: Optional[PredictableToolchain] = None
+
+
+def default_toolchain() -> PredictableToolchain:
+    """The module's shared toolchain (warm caches across builds)."""
+    global _DEFAULT_TOOLCHAIN
+    if _DEFAULT_TOOLCHAIN is None:
+        _DEFAULT_TOOLCHAIN = PredictableToolchain(platform())
+    return _DEFAULT_TOOLCHAIN
+
+
 def spacewire_link() -> SpaceWireLink:
     """The downlink carrying every compressed image."""
     return SpaceWireLink(link_rate_mbps=100.0, max_packet_bytes=1024,
@@ -189,8 +202,7 @@ def build(toolchain: Optional[PredictableToolchain] = None,
           generations: int = 3,
           population_size: int = 6) -> PredictableBuildResult:
     """Build the space application with the predictable workflow."""
-    board = platform()
-    toolchain = toolchain or PredictableToolchain(board)
+    toolchain = toolchain or default_toolchain()
     return toolchain.build(
         SPACE_SOURCE, SPACE_CSL,
         compiler_config=config,

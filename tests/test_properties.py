@@ -6,7 +6,9 @@ The invariants checked here are the load-bearing ones of the reproduction:
 * static WCET / WCEC bounds dominate any observed execution,
 * the security hardening transformation preserves functional semantics,
 * schedulers always produce precedence- and resource-consistent schedules,
-* quantisation error is bounded by its scale.
+* quantisation error is bounded by its scale,
+* the numpy-vectorised Pareto machinery agrees exactly with the retained
+  pure-Python reference implementations.
 """
 
 import random
@@ -15,6 +17,17 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.compiler.engine.reference import (
+    ObjectivePoint,
+    crowding_distance_reference,
+    non_dominated_sort_reference,
+    pareto_front_reference,
+)
+from repro.compiler.engine.vectorized import (
+    crowding_distance,
+    non_dominated_sort,
+    pareto_front,
+)
 from repro.coordination import (
     EnergyAwareScheduler,
     EtsProperties,
@@ -224,3 +237,73 @@ class TestMetricAndQuantisationBounds:
         wrapped = _wrap(value)
         assert -(2 ** 31) <= wrapped <= 2 ** 31 - 1
         assert _wrap(wrapped) == wrapped
+
+
+#: Coordinate pool deliberately small so random vectors collide: duplicate
+#: points and tied coordinates are the interesting cases for dominance,
+#: crowding tie-breaking and deduplication.
+_coordinates = st.one_of(
+    st.sampled_from([0.0, 1.0, 1.5, 2.0, -3.25, 100.0]),
+    st.floats(min_value=-50, max_value=50,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def objective_point_lists(draw):
+    """Random objective vectors of one shared width (possibly duplicated)."""
+    width = draw(st.integers(min_value=1, max_value=4))
+    rows = draw(st.lists(
+        st.tuples(*[_coordinates] * width), min_size=0, max_size=16))
+    return [ObjectivePoint(row) for row in rows]
+
+
+class TestVectorisedParetoMachineryMatchesReference:
+    """The numpy implementations must agree *exactly* with the seed's
+    pure-Python references — same fronts in the same order, same crowding
+    values including the stable-sort tie-breaking, same first-occurrence
+    deduplication — because the optimisers' Pareto archives for fixed seeds
+    must not change."""
+
+    @given(points=objective_point_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_non_dominated_sort_agrees(self, points):
+        assert non_dominated_sort(points) == non_dominated_sort_reference(points)
+
+    @given(points=objective_point_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_crowding_distance_agrees_on_every_front(self, points):
+        for front in non_dominated_sort_reference(points):
+            assert (crowding_distance(points, front)
+                    == crowding_distance_reference(points, front))
+
+    @given(points=objective_point_lists())
+    @settings(max_examples=120, deadline=None)
+    def test_pareto_front_agrees_including_identity_and_order(self, points):
+        expected = pareto_front_reference(points)
+        actual = pareto_front(points)
+        assert len(actual) == len(expected)
+        assert all(a is b for a, b in zip(actual, expected))
+
+    @given(value=st.tuples(_coordinates, _coordinates),
+           count=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_degenerate_all_equal_points(self, value, count):
+        points = [ObjectivePoint(value) for _ in range(count)]
+        assert non_dominated_sort(points) == non_dominated_sort_reference(points)
+        front = list(range(count))
+        assert (crowding_distance(points, front)
+                == crowding_distance_reference(points, front))
+        expected = pareto_front_reference(points)
+        actual = pareto_front(points)
+        assert len(actual) == len(expected) == 1
+        assert actual[0] is expected[0] is points[0]
+
+    def test_empty_and_singleton(self):
+        assert non_dominated_sort([]) == non_dominated_sort_reference([])
+        assert pareto_front([]) == pareto_front_reference([])
+        assert crowding_distance([], []) == crowding_distance_reference([], [])
+        single = [ObjectivePoint((1.0, 2.0))]
+        assert non_dominated_sort(single) == [[0]]
+        assert crowding_distance(single, [0]) == {0: float("inf")}
+        assert pareto_front(single) == single
