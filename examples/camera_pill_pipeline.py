@@ -1,20 +1,25 @@
 #!/usr/bin/env python3
 """Camera-pill use case: the full predictable-architecture workflow.
 
-Builds the capsule-endoscopy imaging pipeline with the traditional compiler
-configuration and with the TeamPlay multi-objective exploration, prints the
-per-task ETS file, the schedule, the certificate, and the improvement the
-paper reports as experiment E1 (18% performance / 19% energy).
+Runs the registered ``camera-pill`` scenario (the capsule-endoscopy imaging
+pipeline: traditional compiler configuration vs TeamPlay multi-objective
+exploration) through the shared scenario runner, then prints the per-task
+ETS file, the schedule, the certificate, and the improvement the paper
+reports as experiment E1 (18% performance / 19% energy).
+
+Equivalent CLI:  python -m repro.scenarios run camera-pill
 
 Run with:  python examples/camera_pill_pipeline.py
 """
 
+from repro.scenarios import run_scenario
 from repro.toolchain.report import format_table
-from repro.usecases import camera_pill
 
 
 def main() -> None:
-    comparison = camera_pill.run_comparison()
+    # The scenario's post-processing hook shapes the generic result into
+    # the paper's CameraPillComparison (stored on ``detail``).
+    comparison = run_scenario("camera-pill").detail
 
     print("== per-task ETS properties (TeamPlay build) ==")
     rows = []

@@ -8,14 +8,16 @@ Part 2 compiles the CNN inner kernels for the Cortex-M0 under several
 compiler configurations and operating points, reproducing the variant table
 the paper describes (experiment E5).
 
-Part 3 deploys the network on the Apalis TK1 with the coordination layer and
-compares the generated deployment against the hand-optimised mapping
-(experiment E6).
+Part 3 runs the registered ``parking-dl-tk1`` scenario: the network deployed
+on the Apalis TK1 with the coordination layer, compared against the
+hand-optimised mapping (experiment E6).
+Equivalent CLI:  python -m repro.scenarios run parking-dl-tk1
 
 Run with:  python examples/parking_dl_deployment.py
 """
 
 from repro.dl import ParkingDataset, ParkingNet
+from repro.scenarios import run_scenario
 from repro.toolchain.report import format_table
 from repro.usecases import deep_learning
 
@@ -46,7 +48,7 @@ def main() -> None:
 
     # ------------------------------------------------------ E6: TK1 deployment --
     print("\n== E6: TK1 deployment vs hand-optimised mapping ==")
-    comparison = deep_learning.run_tk1_comparison()
+    comparison = run_scenario("parking-dl-tk1").detail
     print(comparison.report.summary())
     print(f"  energy ratio (TeamPlay / manual): {comparison.energy_ratio:.3f}")
     print(f"  time ratio   (TeamPlay / manual): {comparison.time_ratio:.3f}")

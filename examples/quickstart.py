@@ -4,8 +4,10 @@
 This example walks through the core TeamPlay flow on a tiny annotated
 program: compile TeamPlay-C, bound its worst-case execution time and energy
 statically, compare the bounds against a simulated run, measure side-channel
-leakage of a secret-dependent kernel, harden it automatically, and finally
-prove a small contract and print the certificate.
+leakage of a secret-dependent kernel, harden it automatically, prove a small
+contract and print the certificate — and finally list the registered
+end-to-end scenarios, each runnable with
+``python -m repro.scenarios run <name>``.
 
 Run with:  python examples/quickstart.py
 """
@@ -117,6 +119,13 @@ def main() -> None:
     print("\n== contract certificate ==")
     for line in certificate.summary_lines():
         print("  " + line)
+
+    # --- 5. the registered end-to-end scenarios ---------------------------------
+    from repro.scenarios import list_scenarios
+
+    print("\n== registered scenarios (python -m repro.scenarios run <name>) ==")
+    for scenario in list_scenarios():
+        print(f"  {scenario.name:16s} [{scenario.kind}] {scenario.title}")
 
 
 if __name__ == "__main__":

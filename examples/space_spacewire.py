@@ -1,20 +1,23 @@
 #!/usr/bin/env python3
 """Space use case: LEON3/RTEMS image pipeline with SpaceWire transmission.
 
-Runs the predictable-architecture workflow on the dual-core GR712RC platform,
-compares the traditional single-core deployment against the TeamPlay
-energy-aware dual-core deployment with DVFS, replays the schedule on the
-RTEMS-style periodic executive to confirm that no deadline is missed, and
-prints the RTEMS glue code skeleton.
+Runs the registered ``space-spacewire`` scenario on the dual-core GR712RC
+platform: the traditional single-core deployment against the TeamPlay
+energy-aware dual-core deployment with DVFS.  The scenario's post-processing
+replays the schedule on the RTEMS-style periodic executive to confirm that
+no deadline is missed; this script prints that validation and the RTEMS glue
+code skeleton.
+
+Equivalent CLI:  python -m repro.scenarios run space-spacewire
 
 Run with:  python examples/space_spacewire.py
 """
 
-from repro.usecases import space
+from repro.scenarios import run_scenario
 
 
 def main() -> None:
-    comparison = space.run_comparison()
+    comparison = run_scenario("space-spacewire").detail
 
     print("== TeamPlay schedule on the GR712RC ==")
     for line in comparison.teamplay.schedule.gantt_rows():

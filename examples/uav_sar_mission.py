@@ -1,22 +1,26 @@
 #!/usr/bin/env python3
 """UAV use cases: SAR deployment and battery-aware precision agriculture.
 
-Part 1 runs the complex-architecture workflow (dynamic profiling + coordination)
-for the search-and-rescue vision pipeline on the Apalis TK1 and reports the
-software power and flight-time gain (experiment E3).
+Part 1 runs the registered ``uav-sar`` scenario (dynamic profiling +
+energy-aware coordination) for the search-and-rescue vision pipeline on the
+Apalis TK1 and reports the software power and flight-time gain (experiment
+E3).  Equivalent CLI:  python -m repro.scenarios run uav-sar
 
 Part 2 simulates a precision-agriculture mission with the battery-aware
-manager adapting the software mode in flight (experiment E4).
+manager adapting the software mode in flight (experiment E4) — a mission
+simulation rather than a baseline-vs-TeamPlay build, so it stays on the
+use-case module's public API.
 
 Run with:  python examples/uav_sar_mission.py
 """
 
+from repro.scenarios import run_scenario
 from repro.usecases import uav
 
 
 def main() -> None:
     # ------------------------------------------------------------------ SAR --
-    sar = uav.run_sar_comparison()
+    sar = run_scenario("uav-sar").detail
     print("== SAR deployment on the Apalis TK1 ==")
     print("  TeamPlay schedule:")
     for line in sar.teamplay.schedule.gantt_rows():

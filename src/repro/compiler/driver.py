@@ -30,6 +30,7 @@ from repro.compiler.engine import (
     BatchEvaluator,
     EvaluationEngine,
     LoweringCache,
+    process_analysis_cache,
 )
 from repro.compiler.engine.vectorized import pareto_front
 from repro.compiler.evaluate import SecurityEvaluator, Variant
@@ -91,8 +92,11 @@ class MultiCriteriaCompiler:
         # Shared caches: the analysis cache is platform-wide, lowering
         # caches are per source module, the engines (and their variant
         # caches) per (module, entry, security context).  Parsing is cached
-        # process-wide (parse_cached).
-        self._analysis = AnalysisCache(platform)
+        # process-wide (parse_cached), and the analysis cache joins the
+        # opt-in process-wide cache when one is enabled.
+        shared_analysis = process_analysis_cache(platform)
+        self._analysis = (shared_analysis if shared_analysis is not None
+                          else AnalysisCache(platform))
         self._lowerings: Dict[int, LoweringCache] = {}
         self._engines: Dict[Tuple[int, str, bool], EvaluationEngine] = {}
 

@@ -41,12 +41,18 @@ property-tested oracle.
 
 from repro.compiler.engine.batch import BatchEvaluator
 from repro.compiler.engine.cache import (
+    PROCESS_CACHE_DEFAULT_MAX_ENTRIES,
     AnalysisCache,
     CacheStats,
+    IrStageCache,
     LoweringCache,
     VariantCache,
     ast_stage_key,
     canonical_key,
+    disable_process_analysis_cache,
+    enable_process_analysis_cache,
+    process_analysis_cache,
+    process_analysis_cache_stats,
     program_fingerprint,
 )
 from repro.compiler.engine.evaluator import ALL_TASKS_ENTRY, EvaluationEngine
@@ -70,18 +76,24 @@ __all__ = [
     "BatchEvaluator",
     "CacheStats",
     "EvaluationEngine",
+    "IrStageCache",
     "LoweringCache",
     "ObjectivePoint",
+    "PROCESS_CACHE_DEFAULT_MAX_ENTRIES",
     "VariantCache",
     "ast_stage_key",
     "canonical_key",
     "crowding_distance",
     "crowding_distance_reference",
+    "disable_process_analysis_cache",
     "dominance_matrix",
+    "enable_process_analysis_cache",
     "non_dominated_sort",
     "non_dominated_sort_reference",
     "objectives_matrix",
     "pareto_front",
     "pareto_front_reference",
+    "process_analysis_cache",
+    "process_analysis_cache_stats",
     "program_fingerprint",
 ]

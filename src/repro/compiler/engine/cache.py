@@ -24,10 +24,21 @@ Three cache stages, from coarsest to finest:
 
 All three stages are exact: cached results are bit-for-bit identical to what
 the uncached pipeline produces (covered by ``tests/test_engine.py``).
+
+Every cache accepts an optional ``max_entries`` cap: when set, the
+fingerprint/config-keyed tables evict their least-recently-used entries, and
+each cache reports hit/miss/eviction counters through ``stats()`` — required
+before long-running service use, where searches arrive indefinitely.  An
+opt-in *process-wide* :class:`AnalysisCache` (see
+:func:`enable_process_analysis_cache`) additionally lets every driver and
+toolchain targeting the same platform share one set of WCET/WCEC tables,
+which pays off in cross-scenario sweeps such as
+``python -m repro.scenarios run --all --shared-cache``.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -102,37 +113,86 @@ def pre_unroll_key(config: CompilerConfig) -> Tuple:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of the three cache stages."""
+    """Hit/miss/eviction counters of the three cache stages."""
 
     variant_hits: int = 0
     variant_misses: int = 0
+    variant_evictions: int = 0
     lowering_hits: int = 0
     lowering_misses: int = 0
+    lowering_evictions: int = 0
     ir_stage_hits: int = 0
     ir_stage_misses: int = 0
+    ir_stage_evictions: int = 0
     analysis_hits: int = 0
     analysis_misses: int = 0
+    analysis_evictions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "variant_hits": self.variant_hits,
             "variant_misses": self.variant_misses,
+            "variant_evictions": self.variant_evictions,
             "lowering_hits": self.lowering_hits,
             "lowering_misses": self.lowering_misses,
+            "lowering_evictions": self.lowering_evictions,
             "ir_stage_hits": self.ir_stage_hits,
             "ir_stage_misses": self.ir_stage_misses,
+            "ir_stage_evictions": self.ir_stage_evictions,
             "analysis_hits": self.analysis_hits,
             "analysis_misses": self.analysis_misses,
+            "analysis_evictions": self.analysis_evictions,
         }
 
 
-class VariantCache:
-    """Cross-generation cache of fully evaluated variants."""
+class _BoundedCacheMixin:
+    """Shared LRU plumbing: a ``max_entries`` cap plus counters.
 
-    def __init__(self):
-        self._variants: Dict[Tuple, object] = {}
+    Subclasses keep their payloads in ``OrderedDict`` tables and route every
+    read through :meth:`_touch` and every insert through :meth:`_insert`;
+    with ``max_entries`` unset both are plain dictionary operations.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def _touch(self, table: "OrderedDict", key):
+        """Read ``key``, refreshing its recency when the cache is bounded."""
+        entry = table.get(key)
+        if entry is not None and self.max_entries is not None:
+            table.move_to_end(key)
+        return entry
+
+    def _insert(self, table: "OrderedDict", key, value) -> None:
+        """Insert ``key``, evicting the least recently used beyond the cap."""
+        table[key] = value
+        if self.max_entries is not None:
+            table.move_to_end(key)
+            while len(table) > self.max_entries:
+                table.popitem(last=False)
+                self.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class VariantCache(_BoundedCacheMixin):
+    """Cross-generation cache of fully evaluated variants."""
+
+    def __init__(self, max_entries: Optional[int] = None):
+        super().__init__(max_entries)
+        self._variants: "OrderedDict[Tuple, object]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._variants)
@@ -141,29 +201,40 @@ class VariantCache:
         return canonical_key(config) in self._variants
 
     def get(self, config: CompilerConfig):
-        variant = self._variants.get(canonical_key(config))
+        variant = self._touch(self._variants, canonical_key(config))
         if variant is not None:
             self.hits += 1
         return variant
 
     def put(self, config: CompilerConfig, variant) -> None:
         self.misses += 1
-        self._variants[canonical_key(config)] = variant
+        self._insert(self._variants, canonical_key(config), variant)
 
 
-class LoweringCache:
+class LoweringCache(_BoundedCacheMixin):
     """Cache of lowered programs shared across IR-level flag combinations.
 
     Stores the pristine post-lowering program per AST-stage key; ``get``
     returns an independent clone so the caller's in-place IR passes cannot
-    corrupt the cached original.
+    corrupt the cached original.  ``max_entries`` bounds the lowered and the
+    pre-unroll tables independently (each holds at most that many entries).
     """
 
-    def __init__(self):
-        self._lowered: Dict[Tuple, Tuple[Program, Dict[str, int]]] = {}
-        self._pre_unroll: Dict[Tuple, Tuple] = {}
-        self.hits = 0
-        self.misses = 0
+    def __init__(self, max_entries: Optional[int] = None):
+        super().__init__(max_entries)
+        self._lowered: "OrderedDict[Tuple, Tuple[Program, Dict[str, int]]]" \
+            = OrderedDict()
+        self._pre_unroll: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._lowered)
+
+    def stats(self) -> Dict[str, int]:
+        # The pre-unroll table holds full cloned modules — report it
+        # explicitly so operators sizing the cache see both tables.
+        stats = super().stats()
+        stats["pre_unroll_entries"] = len(self._pre_unroll)
+        return stats
 
     def get_pre_unroll(self, config: CompilerConfig) -> Optional[Tuple]:
         """The cached (module, statistics) pair before unrolling, if any.
@@ -171,15 +242,16 @@ class LoweringCache:
         The stored module is pristine — callers must clone it before
         mutating (the engine always unrolls a fresh clone).
         """
-        return self._pre_unroll.get(pre_unroll_key(config))
+        return self._touch(self._pre_unroll, pre_unroll_key(config))
 
     def put_pre_unroll(self, config: CompilerConfig, module,
                        statistics: Dict[str, int]) -> None:
-        self._pre_unroll[pre_unroll_key(config)] = (module, dict(statistics))
+        self._insert(self._pre_unroll, pre_unroll_key(config),
+                     (module, dict(statistics)))
 
     def get(self, config: CompilerConfig
             ) -> Optional[Tuple[Program, Dict[str, int]]]:
-        entry = self._lowered.get(ast_stage_key(config))
+        entry = self._touch(self._lowered, ast_stage_key(config))
         if entry is None:
             return None
         self.hits += 1
@@ -192,11 +264,12 @@ class LoweringCache:
         # Keep a private pristine copy; the caller mutates its own clone.
         # Instruction sharing is safe: the IR passes are copy-on-write at
         # instruction granularity.
-        self._lowered[ast_stage_key(config)] = (
-            program.clone(share_instructions=True), dict(statistics))
+        self._insert(self._lowered, ast_stage_key(config),
+                     (program.clone(share_instructions=True),
+                      dict(statistics)))
 
 
-class IrStageCache:
+class IrStageCache(_BoundedCacheMixin):
     """Cache of programs after the platform-independent IR passes.
 
     Keyed on the AST-stage key plus the DCE/strength-reduction flags: the
@@ -204,10 +277,13 @@ class IrStageCache:
     differing only in ``spm_allocation`` share everything up to here.
     """
 
-    def __init__(self):
-        self._programs: Dict[Tuple, Tuple[Program, Dict[str, int]]] = {}
-        self.hits = 0
-        self.misses = 0
+    def __init__(self, max_entries: Optional[int] = None):
+        super().__init__(max_entries)
+        self._programs: "OrderedDict[Tuple, Tuple[Program, Dict[str, int]]]" \
+            = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._programs)
 
     @staticmethod
     def key(config: CompilerConfig) -> Tuple:
@@ -216,7 +292,7 @@ class IrStageCache:
 
     def get(self, config: CompilerConfig
             ) -> Optional[Tuple[Program, Dict[str, int]]]:
-        entry = self._programs.get(self.key(config))
+        entry = self._touch(self._programs, self.key(config))
         if entry is None:
             return None
         self.hits += 1
@@ -226,8 +302,9 @@ class IrStageCache:
     def put(self, config: CompilerConfig, program: Program,
             statistics: Dict[str, int]) -> None:
         self.misses += 1
-        self._programs[self.key(config)] = (
-            program.clone(share_instructions=True), dict(statistics))
+        self._insert(self._programs, self.key(config),
+                     (program.clone(share_instructions=True),
+                      dict(statistics)))
 
 
 def _region_signature(region: Region) -> Tuple:
@@ -306,7 +383,7 @@ class _BlockMemoCostEngine(StructuralCostEngine):
         return cost
 
 
-class AnalysisCache:
+class AnalysisCache(_BoundedCacheMixin):
     """Shared per-function WCET/WCEC result tables, keyed by program structure.
 
     Bound to one :class:`Platform`.  The first WCET query for a (program,
@@ -316,15 +393,18 @@ class AnalysisCache:
     likewise for energy per (program, core, operating point).  Subsequent
     queries are dictionary lookups, which makes multi-entry evaluation, DVFS
     sweeps and per-core ETS derivation nearly free.
+
+    ``max_entries`` bounds the cycle and energy tables independently (the
+    per-instruction and block-cost memos stay unbounded: they are keyed by
+    opcode patterns, whose population is effectively fixed).
     """
 
-    def __init__(self, platform: Platform):
+    def __init__(self, platform: Platform, max_entries: Optional[int] = None):
+        super().__init__(max_entries)
         self.platform = platform
-        self.hits = 0
-        self.misses = 0
-        self._checked: Dict[Tuple, bool] = {}
-        self._cycle_tables: Dict[Tuple, Tuple[Dict[str, float], Dict[str, Exception]]] = {}
-        self._energy_tables: Dict[Tuple, Tuple[Dict[str, float], Dict[str, Exception]]] = {}
+        self._checked: "OrderedDict[Tuple, bool]" = OrderedDict()
+        self._cycle_tables: "OrderedDict[Tuple, Tuple[Dict[str, float], Dict[str, Exception]]]" = OrderedDict()
+        self._energy_tables: "OrderedDict[Tuple, Tuple[Dict[str, float], Dict[str, Exception]]]" = OrderedDict()
         self._wcet_analyzers: Dict[str, WCETAnalyzer] = {}
         self._energy_analyzers: Dict[str, EnergyAnalyzer] = {}
         # Per-instruction cost memos.  A cycle cost depends only on the
@@ -337,6 +417,9 @@ class AnalysisCache:
         # Cross-program block-cost memos (call-free blocks only).
         self._cycle_block_costs: Dict[str, Dict[Tuple, float]] = {}
         self._energy_block_costs: Dict[Tuple, Dict[Tuple, float]] = {}
+
+    def __len__(self) -> int:
+        return len(self._cycle_tables) + len(self._energy_tables)
 
     # -- analyzer instances (cost models are deterministic per core) ----------
     def _default_core(self) -> Core:
@@ -369,7 +452,7 @@ class AnalysisCache:
         graph — same verdict as ``Program.has_recursion()`` without paying
         for a networkx graph per program.
         """
-        if self._checked.get(fingerprint):
+        if self._touch(self._checked, fingerprint):
             return
         program.validate()
         callees = {name: function.callees()
@@ -396,14 +479,18 @@ class AnalysisCache:
                 if not advanced:
                     state[name] = 2
                     stack.pop()
+        # Bounded like the result tables, but eviction only means a future
+        # re-validation, so it is not reported in the eviction counter.
         self._checked[fingerprint] = True
+        if self.max_entries is not None and len(self._checked) > self.max_entries:
+            self._checked.popitem(last=False)
 
     # -- cost tables ------------------------------------------------------------
     def _cycles(self, program: Program, core: Core
                 ) -> Tuple[Dict[str, float], Dict[str, Exception]]:
         fingerprint = program_fingerprint(program)
         key = (fingerprint, core.name)
-        entry = self._cycle_tables.get(key)
+        entry = self._touch(self._cycle_tables, key)
         if entry is not None:
             self.hits += 1
             return entry
@@ -433,14 +520,14 @@ class AnalysisCache:
                 # lack loop bounds; they simply don't get a standalone bound.
                 errors[name] = error
         entry = (table, errors)
-        self._cycle_tables[key] = entry
+        self._insert(self._cycle_tables, key, entry)
         return entry
 
     def _energy(self, program: Program, core: Core, opp: OperatingPoint
                 ) -> Tuple[Dict[str, float], Dict[str, Exception]]:
         fingerprint = program_fingerprint(program)
         key = (fingerprint, core.name, opp.label)
-        entry = self._energy_tables.get(key)
+        entry = self._touch(self._energy_tables, key)
         if entry is not None:
             self.hits += 1
             return entry
@@ -467,7 +554,7 @@ class AnalysisCache:
             except AnalysisError as error:
                 errors[name] = error
         entry = (table, errors)
-        self._energy_tables[key] = entry
+        self._insert(self._energy_tables, key, entry)
         return entry
 
     @staticmethod
@@ -517,3 +604,66 @@ class AnalysisCache:
             wcet_time_s=wcet_result.time_s,
             frequency_hz=opp.frequency_hz,
         )
+
+
+# ---------------------------------------------------------------------------
+# Opt-in process-wide analysis cache
+# ---------------------------------------------------------------------------
+#: Default bound of the process-wide analysis caches: large enough for a
+#: full cross-scenario sweep, small enough to cap a long-running service.
+PROCESS_CACHE_DEFAULT_MAX_ENTRIES = 256
+
+_process_cache_max_entries: Optional[int] = None
+_process_cache_enabled = False
+_process_analysis_caches: Dict[str, AnalysisCache] = {}
+
+
+def enable_process_analysis_cache(
+        max_entries: Optional[int] = PROCESS_CACHE_DEFAULT_MAX_ENTRIES) -> None:
+    """Turn on the process-wide, per-platform shared :class:`AnalysisCache`.
+
+    While enabled, every toolchain and compiler driver created afterwards
+    shares one bounded analysis cache per platform *name* (presets are
+    deterministic, so equal names imply equal cost models), letting
+    cross-scenario runs reuse WCET/WCEC tables across drivers.  Strictly
+    opt-in: per-instance caches remain the default.
+    """
+    global _process_cache_enabled, _process_cache_max_entries
+    _process_cache_enabled = True
+    _process_cache_max_entries = max_entries
+
+
+def disable_process_analysis_cache(clear: bool = True) -> None:
+    """Turn the process-wide cache off (and by default drop its contents)."""
+    global _process_cache_enabled
+    _process_cache_enabled = False
+    if clear:
+        _process_analysis_caches.clear()
+
+
+def process_analysis_cache(platform: Platform) -> Optional[AnalysisCache]:
+    """The shared cache for ``platform``, or ``None`` when disabled.
+
+    Also returns ``None`` for a platform that *names* a cached one but is
+    structurally different (e.g. a customised preset keeping the stock
+    name): its cost model would not match the cached analyzers, so the
+    caller falls back to a private cache instead of silently reusing wrong
+    WCET/WCEC tables.
+    """
+    if not _process_cache_enabled:
+        return None
+    cache = _process_analysis_caches.get(platform.name)
+    if cache is None:
+        cache = AnalysisCache(platform,
+                              max_entries=_process_cache_max_entries)
+        _process_analysis_caches[platform.name] = cache
+        return cache
+    if cache.platform is not platform and cache.platform != platform:
+        return None
+    return cache
+
+
+def process_analysis_cache_stats() -> Dict[str, Dict[str, int]]:
+    """Per-platform counters of the process-wide analysis caches."""
+    return {name: cache.stats()
+            for name, cache in _process_analysis_caches.items()}

@@ -76,11 +76,16 @@ class EvaluationEngine:
         self.security_evaluator = security_evaluator
         # Caches can be shared across engines: the analysis cache is safe to
         # share platform-wide, the lowering/variant caches are per-module (and
-        # per security context for the variant cache).
-        self.analysis = analysis_cache or AnalysisCache(platform)
-        self.lowering = lowering_cache or LoweringCache()
+        # per security context for the variant cache).  Compare against None
+        # explicitly: the caches define __len__, so an empty shared cache is
+        # falsy and `or` would silently discard it.
+        self.analysis = (analysis_cache if analysis_cache is not None
+                         else AnalysisCache(platform))
+        self.lowering = (lowering_cache if lowering_cache is not None
+                         else LoweringCache())
         self.ir_stage = IrStageCache()
-        self.variants = variant_cache or VariantCache()
+        self.variants = (variant_cache if variant_cache is not None
+                         else VariantCache())
 
     # -- statistics ------------------------------------------------------------
     @property
@@ -88,12 +93,16 @@ class EvaluationEngine:
         return CacheStats(
             variant_hits=self.variants.hits,
             variant_misses=self.variants.misses,
+            variant_evictions=self.variants.evictions,
             lowering_hits=self.lowering.hits,
             lowering_misses=self.lowering.misses,
+            lowering_evictions=self.lowering.evictions,
             ir_stage_hits=self.ir_stage.hits,
             ir_stage_misses=self.ir_stage.misses,
+            ir_stage_evictions=self.ir_stage.evictions,
             analysis_hits=self.analysis.hits,
             analysis_misses=self.analysis.misses,
+            analysis_evictions=self.analysis.evictions,
         )
 
     # -- pipeline stages ---------------------------------------------------------

@@ -312,3 +312,23 @@ class EnergyAwareScheduler:
             if deadline is not None and entry.finish_s > deadline + 1e-12:
                 return False
         return True
+
+
+#: Scheduler strategies selectable by name (toolchains, scenario specs, CLI).
+SCHEDULER_NAMES = ("energy-aware", "time-greedy", "sequential")
+
+
+def scheduler_by_name(name: str, platform: Platform):
+    """Instantiate one of the named scheduling strategies.
+
+    Shared by both toolchain workflows and the scenario runner so scheduler
+    selection is defined (and validated) in exactly one place.
+    """
+    if name == "energy-aware":
+        return EnergyAwareScheduler(platform)
+    if name == "time-greedy":
+        return TimeGreedyScheduler(platform)
+    if name == "sequential":
+        return SequentialScheduler(platform)
+    raise SchedulingError(
+        f"unknown scheduler {name!r}; available: {', '.join(SCHEDULER_NAMES)}")

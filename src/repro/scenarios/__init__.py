@@ -1,0 +1,67 @@
+"""Unified scenario subsystem: declarative specs, registry, shared runner.
+
+Every evaluation workload — the paper's four use cases and any new one — is
+one declarative :class:`ScenarioSpec` run by the shared
+:class:`ScenarioRunner`, which drives frontend parse → engine-backed variant
+search → toolchain build → scheduling/coordination → improvement report.
+Adding a scenario takes under twenty lines:
+
+.. code-block:: python
+
+    from repro.scenarios import BuildOptions, ScenarioSpec, register_scenario
+
+    register_scenario(ScenarioSpec(
+        name="my-sensor",                  # unique registry/CLI name
+        title="My sensor loop",
+        kind="predictable",               # or "complex" (profiling workflow)
+        platform="nucleo-stm32f091rc",    # preset name or Platform factory
+        source=MY_TEAMPLAY_C_SOURCE,      # annotated TeamPlay-C text
+        csl=MY_CSL_CONTRACT,              # period/deadline/budgets/graph
+        baseline=BuildOptions(config=CompilerConfig.baseline(),
+                              scheduler="sequential"),
+        teamplay=BuildOptions(scheduler="energy-aware", dvfs=True,
+                              generations=3, population_size=6),
+    ))
+
+Then ``run_scenario("my-sensor")`` (or ``python -m repro.scenarios run
+my-sensor``) regenerates the baseline-vs-TeamPlay comparison.  Optional spec
+fields add shared link-energy overheads, idle-power accounting, a different
+energy model, or a ``postprocess`` hook for use-case-specific results — see
+:mod:`repro.scenarios.spec` and the four :mod:`repro.usecases` modules,
+which are now thin spec definitions plus paper-specific post-processing.
+"""
+
+from repro.scenarios.registry import (
+    ScenarioRegistryError,
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    unregister_scenario,
+)
+from repro.scenarios.runner import ScenarioRunner, run_scenario
+from repro.scenarios.spec import (
+    BuildOptions,
+    RunContext,
+    ScenarioResult,
+    ScenarioSpec,
+    ScenarioSpecError,
+    SideOutcome,
+)
+
+__all__ = [
+    "BuildOptions",
+    "RunContext",
+    "ScenarioRegistryError",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ScenarioSpecError",
+    "SideOutcome",
+    "UnknownScenarioError",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "unregister_scenario",
+]

@@ -1,0 +1,129 @@
+"""Command-line interface of the scenario subsystem.
+
+Usage::
+
+    python -m repro.scenarios list [--json]
+    python -m repro.scenarios run NAME [NAME ...] [options]
+    python -m repro.scenarios run --all [options]
+
+``run`` drives every named scenario through the shared
+:class:`~repro.scenarios.runner.ScenarioRunner` and prints one improvement
+report per scenario; ``--json`` emits a machine-readable summary instead.
+``--shared-cache`` enables the process-wide analysis cache so WCET/WCEC
+tables are reused across scenarios targeting the same platform.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.compiler.engine import enable_process_analysis_cache
+from repro.scenarios.registry import (
+    UnknownScenarioError,
+    get_scenario,
+    list_scenarios,
+)
+from repro.scenarios.runner import run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Run the registered TeamPlay scenarios.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered scenarios")
+    list_cmd.add_argument("--json", action="store_true",
+                          help="emit a JSON document instead of a table")
+
+    run_cmd = sub.add_parser("run", help="run one or more scenarios")
+    run_cmd.add_argument("names", nargs="*", metavar="NAME",
+                         help="scenario names (see `list`)")
+    run_cmd.add_argument("--all", action="store_true", dest="run_all",
+                         help="run every registered scenario")
+    run_cmd.add_argument("--json", action="store_true",
+                         help="emit a JSON summary instead of reports")
+    run_cmd.add_argument("--generations", type=int, default=None,
+                         help="override the search generations of "
+                              "configuration-exploring sides")
+    run_cmd.add_argument("--population", type=int, default=None,
+                         help="override the search population size")
+    run_cmd.add_argument("--profiling-runs", type=int, default=None,
+                         help="override the complex workflow's "
+                              "instrumented-run count")
+    run_cmd.add_argument("--shared-cache", action="store_true",
+                         help="share WCET/WCEC analysis tables process-wide "
+                              "across scenarios on the same platform")
+    run_cmd.add_argument("--no-postprocess", action="store_true",
+                         help="skip the paper-specific post-processing "
+                              "hooks (e.g. dynamic validation)")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scenarios = list_scenarios()
+    if args.json:
+        print(json.dumps({"scenarios": [
+            {"name": spec.name, "title": spec.title, "kind": spec.kind,
+             "platform": spec.platform_name, "tags": list(spec.tags),
+             "description": spec.description}
+            for spec in scenarios
+        ]}, indent=2))
+        return 0
+    for spec in scenarios:
+        tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+        print(f"{spec.name:16s} {spec.kind:12s} {spec.platform_name:20s} "
+              f"{spec.title}{tags}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.run_all and args.names:
+        print("pass either scenario names or --all, not both",
+              file=sys.stderr)
+        return 2
+    if args.run_all:
+        specs = list_scenarios()
+    elif args.names:
+        try:
+            specs = [get_scenario(name) for name in args.names]
+        except UnknownScenarioError as error:
+            print(str(error.args[0]), file=sys.stderr)
+            return 2
+    else:
+        print("nothing to run: name scenarios or pass --all", file=sys.stderr)
+        return 2
+
+    if args.shared_cache:
+        enable_process_analysis_cache()
+
+    summaries = []
+    for spec in specs:
+        result = run_scenario(
+            spec,
+            generations=args.generations,
+            population_size=args.population,
+            profiling_runs=args.profiling_runs,
+            postprocess=not args.no_postprocess,
+        )
+        summaries.append(result.summary())
+        if not args.json:
+            print(result.report.summary())
+            print()
+    if args.json:
+        print(json.dumps({"scenarios": summaries}, indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

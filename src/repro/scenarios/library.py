@@ -1,0 +1,286 @@
+"""Built-in scenario library.
+
+Importing this module populates the registry with every built-in scenario:
+the four paper use cases register themselves when their modules load (they
+each define a spec next to their paper-specific post-processing), and two
+extra workloads — a wearable ECG monitor and a smart-meter reporting loop —
+are defined here to prove the declarative layer generalises beyond the
+paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.config import CompilerConfig
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import BuildOptions, ScenarioSpec
+
+# The paper scenarios live next to their post-processing in repro.usecases;
+# importing the package registers camera-pill (E1), space-spacewire (E2),
+# uav-sar (E3) and parking-dl-tk1 (E6).
+import repro.usecases  # noqa: F401  (registration side effect)
+
+#: Traditional-toolchain configuration shared by the extra scenarios.
+_TRADITIONAL_CONFIG = CompilerConfig(
+    constant_folding=True, unroll_limit=0, inline_simple_functions=True,
+    dead_code_elimination=True, strength_reduction=False, spm_allocation=False)
+
+
+# ---------------------------------------------------------------------------
+# Wearable ECG monitor (extra scenario, Cortex-M0 class board)
+# ---------------------------------------------------------------------------
+ECG_SOURCE = """
+int ecg[256];
+int filtered[256];
+int intervals[8];
+int packet[520];
+int packet_len[1];
+
+#pragma teamplay task(sample) poi(sample)
+int sample_ecg(int seed) {
+    int value = seed;
+    for (int i = 0; i < 256; i = i + 1) {
+        value = (value * 1103 + 443) & 1023;
+        ecg[i] = value;
+    }
+    return value;
+}
+
+#pragma teamplay task(filter) poi(filter)
+int bandpass_filter(int gain) {
+    filtered[0] = ecg[0];
+    filtered[255] = ecg[255];
+    for (int i = 1; i < 255; i = i + 1) {
+        int smoothed = (ecg[i - 1] + 2 * ecg[i] + ecg[i + 1]) / 4;
+        filtered[i] = (smoothed * gain) >> 4;
+    }
+    return filtered[1];
+}
+
+#pragma teamplay task(detect) poi(detect)
+int detect_beats(int threshold) {
+    int beats = 0;
+    int last = 0;
+    for (int i = 1; i < 255; i = i + 1) {
+        if (filtered[i] > threshold) {
+            if (filtered[i] > filtered[i - 1]) {
+                if (filtered[i] >= filtered[i + 1]) {
+                    if (beats < 8) {
+                        intervals[beats] = i - last;
+                        last = i;
+                        beats = beats + 1;
+                    }
+                }
+            }
+        }
+    }
+    return beats;
+}
+
+#pragma teamplay task(encode) poi(encode)
+int encode_packet(int threshold) {
+    int out = 0;
+    int previous = 0;
+    int run = 0;
+    for (int i = 0; i < 256; i = i + 1) {
+        int delta = filtered[i] - previous;
+        previous = filtered[i];
+        if (delta < 0) {
+            delta = 0 - delta;
+        }
+        if (delta < threshold) {
+            run = run + 1;
+        } else {
+            packet[out] = run;
+            packet[out + 1] = filtered[i];
+            out = out + 2;
+            run = 0;
+        }
+    }
+    packet[out] = run;
+    packet_len[0] = out + 1;
+    return out + 1;
+}
+
+#pragma teamplay task(notify) poi(notify)
+int notify_gateway(int station_id) {
+    int crc = station_id;
+    for (int i = 0; i < 520; i = i + 1) {
+        int word = 0;
+        if (i < packet_len[0]) {
+            word = packet[i];
+        }
+        crc = crc ^ word;
+        for (int bit = 0; bit < 4; bit = bit + 1) {
+            if (crc & 1) {
+                crc = (crc >> 1) ^ 40961;
+            } else {
+                crc = crc >> 1;
+            }
+        }
+    }
+    return crc;
+}
+"""
+
+ECG_CSL = """
+system ecg_wearable {
+    period 100 ms;
+    deadline 100 ms;
+    budget energy 40 mJ;
+
+    task sample { implements sample_ecg;      budget time 10 ms; budget energy 0.2 mJ; }
+    task filter { implements bandpass_filter; budget time 10 ms; budget energy 0.2 mJ; }
+    task detect { implements detect_beats;    budget time 10 ms; budget energy 0.2 mJ; }
+    task encode { implements encode_packet;   budget time 15 ms; budget energy 0.3 mJ; }
+    task notify { implements notify_gateway;  budget time 40 ms; budget energy 1.0 mJ; }
+
+    graph {
+        sample -> filter -> detect -> encode -> notify;
+    }
+}
+"""
+
+ECG_SCENARIO = register_scenario(ScenarioSpec(
+    name="ecg-wearable",
+    title="Wearable ECG monitor",
+    kind="predictable",
+    platform="nucleo-stm32f091rc",
+    source=ECG_SOURCE,
+    csl=ECG_CSL,
+    baseline=BuildOptions(config=_TRADITIONAL_CONFIG, scheduler="sequential",
+                          dvfs=False),
+    teamplay=BuildOptions(scheduler="energy-aware", dvfs=True,
+                          generations=3, population_size=6),
+    report_name="wearable ECG monitor",
+    description="A chest-patch ECG samples a heartbeat window, filters and "
+                "delta-encodes it, detects QRS peaks and notifies a phone "
+                "gateway; TeamPlay explores the compiler space and exploits "
+                "DVFS slack on the Cortex-M0.",
+    tags=("extra", "predictable"),
+))
+
+
+# ---------------------------------------------------------------------------
+# Smart-meter reporting loop (extra scenario, dual-LEON3 board)
+# ---------------------------------------------------------------------------
+SMART_METER_SOURCE = """
+int readings[480];
+int profile[96];
+int packet[200];
+int packet_len[1];
+
+#pragma teamplay task(sample) poi(sample)
+int acquire_readings(int seed) {
+    int value = seed;
+    for (int i = 0; i < 480; i = i + 1) {
+        value = (value * 75 + 74) & 2047;
+        readings[i] = value;
+    }
+    return value;
+}
+
+#pragma teamplay task(aggregate) poi(aggregate)
+int aggregate_profile(int scale) {
+    for (int bin = 0; bin < 96; bin = bin + 1) {
+        int sum = 0;
+        for (int k = 0; k < 5; k = k + 1) {
+            sum = sum + readings[bin * 5 + k];
+        }
+        profile[bin] = (sum * scale) / 5;
+    }
+    return profile[0];
+}
+
+#pragma teamplay task(encode) poi(encode)
+int encode_profile(int threshold) {
+    int out = 0;
+    int previous = 0;
+    int run = 0;
+    for (int i = 0; i < 96; i = i + 1) {
+        int delta = profile[i] - previous;
+        previous = profile[i];
+        if (delta < 0) {
+            delta = 0 - delta;
+        }
+        if (delta < threshold) {
+            run = run + 1;
+        } else {
+            packet[out] = run;
+            packet[out + 1] = profile[i];
+            out = out + 2;
+            run = 0;
+        }
+    }
+    packet[out] = run;
+    packet_len[0] = out + 1;
+    return out + 1;
+}
+
+#pragma teamplay task(sign) poi(sign)
+int sign_packet(int key) {
+    int digest = key;
+    for (int i = 0; i < 200; i = i + 1) {
+        int word = 0;
+        if (i < packet_len[0]) {
+            word = packet[i];
+        }
+        digest = digest ^ (word + (digest << 3));
+        digest = digest & 65535;
+    }
+    packet[199] = digest;
+    return digest;
+}
+
+#pragma teamplay task(report) poi(report)
+int report_uplink(int meter_id) {
+    int crc = meter_id;
+    for (int i = 0; i < 200; i = i + 1) {
+        crc = crc ^ packet[i];
+        for (int bit = 0; bit < 4; bit = bit + 1) {
+            if (crc & 1) {
+                crc = (crc >> 1) ^ 33800;
+            } else {
+                crc = crc >> 1;
+            }
+        }
+    }
+    return crc;
+}
+"""
+
+SMART_METER_CSL = """
+system smart_meter {
+    period 500 ms;
+    deadline 500 ms;
+    budget energy 250 mJ;
+
+    task sample    { implements acquire_readings; budget time 40 ms; budget energy 2 mJ; }
+    task aggregate { implements aggregate_profile; budget time 40 ms; budget energy 2 mJ; }
+    task encode    { implements encode_profile;   budget time 40 ms; budget energy 2 mJ; }
+    task sign      { implements sign_packet;      budget time 60 ms; budget energy 3 mJ; }
+    task report    { implements report_uplink;    budget time 80 ms; budget energy 4 mJ; }
+
+    graph {
+        sample -> aggregate -> encode -> sign -> report;
+    }
+}
+"""
+
+SMART_METER_SCENARIO = register_scenario(ScenarioSpec(
+    name="smart-meter",
+    title="Smart-meter reporting loop",
+    kind="predictable",
+    platform="gr712rc",
+    source=SMART_METER_SOURCE,
+    csl=SMART_METER_CSL,
+    baseline=BuildOptions(config=_TRADITIONAL_CONFIG, scheduler="sequential",
+                          dvfs=False),
+    teamplay=BuildOptions(scheduler="energy-aware", dvfs=True,
+                          generations=3, population_size=6),
+    report_name="smart-meter reporting loop",
+    description="A grid meter aggregates a day's load curve into 15-minute "
+                "bins, delta-encodes, signs and uplinks it every period; "
+                "TeamPlay searches the compiler space and schedules with "
+                "DVFS on the dual-LEON3 board.",
+    tags=("extra", "predictable"),
+))

@@ -22,10 +22,10 @@ from repro.contracts.certificate import Certificate
 from repro.coordination.gluegen import generate_glue_code
 from repro.coordination.schedulability import SchedulabilityReport, analyse_schedule
 from repro.coordination.schedulers import (
-    EnergyAwareScheduler,
+    SCHEDULER_NAMES,
     Schedule,
     SequentialScheduler,
-    TimeGreedyScheduler,
+    scheduler_by_name,
 )
 from repro.coordination.taskgraph import Implementation, TaskGraph
 from repro.csl.ast_nodes import ContractSpec
@@ -36,8 +36,6 @@ from repro.errors import TeamPlayError
 from repro.hw.core import CoreKind
 from repro.hw.platform import Platform
 from repro.profiling.powprofiler import PowProfiler, TaskProfile
-
-_SCHEDULERS = ("energy-aware", "time-greedy", "sequential")
 
 
 @dataclass(frozen=True)
@@ -108,7 +106,7 @@ class ComplexToolchain:
         offlining (hot-unplugging) the CPU cores its schedule never uses, so
         their idle power disappears from the deployment's power draw.
         """
-        if scheduler not in _SCHEDULERS:
+        if scheduler not in SCHEDULER_NAMES:
             raise TeamPlayError(f"unknown scheduler {scheduler!r}")
         spec = parse_csl(csl_text)
         workload = {task.name: task for task in tasks}
@@ -200,11 +198,7 @@ class ComplexToolchain:
 
     # ------------------------------------------------------------------ helpers --
     def _schedule(self, graph: TaskGraph, scheduler: str) -> Schedule:
-        if scheduler == "energy-aware":
-            return EnergyAwareScheduler(self.platform).schedule(graph)
-        if scheduler == "time-greedy":
-            return TimeGreedyScheduler(self.platform).schedule(graph)
-        return SequentialScheduler(self.platform).schedule(graph)
+        return scheduler_by_name(scheduler, self.platform).schedule(graph)
 
     def software_power_w(self, schedule: Schedule, spec: ContractSpec,
                          used_cores_only: bool = False) -> float:

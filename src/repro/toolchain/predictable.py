@@ -25,6 +25,7 @@ from repro.compiler.engine import (
     BatchEvaluator,
     EvaluationEngine,
     LoweringCache,
+    process_analysis_cache,
 )
 from repro.compiler.evaluate import Variant
 from repro.compiler.fpa import FlowerPollinationOptimizer, pareto_front
@@ -34,10 +35,9 @@ from repro.contracts.certificate import Certificate
 from repro.coordination.gluegen import generate_glue_code
 from repro.coordination.schedulability import SchedulabilityReport, analyse_schedule
 from repro.coordination.schedulers import (
-    EnergyAwareScheduler,
+    SCHEDULER_NAMES,
     Schedule,
-    SequentialScheduler,
-    TimeGreedyScheduler,
+    scheduler_by_name,
 )
 from repro.coordination.taskgraph import EtsProperties, Implementation, TaskGraph
 from repro.csl.ast_nodes import ContractSpec
@@ -49,8 +49,6 @@ from repro.frontend.parser import parse_cached
 from repro.hw.core import Core
 from repro.hw.platform import Platform
 from repro.security.analyzer import SecurityAnalyzer
-
-_SCHEDULERS = ("energy-aware", "time-greedy", "sequential")
 
 
 @dataclass
@@ -91,8 +89,13 @@ class PredictableToolchain:
         self.core = core or platform.predictable_cores[0]
         # Shared evaluation caches: builds on the same toolchain instance
         # (e.g. a baseline/TeamPlay comparison over one source) reuse parsed
-        # modules, lowered IR and per-function analysis tables.
-        self._analysis = AnalysisCache(platform)
+        # modules, lowered IR and per-function analysis tables.  When the
+        # process-wide cache is enabled (opt-in), analysis tables are
+        # additionally shared with every other toolchain/driver targeting
+        # this platform.
+        shared_analysis = process_analysis_cache(platform)
+        self._analysis = (shared_analysis if shared_analysis is not None
+                          else AnalysisCache(platform))
         self._lowerings: Dict[int, LoweringCache] = {}
         self._engines: Dict[tuple, EvaluationEngine] = {}
 
@@ -142,7 +145,7 @@ class PredictableToolchain:
         add placement options outside the compiled code (e.g. an FPGA
         -offloaded version of a task).
         """
-        if scheduler not in _SCHEDULERS:
+        if scheduler not in SCHEDULER_NAMES:
             raise TeamPlayError(f"unknown scheduler {scheduler!r}")
         spec = parse_csl(csl_text)
         module = self._parse_source(source)
@@ -301,11 +304,7 @@ class PredictableToolchain:
 
     # ------------------------------------------------------------------ scheduling --
     def _schedule(self, graph: TaskGraph, scheduler: str) -> Schedule:
-        if scheduler == "energy-aware":
-            return EnergyAwareScheduler(self.platform).schedule(graph)
-        if scheduler == "time-greedy":
-            return TimeGreedyScheduler(self.platform).schedule(graph)
-        return SequentialScheduler(self.platform).schedule(graph)
+        return scheduler_by_name(scheduler, self.platform).schedule(graph)
 
     @staticmethod
     def _evidence(schedule: Schedule,

@@ -10,8 +10,11 @@
   on the Cortex-M0 and the TK1 (Section IV-D).
 
 Each module exposes the use case's TeamPlay-C sources / workload description,
-its CSL contract, and a ``run_*`` comparison returning the baseline-vs-
-TeamPlay improvement that the corresponding benchmark regenerates.
+its CSL contract, a declarative :class:`~repro.scenarios.spec.ScenarioSpec`
+registered with :mod:`repro.scenarios` (plus the paper-specific
+post-processing hook that shapes the generic scenario result), and a
+``run_*`` comparison returning the baseline-vs-TeamPlay improvement that the
+corresponding benchmark regenerates.
 """
 
 from repro.usecases import camera_pill, deep_learning, space, uav

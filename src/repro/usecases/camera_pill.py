@@ -9,9 +9,11 @@ runs from a miniature battery.
 The paper reports that applying the TeamPlay toolchain (multi-criteria
 compilation; the coordination layer could not be used on this target) gave an
 18% performance and 19% energy improvement over a traditional toolchain.
-``run_comparison`` regenerates that experiment: the baseline is the
-traditional configuration (standard optimisations, code in flash), TeamPlay
-is the multi-objective explored configuration.
+``run_comparison`` regenerates that experiment through the declarative
+scenario layer: :data:`SCENARIO` describes both builds (the baseline is the
+traditional configuration — standard optimisations, code in flash — TeamPlay
+is the multi-objective explored configuration) and the shared
+:class:`~repro.scenarios.runner.ScenarioRunner` executes them.
 """
 
 from __future__ import annotations
@@ -21,9 +23,17 @@ from typing import Dict, Optional
 
 from repro.compiler.config import CompilerConfig
 from repro.coordination.taskgraph import EtsProperties, Implementation
+from repro.csl.ast_nodes import ContractSpec
 from repro.hw.platform import Platform
 from repro.hw.presets import camera_pill_board
 from repro.net.radio import RadioLink
+from repro.scenarios import (
+    BuildOptions,
+    ScenarioResult,
+    ScenarioSpec,
+    register_scenario,
+    run_scenario,
+)
 from repro.toolchain.predictable import PredictableBuildResult, PredictableToolchain
 from repro.toolchain.report import ImprovementReport
 
@@ -244,45 +254,54 @@ def build(toolchain: Optional[PredictableToolchain] = None,
     )
 
 
+def _radio_energy_per_frame_j(board: Platform, contract: ContractSpec) -> float:
+    """Per-frame radio energy, identical for both deployments.
+
+    Both builds transmit the same (compressed, encrypted) frames; the radio
+    contribution is charged to both sides and reported separately.
+    """
+    return radio().transmit_energy_j(FRAME_PIXELS * 2)
+
+
+def _finalize(result: ScenarioResult) -> CameraPillComparison:
+    """Shape the generic scenario result into the paper's E1 comparison."""
+    return CameraPillComparison(
+        baseline=result.baseline.build,
+        teamplay=result.teamplay.build,
+        report=result.report,
+        radio_energy_per_frame_j=result.overhead_energy_j,
+    )
+
+
+#: E1 as a declarative scenario.  Both builds schedule the pipeline
+#: sequentially on the M0 at its nominal clock (the paper could not use the
+#: coordination layer on this target); the difference is the compiler: the
+#: baseline uses the traditional configuration, TeamPlay explores the
+#: configuration space with all three analysers in the loop.
+SCENARIO = register_scenario(ScenarioSpec(
+    name="camera-pill",
+    title="Camera pill (E1)",
+    kind="predictable",
+    platform="camera-pill",
+    source=CAMERA_PILL_SOURCE,
+    csl=CAMERA_PILL_CSL,
+    baseline=BuildOptions(config=BASELINE_CONFIG, scheduler="sequential",
+                          dvfs=False),
+    teamplay=BuildOptions(scheduler="sequential", dvfs=False,
+                          generations=3, population_size=6),
+    shared_overhead_energy_j=_radio_energy_per_frame_j,
+    report_name="camera pill (E1)",
+    postprocess=_finalize,
+    description="Capsule-endoscopy imaging pipeline on a Cortex-M0: "
+                "traditional toolchain vs multi-criteria compilation "
+                "(paper Section IV-A).",
+    tags=("paper", "predictable"),
+))
+
+
 def run_comparison(generations: int = 3, population_size: int = 6
                    ) -> CameraPillComparison:
-    """Regenerate experiment E1: traditional toolchain vs TeamPlay.
-
-    Both builds schedule the pipeline sequentially on the M0 at its nominal
-    clock (the paper could not use the coordination layer on this target);
-    the difference is the compiler: the baseline uses the traditional
-    configuration, TeamPlay explores the configuration space with all three
-    analysers in the loop.
-    """
-    board = platform()
-    toolchain = PredictableToolchain(board)
-
-    baseline = build(toolchain, config=BASELINE_CONFIG, scheduler="sequential",
-                     dvfs=False)
-    teamplay = build(toolchain, config=None, scheduler="sequential", dvfs=False,
-                     generations=generations, population_size=population_size)
-
-    # Both deployments transmit the same (compressed, encrypted) frames; the
-    # radio contribution is identical and reported separately.
-    link = radio()
-    payload_bytes = FRAME_PIXELS * 2
-    radio_energy = link.transmit_energy_j(payload_bytes)
-
-    baseline_time = baseline.schedule.makespan_s
-    teamplay_time = teamplay.schedule.makespan_s
-    window = baseline.spec.period_s()
-    report = ImprovementReport(
-        name="camera pill (E1)",
-        baseline_time_s=baseline_time,
-        teamplay_time_s=teamplay_time,
-        baseline_energy_j=baseline.schedule.task_energy_j + radio_energy,
-        teamplay_energy_j=teamplay.schedule.task_energy_j + radio_energy,
-        deadline_s=window,
-        deadlines_met=teamplay.schedulability.feasible,
-    )
-    return CameraPillComparison(
-        baseline=baseline,
-        teamplay=teamplay,
-        report=report,
-        radio_energy_per_frame_j=radio_energy,
-    )
+    """Regenerate experiment E1: traditional toolchain vs TeamPlay."""
+    result = run_scenario(SCENARIO, generations=generations,
+                          population_size=population_size)
+    return result.detail

@@ -15,6 +15,7 @@ are studied:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -28,9 +29,17 @@ from repro.dl.dataset import ParkingDataset
 from repro.dl.kernels import conv2d_kernel_source, matmul_kernel_source
 from repro.dl.network import ParkingNet
 from repro.hw.platform import Platform
-from repro.hw.presets import apalis_tk1, nucleo_stm32f091rc
+from repro.hw.presets import nucleo_stm32f091rc
 from repro.profiling.powprofiler import PowProfiler
-from repro.toolchain.complexflow import ComplexToolchain, WorkloadTask
+from repro.scenarios import (
+    BuildOptions,
+    RunContext,
+    ScenarioResult,
+    ScenarioSpec,
+    register_scenario,
+    run_scenario,
+)
+from repro.toolchain.complexflow import WorkloadTask
 from repro.toolchain.report import ImprovementReport
 
 
@@ -191,42 +200,57 @@ def _manual_task_graph(board: Platform, tasks: List[WorkloadTask],
                             name=f"{spec.system}-manual")
 
 
+def _manual_mapping(ctx: RunContext) -> Schedule:
+    """The E6 baseline: schedule the hand-optimised mapping (no search)."""
+    manual_graph = _manual_task_graph(ctx.platform, ctx.tasks, PARKING_CSL,
+                                      ctx.profiling_runs)
+    return EnergyAwareScheduler(ctx.platform).schedule(manual_graph)
+
+
+def _finalize_tk1(result: ScenarioResult) -> Tk1Comparison:
+    """Shape the generic scenario result into the paper's E6 comparison."""
+    return Tk1Comparison(
+        teamplay_schedule=result.teamplay.schedule,
+        manual_schedule=result.baseline.schedule,
+        report=result.report,
+        teamplay_energy_j=result.teamplay.core_energy_j,
+        manual_energy_j=result.baseline.core_energy_j,
+    )
+
+
+#: E6 as a declarative scenario.  As in the paper, only the coordination
+#: layer is used on this target (the application structure and the
+#: energy/time estimates come from profiling), so DVFS is left at the
+#: nominal operating points and the comparison is about the mapping
+#: decisions: the baseline side is the human-optimised mapping, built by a
+#: custom hook instead of the profiling workflow.
+TK1_SCENARIO = register_scenario(ScenarioSpec(
+    name="parking-dl-tk1",
+    title="Deep learning on TK1 (E6)",
+    kind="complex",
+    platform="apalis-tk1",
+    csl=PARKING_CSL,
+    workload=tk1_workload,
+    baseline=BuildOptions(custom=_manual_mapping),
+    teamplay=BuildOptions(scheduler="energy-aware", allow_gpu=True,
+                          dvfs=False),
+    profiling_runs=8,
+    energy_model="total",
+    report_name="deep learning on TK1 (E6)",
+    postprocess=_finalize_tk1,
+    description="CNN parking detection deployed on the Apalis TK1: "
+                "coordination-layer mapping vs the hand-optimised one "
+                "(paper Section IV-D).",
+    tags=("paper", "complex"),
+))
+
+
 def run_tk1_comparison(profiling_runs: int = 8,
                        work_scale: float = 8000.0) -> Tk1Comparison:
-    """Regenerate experiment E6: coordination-layer deployment vs manual.
-
-    As in the paper, only the coordination layer is used on this target (the
-    application structure and the energy/time estimates come from profiling),
-    so DVFS is left at the nominal operating points and the comparison is
-    about the mapping decisions.
-    """
-    board = apalis_tk1()
-    tasks = tk1_workload(work_scale=work_scale)
-
-    toolchain = ComplexToolchain(board, profiling_runs=profiling_runs)
-    teamplay = toolchain.build(tasks, PARKING_CSL, scheduler="energy-aware",
-                               allow_gpu=True, dvfs=False)
-
-    manual_graph = _manual_task_graph(board, tasks, PARKING_CSL, profiling_runs)
-    manual_schedule = EnergyAwareScheduler(board).schedule(manual_graph)
-
-    period = teamplay.spec.period_s()
-    teamplay_energy = teamplay.schedule.total_energy_j(board, period)
-    manual_energy = manual_schedule.total_energy_j(board, period)
-
-    report = ImprovementReport(
-        name="deep learning on TK1 (E6)",
-        baseline_time_s=manual_schedule.makespan_s,
-        teamplay_time_s=teamplay.schedule.makespan_s,
-        baseline_energy_j=manual_energy,
-        teamplay_energy_j=teamplay_energy,
-        deadline_s=period,
-        deadlines_met=teamplay.schedulability.feasible,
-    )
-    return Tk1Comparison(
-        teamplay_schedule=teamplay.schedule,
-        manual_schedule=manual_schedule,
-        report=report,
-        teamplay_energy_j=teamplay_energy,
-        manual_energy_j=manual_energy,
-    )
+    """Regenerate experiment E6: coordination-layer deployment vs manual."""
+    spec = TK1_SCENARIO
+    if work_scale != 8000.0:
+        spec = TK1_SCENARIO.with_(
+            workload=functools.partial(tk1_workload, work_scale=work_scale))
+    result = run_scenario(spec, profiling_runs=profiling_runs)
+    return result.detail

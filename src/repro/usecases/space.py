@@ -6,22 +6,33 @@ met so no image is lost, and every joule matters on a spacecraft.
 
 The paper reports a 52% energy improvement while meeting all deadlines when
 the TeamPlay methodology is applied.  ``run_comparison`` regenerates that
-experiment: the baseline is a traditional deployment (sequential on one core
-at the nominal clock, cores never power down); TeamPlay uses the
-multi-criteria compiler, energy-aware dual-core scheduling with DVFS, and the
-LEON3's idle power-down mode during slack.
+experiment through the declarative scenario layer: the baseline is a
+traditional deployment (sequential on one core at the nominal clock, cores
+never power down); TeamPlay uses the multi-criteria compiler, energy-aware
+dual-core scheduling with DVFS, and the LEON3's idle power-down mode during
+slack.  The post-processing hook replays the TeamPlay schedule on the
+RTEMS-style periodic executive to validate the deadlines dynamically.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.compiler.config import CompilerConfig
+from repro.csl.ast_nodes import ContractSpec
 from repro.hw.platform import Platform
 from repro.hw.presets import gr712rc
 from repro.net.spacewire import SpaceWireLink
 from repro.rtos.executive import ExecutionLog, PeriodicExecutive
+from repro.scenarios import (
+    BuildOptions,
+    ScenarioResult,
+    ScenarioSpec,
+    register_scenario,
+    run_scenario,
+)
 from repro.toolchain.predictable import PredictableBuildResult, PredictableToolchain
 from repro.toolchain.report import ImprovementReport
 
@@ -214,57 +225,69 @@ def build(toolchain: Optional[PredictableToolchain] = None,
     )
 
 
-def _energy_per_period(result: PredictableBuildResult, board: Platform,
-                       idle_factor: float) -> float:
-    """Task energy plus (possibly power-gated) idle energy over one period."""
-    window = result.spec.period_s()
-    task_energy = result.schedule.task_energy_j
-    idle_energy = result.schedule.idle_energy_j(board, window) * idle_factor
-    return task_energy + idle_energy
+def _spacewire_energy_per_period_j(board: Platform,
+                                   contract: ContractSpec) -> float:
+    """SpaceWire link energy over one period, identical for both builds."""
+    image_bytes = 640 * 4
+    return spacewire_link().window_energy_j(image_bytes, contract.period_s())
+
+
+def _finalize(result: ScenarioResult,
+              validate_dynamically: bool = True) -> SpaceComparison:
+    """Replay the schedule on the periodic executive and shape the E2 result."""
+    teamplay = result.teamplay.build
+    executive_log = None
+    if validate_dynamically:
+        executive = PeriodicExecutive(result.platform, teamplay.task_graph,
+                                      teamplay.schedule,
+                                      period_s=result.contract.period_s())
+        executive_log = executive.run(periods=20, jitter=0.25, seed=3)
+        result.report.deadlines_met = (teamplay.schedulability.feasible
+                                       and executive_log.deadline_misses == 0)
+    return SpaceComparison(
+        baseline=result.baseline.build,
+        teamplay=teamplay,
+        report=result.report,
+        baseline_energy_per_period_j=result.baseline.core_energy_j,
+        teamplay_energy_per_period_j=result.teamplay.core_energy_j,
+        spacewire_energy_per_period_j=result.overhead_energy_j,
+        executive_log=executive_log,
+    )
+
+
+#: E2 as a declarative scenario: the baseline never powers anything down
+#: (full idle energy), the TeamPlay build uses the LEON3 power-down mode
+#: during slack (idle energy scaled by :data:`POWER_DOWN_FACTOR`).
+SCENARIO = register_scenario(ScenarioSpec(
+    name="space-spacewire",
+    title="Space / SpaceWire (E2)",
+    kind="predictable",
+    platform="gr712rc",
+    source=SPACE_SOURCE,
+    csl=SPACE_CSL,
+    baseline=BuildOptions(config=BASELINE_CONFIG, scheduler="sequential",
+                          dvfs=False, glue_style="rtems"),
+    teamplay=BuildOptions(scheduler="energy-aware", dvfs=True,
+                          generations=3, population_size=6,
+                          glue_style="rtems"),
+    baseline_idle_factor=1.0,
+    teamplay_idle_factor=POWER_DOWN_FACTOR,
+    shared_overhead_energy_j=_spacewire_energy_per_period_j,
+    report_name="space / SpaceWire (E2)",
+    postprocess=_finalize,
+    description="Image processing and SpaceWire transmission on the "
+                "dual-LEON3 GR712RC under RTEMS (paper Section IV-B).",
+    tags=("paper", "predictable"),
+))
 
 
 def run_comparison(generations: int = 3, population_size: int = 6,
                    validate_dynamically: bool = True) -> SpaceComparison:
     """Regenerate experiment E2: traditional deployment vs TeamPlay on the GR712RC."""
-    board = platform()
-    toolchain = PredictableToolchain(board)
-
-    baseline = build(toolchain, config=BASELINE_CONFIG, scheduler="sequential",
-                     dvfs=False)
-    teamplay = build(toolchain, config=None, scheduler="energy-aware", dvfs=True,
-                     generations=generations, population_size=population_size)
-
-    link = spacewire_link()
-    image_bytes = 640 * 4
-    window = baseline.spec.period_s()
-    spacewire_energy = link.window_energy_j(image_bytes, window)
-
-    baseline_energy = _energy_per_period(baseline, board, idle_factor=1.0)
-    teamplay_energy = _energy_per_period(teamplay, board,
-                                         idle_factor=POWER_DOWN_FACTOR)
-
-    executive_log = None
-    if validate_dynamically:
-        executive = PeriodicExecutive(board, teamplay.task_graph,
-                                      teamplay.schedule, period_s=window)
-        executive_log = executive.run(periods=20, jitter=0.25, seed=3)
-
-    report = ImprovementReport(
-        name="space / SpaceWire (E2)",
-        baseline_time_s=baseline.schedule.makespan_s,
-        teamplay_time_s=teamplay.schedule.makespan_s,
-        baseline_energy_j=baseline_energy + spacewire_energy,
-        teamplay_energy_j=teamplay_energy + spacewire_energy,
-        deadline_s=window,
-        deadlines_met=teamplay.schedulability.feasible
-        and (executive_log is None or executive_log.deadline_misses == 0),
-    )
-    return SpaceComparison(
-        baseline=baseline,
-        teamplay=teamplay,
-        report=report,
-        baseline_energy_per_period_j=baseline_energy,
-        teamplay_energy_per_period_j=teamplay_energy,
-        spacewire_energy_per_period_j=spacewire_energy,
-        executive_log=executive_log,
-    )
+    spec = SCENARIO
+    if not validate_dynamically:
+        spec = SCENARIO.with_(postprocess=functools.partial(
+            _finalize, validate_dynamically=False))
+    result = run_scenario(spec, generations=generations,
+                          population_size=population_size)
+    return result.detail

@@ -14,6 +14,7 @@ computing payload:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -26,11 +27,14 @@ from repro.coordination.battery_aware import (
 from repro.hw.battery import Battery
 from repro.hw.platform import Platform
 from repro.hw.presets import apalis_tk1, jetson_nano, jetson_tx2
-from repro.toolchain.complexflow import (
-    ComplexBuildResult,
-    ComplexToolchain,
-    WorkloadTask,
+from repro.scenarios import (
+    BuildOptions,
+    ScenarioResult,
+    ScenarioSpec,
+    register_scenario,
+    run_scenario,
 )
+from repro.toolchain.complexflow import ComplexBuildResult, WorkloadTask
 from repro.toolchain.report import ImprovementReport
 
 #: Cruise mechanical power of the fixed-wing UAV (W).
@@ -112,50 +116,62 @@ def flight_time_s(software_power_w: float,
     return battery.endurance_s(mechanical_power_w + software_power_w)
 
 
-def run_sar_comparison(platform_name: str = "apalis-tk1",
-                       profiling_runs: int = 8) -> SarComparison:
-    """Regenerate experiment E3: traditional deployment vs TeamPlay.
+def _sar_tasks() -> List[WorkloadTask]:
+    return list(SAR_TASKS)
 
-    The traditional deployment already uses the GPU for the computer-vision
-    kernels (a CUDA pipeline tuned for throughput, mapped greedily for time at
-    the nominal operating points); the TeamPlay deployment additionally lets
-    the energy-aware coordination layer pick placements and operating points
-    from the dynamic profiles.
-    """
-    board = platform(platform_name)
-    toolchain = ComplexToolchain(board, profiling_runs=profiling_runs)
 
-    baseline = toolchain.build(SAR_TASKS, SAR_CSL, scheduler="time-greedy",
-                               allow_gpu=True, dvfs=False,
-                               power_down_unused=False)
-    teamplay = toolchain.build(SAR_TASKS, SAR_CSL, scheduler="energy-aware",
-                               allow_gpu=True, dvfs=True,
-                               power_down_unused=True)
-
-    period = baseline.spec.period_s()
-    baseline_power = baseline.software_power_w
-    teamplay_power = teamplay.software_power_w
-    baseline_flight = flight_time_s(baseline_power)
-    teamplay_flight = flight_time_s(teamplay_power)
-
-    report = ImprovementReport(
-        name="UAV search and rescue (E3)",
-        baseline_time_s=baseline.schedule.makespan_s,
-        teamplay_time_s=teamplay.schedule.makespan_s,
-        baseline_energy_j=baseline_power * period,
-        teamplay_energy_j=teamplay_power * period,
-        deadline_s=period,
-        deadlines_met=teamplay.schedulability.feasible,
-    )
+def _finalize_sar(result: ScenarioResult) -> SarComparison:
+    """Shape the generic scenario result into the paper's E3 comparison."""
+    baseline_power = result.baseline.build.software_power_w
+    teamplay_power = result.teamplay.build.software_power_w
     return SarComparison(
-        baseline=baseline,
-        teamplay=teamplay,
-        report=report,
+        baseline=result.baseline.build,
+        teamplay=result.teamplay.build,
+        report=result.report,
         baseline_software_power_w=baseline_power,
         teamplay_software_power_w=teamplay_power,
-        baseline_flight_time_s=baseline_flight,
-        teamplay_flight_time_s=teamplay_flight,
+        baseline_flight_time_s=flight_time_s(baseline_power),
+        teamplay_flight_time_s=flight_time_s(teamplay_power),
     )
+
+
+#: E3 as a declarative scenario.  The traditional deployment already uses
+#: the GPU for the computer-vision kernels (a CUDA pipeline tuned for
+#: throughput, mapped greedily for time at the nominal operating points);
+#: the TeamPlay deployment additionally lets the energy-aware coordination
+#: layer pick placements and operating points from the dynamic profiles and
+#: power-gate unused cores.
+SAR_SCENARIO = register_scenario(ScenarioSpec(
+    name="uav-sar",
+    title="UAV search and rescue (E3)",
+    kind="complex",
+    platform="apalis-tk1",
+    csl=SAR_CSL,
+    workload=_sar_tasks,
+    baseline=BuildOptions(scheduler="time-greedy", allow_gpu=True,
+                          dvfs=False, power_down_unused=False),
+    teamplay=BuildOptions(scheduler="energy-aware", allow_gpu=True,
+                          dvfs=True, power_down_unused=True),
+    profiling_runs=8,
+    energy_model="software-power",
+    report_name="UAV search and rescue (E3)",
+    postprocess=_finalize_sar,
+    description="Lifeboat-detection vision pipeline on a Jetson-class UAV "
+                "payload: dynamic profiling plus energy-aware GPU/CPU "
+                "mapping with DVFS (paper Section IV-C).",
+    tags=("paper", "complex"),
+))
+
+
+def run_sar_comparison(platform_name: str = "apalis-tk1",
+                       profiling_runs: int = 8) -> SarComparison:
+    """Regenerate experiment E3: traditional deployment vs TeamPlay."""
+    spec = SAR_SCENARIO
+    if platform_name != "apalis-tk1":
+        spec = SAR_SCENARIO.with_(
+            platform=functools.partial(platform, platform_name))
+    result = run_scenario(spec, profiling_runs=profiling_runs)
+    return result.detail
 
 
 # ---------------------------------------------------------------------------
