@@ -38,31 +38,41 @@ def test_scn1_registry_sweep(benchmark):
     finally:
         disable_process_analysis_cache()
 
-    rows = [
-        f"{result.spec.name:16s} perf {result.report.performance_improvement_pct:+7.1f}%  "
-        f"energy {result.report.energy_improvement_pct:+7.1f}%  "
-        f"deadline {'met' if result.report.deadlines_met else 'MISSED'}"
-        for result in results
-    ]
+    rows = []
+    for result in results:
+        if result.report is not None:
+            rows.append(
+                f"{result.spec.name:16s} perf {result.report.performance_improvement_pct:+7.1f}%  "
+                f"energy {result.report.energy_improvement_pct:+7.1f}%  "
+                f"deadline {'met' if result.report.deadlines_met else 'MISSED'}")
+        else:
+            rows.append(f"{result.spec.name:16s} custom experiment "
+                        f"(no baseline-vs-TeamPlay report)")
     rows.append(f"shared-cache sweep: {shared_s * 1e3:.0f} ms, "
                 f"analysis caches: { {name: s['hits'] for name, s in cache_stats.items()} }")
     print_experiment(
         "SCN1 scenario-registry sweep",
         "all registered scenarios run through one shared pipeline runner",
         rows,
-        notes="4 paper scenarios + extra workloads; reports match the "
-              "pre-refactor drivers bit-for-bit (tests/test_scenarios.py)",
+        notes="6 paper scenarios (incl. the custom-kind E4/E5) + extra "
+              "workloads; reports match the pre-refactor drivers "
+              "bit-for-bit (tests/test_scenarios.py)",
     )
 
-    assert len(results) >= 6
-    assert all(result.report.deadlines_met for result in results)
-    # The sweep must include both workflows and both scenario families.
+    assert len(results) >= 8
+    assert all(result.report.deadlines_met for result in results
+               if result.report is not None)
+    # The sweep must include every workflow and both scenario families.
     kinds = {result.spec.kind for result in results}
-    assert kinds == {"predictable", "complex"}
+    assert kinds == {"predictable", "complex", "custom"}
     tags = [tag for result in results for tag in result.spec.tags]
-    assert tags.count("paper") == 4 and tags.count("extra") >= 2
+    assert tags.count("paper") == 6 and tags.count("extra") >= 2
     # The shared-cache sweep produces the same reports.
-    assert [r.report.baseline_energy_j for r in shared_results] \
-        == [r.report.baseline_energy_j for r in results]
-    assert [r.report.teamplay_energy_j for r in shared_results] \
-        == [r.report.teamplay_energy_j for r in results]
+    assert [r.report.baseline_energy_j for r in shared_results
+            if r.report is not None] \
+        == [r.report.baseline_energy_j for r in results
+            if r.report is not None]
+    assert [r.report.teamplay_energy_j for r in shared_results
+            if r.report is not None] \
+        == [r.report.teamplay_energy_j for r in results
+            if r.report is not None]

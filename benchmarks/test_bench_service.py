@@ -1,0 +1,87 @@
+"""SVC1 — registry-sweep throughput through the evaluation service.
+
+Not a paper experiment: measures the service layer the ROADMAP's "service
+endpoint over the registry" step added.  Three configurations of the same
+full-registry workload:
+
+* serial — one worker draining the queue (the ``--jobs 1`` baseline),
+* parallel — a multi-worker pool (``--jobs N``; on a 1-vCPU host the
+  pure-Python analysis work interleaves rather than speeds up, so this
+  guards the coordination overhead instead of chasing a speedup),
+* dedup — every scenario submitted twice: the duplicate submissions must
+  coalesce onto one computation each (queue dedup + result store), so the
+  doubled offered load costs roughly one sweep, not two.
+
+Smoke invocation:  pytest -m bench benchmarks/test_bench_service.py
+"""
+
+import time
+
+from conftest import print_experiment
+
+from repro.scenarios import list_scenarios, run_scenario
+from repro.service import EvaluationService
+
+
+def _run_sweep(workers: int, repeats: int = 1):
+    """Sweep every registered scenario ``repeats`` times; returns
+    (results-in-order, elapsed seconds, service stats snapshot)."""
+    names = [spec.name for spec in list_scenarios()] * repeats
+    t0 = time.perf_counter()
+    with EvaluationService(workers=workers,
+                           shared_analysis_cache=False) as service:
+        jobs = [service.submit(name) for name in names]
+        results = [service.result(job, timeout=600) for job in jobs]
+        stats = service.stats()
+    return results, time.perf_counter() - t0, stats
+
+
+def test_svc1_service_sweep_throughput(benchmark):
+    """SVC1: serial vs parallel vs deduplicated service sweeps."""
+    serial_results, serial_s, serial_stats = benchmark.pedantic(
+        lambda: _run_sweep(workers=1), rounds=1, iterations=1)
+
+    parallel_results, parallel_s, parallel_stats = _run_sweep(workers=2)
+    dedup_results, dedup_s, dedup_stats = _run_sweep(workers=2, repeats=2)
+
+    scenario_count = len(list_scenarios())
+    rows = [
+        f"serial  (1 worker):  {serial_s * 1e3:7.0f} ms for "
+        f"{scenario_count} scenarios",
+        f"parallel (2 workers): {parallel_s * 1e3:7.0f} ms "
+        f"(coordination overhead guard on 1 vCPU)",
+        f"dedup   (2x load):   {dedup_s * 1e3:7.0f} ms for "
+        f"{2 * scenario_count} submissions, "
+        f"{dedup_stats['queue']['deduplicated']} coalesced + "
+        f"{dedup_stats['store']['hits']} store hits",
+    ]
+    print_experiment(
+        "SVC1 evaluation-service sweep",
+        "the job-queue service serves the registry sweep with dedup "
+        "coalescing duplicate submissions onto one computation",
+        rows,
+        notes="results are bit-identical across all three configurations "
+              "and to direct ScenarioRunner runs (tests/test_service.py)",
+    )
+
+    # Dedup must have coalesced every duplicate submission.
+    assert dedup_stats["queue"]["submitted"] <= 2 * scenario_count
+    assert (dedup_stats["queue"]["deduplicated"]
+            + dedup_stats["store"]["hits"]) >= scenario_count
+    assert dedup_stats["queue"]["succeeded"] == scenario_count
+    # The doubled offered load must not cost a second full sweep.
+    assert dedup_s < 1.8 * max(parallel_s, serial_s)
+
+    # All three configurations produce identical numbers, equal to a
+    # direct runner call.
+    def energies(results):
+        return [r.report.teamplay_energy_j for r in results[:scenario_count]
+                if r.report is not None]
+
+    assert energies(serial_results) == energies(parallel_results)
+    assert energies(serial_results) == energies(dedup_results)
+    # Spot-check bit-identity against a direct runner call off the service.
+    first = next(r for r in serial_results if r.report is not None)
+    direct = run_scenario(first.spec.name)
+    assert first.report.teamplay_energy_j == direct.report.teamplay_energy_j
+    assert first.report.baseline_time_s == direct.report.baseline_time_s

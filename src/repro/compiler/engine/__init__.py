@@ -52,6 +52,7 @@ from repro.compiler.engine.cache import (
     disable_process_analysis_cache,
     enable_process_analysis_cache,
     process_analysis_cache,
+    process_analysis_cache_enabled,
     process_analysis_cache_stats,
     program_fingerprint,
 )
@@ -94,6 +95,7 @@ __all__ = [
     "pareto_front",
     "pareto_front_reference",
     "process_analysis_cache",
+    "process_analysis_cache_enabled",
     "process_analysis_cache_stats",
     "program_fingerprint",
 ]

@@ -38,6 +38,7 @@ which pays off in cross-scenario sweeps such as
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
@@ -402,6 +403,11 @@ class AnalysisCache(_BoundedCacheMixin):
     def __init__(self, platform: Platform, max_entries: Optional[int] = None):
         super().__init__(max_entries)
         self.platform = platform
+        # Serialises lookups *and* fills: the LRU bookkeeping is a compound
+        # read-modify-write over OrderedDicts, and the process-wide shared
+        # cache is queried concurrently by the evaluation service's worker
+        # threads.  Reentrant because ``wcec`` calls ``wcet``.
+        self._lock = threading.RLock()
         self._checked: "OrderedDict[Tuple, bool]" = OrderedDict()
         self._cycle_tables: "OrderedDict[Tuple, Tuple[Dict[str, float], Dict[str, Exception]]]" = OrderedDict()
         self._energy_tables: "OrderedDict[Tuple, Tuple[Dict[str, float], Dict[str, Exception]]]" = OrderedDict()
@@ -576,7 +582,8 @@ class AnalysisCache(_BoundedCacheMixin):
         """Cached equivalent of ``WCETAnalyzer(...).analyze(...)``."""
         core = core or self._default_core()
         opp = opp or core.nominal_opp
-        table, errors = self._cycles(program, core)
+        with self._lock:
+            table, errors = self._cycles(program, core)
         cycles = self._entry_cost(program, function_name, table, errors)
         return WCETResult(
             function=function_name,
@@ -592,10 +599,11 @@ class AnalysisCache(_BoundedCacheMixin):
         """Cached equivalent of ``EnergyAnalyzer(...).analyze(...)``."""
         core = core or self._default_core()
         opp = opp or core.nominal_opp
-        table, errors = self._energy(program, core, opp)
-        dynamic = self._entry_cost(program, function_name, table, errors)
-        wcet_result = self.wcet(program, function_name, core=core, opp=opp)
-        analyzer = self._energy_analyzer(core)
+        with self._lock:
+            table, errors = self._energy(program, core, opp)
+            dynamic = self._entry_cost(program, function_name, table, errors)
+            wcet_result = self.wcet(program, function_name, core=core, opp=opp)
+            analyzer = self._energy_analyzer(core)
         static = analyzer.model.static_power(opp) * wcet_result.time_s
         return WCECResult(
             function=function_name,
@@ -616,6 +624,9 @@ PROCESS_CACHE_DEFAULT_MAX_ENTRIES = 256
 _process_cache_max_entries: Optional[int] = None
 _process_cache_enabled = False
 _process_analysis_caches: Dict[str, AnalysisCache] = {}
+#: Guards creation of the per-platform shared caches: worker threads of the
+#: evaluation service may race to instantiate the cache for one platform.
+_process_cache_lock = threading.Lock()
 
 
 def enable_process_analysis_cache(
@@ -638,7 +649,18 @@ def disable_process_analysis_cache(clear: bool = True) -> None:
     global _process_cache_enabled
     _process_cache_enabled = False
     if clear:
-        _process_analysis_caches.clear()
+        with _process_cache_lock:
+            _process_analysis_caches.clear()
+
+
+def process_analysis_cache_enabled() -> bool:
+    """Whether the process-wide shared analysis cache is currently on.
+
+    Lets scoped owners (e.g. the evaluation service) enable the cache for
+    their lifetime and restore the previous state on shutdown instead of
+    unconditionally disabling a cache someone else turned on.
+    """
+    return _process_cache_enabled
 
 
 def process_analysis_cache(platform: Platform) -> Optional[AnalysisCache]:
@@ -652,12 +674,13 @@ def process_analysis_cache(platform: Platform) -> Optional[AnalysisCache]:
     """
     if not _process_cache_enabled:
         return None
-    cache = _process_analysis_caches.get(platform.name)
-    if cache is None:
-        cache = AnalysisCache(platform,
-                              max_entries=_process_cache_max_entries)
-        _process_analysis_caches[platform.name] = cache
-        return cache
+    with _process_cache_lock:
+        cache = _process_analysis_caches.get(platform.name)
+        if cache is None:
+            cache = AnalysisCache(platform,
+                                  max_entries=_process_cache_max_entries)
+            _process_analysis_caches[platform.name] = cache
+            return cache
     if cache.platform is not platform and cache.platform != platform:
         return None
     return cache
@@ -665,5 +688,6 @@ def process_analysis_cache(platform: Platform) -> Optional[AnalysisCache]:
 
 def process_analysis_cache_stats() -> Dict[str, Dict[str, int]]:
     """Per-platform counters of the process-wide analysis caches."""
-    return {name: cache.stats()
-            for name, cache in _process_analysis_caches.items()}
+    with _process_cache_lock:
+        caches = list(_process_analysis_caches.items())
+    return {name: cache.stats() for name, cache in caches}

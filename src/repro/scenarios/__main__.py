@@ -8,9 +8,12 @@ Usage::
 
 ``run`` drives every named scenario through the shared
 :class:`~repro.scenarios.runner.ScenarioRunner` and prints one improvement
-report per scenario; ``--json`` emits a machine-readable summary instead.
+report per scenario; ``--json`` emits a machine-readable summary instead
+(including per-scenario evaluation-cache counters for predictable builds).
 ``--shared-cache`` enables the process-wide analysis cache so WCET/WCEC
-tables are reused across scenarios targeting the same platform.
+tables are reused across scenarios targeting the same platform, and
+``--jobs N`` runs the sweep through the evaluation service's worker pool —
+the registry sweep is embarrassingly parallel across scenarios.
 """
 
 from __future__ import annotations
@@ -20,7 +23,10 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.compiler.engine import enable_process_analysis_cache
+from repro.compiler.engine import (
+    enable_process_analysis_cache,
+    process_analysis_cache_stats,
+)
 from repro.scenarios.registry import (
     UnknownScenarioError,
     get_scenario,
@@ -57,6 +63,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--shared-cache", action="store_true",
                          help="share WCET/WCEC analysis tables process-wide "
                               "across scenarios on the same platform")
+    run_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="run scenarios on N parallel service workers "
+                              "(default: 1, serial)")
     run_cmd.add_argument("--no-postprocess", action="store_true",
                          help="skip the paper-specific post-processing "
                               "hooks (e.g. dynamic validation)")
@@ -97,25 +106,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("nothing to run: name scenarios or pass --all", file=sys.stderr)
         return 2
 
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     if args.shared_cache:
         enable_process_analysis_cache()
 
-    summaries = []
-    for spec in specs:
-        result = run_scenario(
-            spec,
-            generations=args.generations,
-            population_size=args.population,
-            profiling_runs=args.profiling_runs,
-            postprocess=not args.no_postprocess,
-        )
-        summaries.append(result.summary())
-        if not args.json:
-            print(result.report.summary())
-            print()
+    overrides = dict(
+        generations=args.generations,
+        population_size=args.population,
+        profiling_runs=args.profiling_runs,
+        postprocess=not args.no_postprocess,
+    )
+    if args.jobs > 1:
+        # The registry sweep is embarrassingly parallel across scenarios:
+        # reuse the evaluation service's worker pool (results come back in
+        # submission order, bit-identical to the serial sweep).
+        from repro.service import sweep_scenarios
+        results = sweep_scenarios(specs, jobs=args.jobs, **overrides)
+    else:
+        results = [run_scenario(spec, **overrides) for spec in specs]
+
     if args.json:
-        print(json.dumps({"scenarios": summaries}, indent=2))
+        document = {"scenarios": [result.summary() for result in results]}
+        if args.shared_cache:
+            document["analysis_cache"] = process_analysis_cache_stats()
+        print(json.dumps(document, indent=2))
+    else:
+        print_results(results)
     return 0
+
+
+def print_results(results) -> None:
+    """One human-readable block per result (shared with the service CLI).
+
+    Build-kind scenarios print their improvement report; custom-kind ones
+    have no report, so their summarised detail stands in.
+    """
+    for result in results:
+        if result.report is not None:
+            print(result.report.summary())
+        else:
+            print(f"{result.spec.title}: "
+                  f"{json.dumps(result.summary().get('detail', {}))}")
+        print()
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import importlib
 import sys
+import threading
 from typing import Dict, List, Optional
 
 from repro.errors import TeamPlayError
@@ -27,6 +28,11 @@ class UnknownScenarioError(ScenarioRegistryError, KeyError):
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 _builtins_loaded = False
+#: Serialises the lazy builtin import: the evaluation service's worker
+#: threads may look scenarios up concurrently before the library loaded.
+#: Reentrant so a library module consulting the registry while registering
+#: does not deadlock on its own import.
+_builtins_lock = threading.RLock()
 
 
 def _ensure_builtins() -> None:
@@ -37,6 +43,14 @@ def _ensure_builtins() -> None:
     its partial registrations and clears the flag, so the error resurfaces
     on the next lookup instead of leaving a silently partial registry.
     """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    with _builtins_lock:
+        _ensure_builtins_locked()
+
+
+def _ensure_builtins_locked() -> None:
     global _builtins_loaded
     if _builtins_loaded:
         return

@@ -23,7 +23,7 @@ rely on.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 from repro.csl.parser import parse_csl
 from repro.errors import TeamPlayError
@@ -58,7 +58,7 @@ class ScenarioRunner:
         spec = (get_scenario(scenario) if isinstance(scenario, str)
                 else scenario)
         platform = spec.make_platform()
-        contract = parse_csl(spec.csl)
+        contract = parse_csl(spec.csl) if spec.csl else None
         ctx = RunContext(
             spec=spec,
             platform=platform,
@@ -71,10 +71,13 @@ class ScenarioRunner:
                             else spec.profiling_runs),
         )
 
+        if spec.kind == "custom":
+            return self._run_custom(ctx, postprocess)
+
         if spec.kind == "predictable":
-            sides = self._run_predictable(ctx)
+            sides, cache_stats = self._run_predictable(ctx)
         else:
-            sides = self._run_complex(ctx)
+            sides, cache_stats = self._run_complex(ctx)
 
         overhead = 0.0
         if spec.shared_overhead_energy_j is not None:
@@ -104,16 +107,31 @@ class ScenarioRunner:
             teamplay=teamplay,
             report=report,
             overhead_energy_j=overhead,
+            cache_stats=cache_stats,
         )
         if postprocess and spec.postprocess is not None:
             result.detail = spec.postprocess(result)
         return result
 
     # ------------------------------------------------------------- workflows --
-    def _run_predictable(self, ctx: RunContext) -> List[tuple]:
+    def _run_custom(self, ctx: RunContext,
+                    postprocess: bool) -> ScenarioResult:
+        """Custom scenarios: ``custom_run`` replaces the whole pipeline."""
+        result = ScenarioResult(
+            spec=ctx.spec,
+            platform=ctx.platform,
+            contract=ctx.contract,
+            detail=ctx.spec.custom_run(ctx),
+        )
+        if postprocess and ctx.spec.postprocess is not None:
+            result.detail = ctx.spec.postprocess(result)
+        return result
+
+    def _run_predictable(self, ctx: RunContext) -> tuple:
         toolchain = PredictableToolchain(ctx.platform)
-        return [self._build_predictable(toolchain, ctx, options)
-                for options in (ctx.spec.baseline, ctx.spec.teamplay)]
+        sides = [self._build_predictable(toolchain, ctx, options)
+                 for options in (ctx.spec.baseline, ctx.spec.teamplay)]
+        return sides, toolchain.cache_stats()
 
     def _build_predictable(self, toolchain: PredictableToolchain,
                            ctx: RunContext, options: BuildOptions) -> tuple:
@@ -137,7 +155,7 @@ class ScenarioRunner:
         )
         return build, build.schedule
 
-    def _run_complex(self, ctx: RunContext) -> List[tuple]:
+    def _run_complex(self, ctx: RunContext) -> tuple:
         spec = ctx.spec
         toolchain = ComplexToolchain(
             ctx.platform,
@@ -159,7 +177,8 @@ class ScenarioRunner:
                 glue_style=options.glue_style,
             )
             sides.append((build, build.schedule))
-        return sides
+        # The complex workflow profiles dynamically — no evaluation caches.
+        return sides, None
 
     @staticmethod
     def _generations(ctx: RunContext, options: BuildOptions) -> int:

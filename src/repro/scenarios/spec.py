@@ -23,8 +23,12 @@ from repro.hw.presets import platform_by_name
 from repro.toolchain.complexflow import WorkloadTask
 from repro.toolchain.report import ImprovementReport
 
-#: The two workflow flavours a scenario can run through (Figures 1 and 2).
-KINDS = ("predictable", "complex")
+#: The workflow flavours a scenario can run through: the two paper pipelines
+#: (Figures 1 and 2) plus ``custom`` for experiments that are not
+#: baseline-vs-TeamPlay builds (e.g. the E4 battery-aware mission or the E5
+#: kernel-variant table) — a ``custom_run`` callable replaces the whole
+#: pipeline and its output becomes ``result.detail``.
+KINDS = ("predictable", "complex", "custom")
 
 #: Energy-accounting models for a side's per-period energy:
 #: ``task`` sums the schedule's task energy (optionally plus idle energy
@@ -83,9 +87,18 @@ class ScenarioSpec:
     title: str
     kind: str
     platform: Union[str, Callable[[], Platform]]
-    csl: str
+    #: CSL contract text.  Required for the build pipelines; ``custom``
+    #: scenarios may leave it empty (their run context then has no contract).
+    csl: str = ""
     source: Optional[str] = None
     workload: Optional[Callable[[], Sequence[WorkloadTask]]] = None
+    #: ``custom`` kind only: replaces the whole pipeline.  Receives the
+    #: resolved :class:`RunContext` and returns the experiment's result
+    #: object, stored as ``result.detail``.
+    custom_run: Optional[Callable[["RunContext"], Any]] = None
+    #: Optional JSON-ready summary of ``result.detail`` (used by
+    #: :meth:`ScenarioResult.summary` when there is no improvement report).
+    summarize: Optional[Callable[[Any], Dict[str, object]]] = None
     baseline: BuildOptions = field(default_factory=BuildOptions)
     teamplay: BuildOptions = field(default_factory=BuildOptions)
     description: str = ""
@@ -119,6 +132,20 @@ class ScenarioSpec:
             raise ScenarioSpecError(
                 f"scenario {self.name!r}: unknown energy model "
                 f"{self.energy_model!r}; expected one of {ENERGY_MODELS}")
+        if self.kind == "custom":
+            if self.custom_run is None:
+                raise ScenarioSpecError(
+                    f"scenario {self.name!r}: custom scenarios need a "
+                    f"``custom_run`` callable")
+            return
+        if self.custom_run is not None:
+            raise ScenarioSpecError(
+                f"scenario {self.name!r}: ``custom_run`` is only valid for "
+                f"kind 'custom'")
+        if not self.csl:
+            raise ScenarioSpecError(
+                f"scenario {self.name!r}: {self.kind} scenarios need a CSL "
+                f"contract")
         if self.kind == "predictable" and self.source is None:
             raise ScenarioSpecError(
                 f"scenario {self.name!r}: predictable scenarios need a "
@@ -161,7 +188,8 @@ class RunContext:
 
     spec: ScenarioSpec
     platform: Platform
-    contract: ContractSpec
+    #: ``None`` for custom scenarios without a CSL contract.
+    contract: Optional[ContractSpec]
     tasks: Optional[List[WorkloadTask]] = None
     generations: Optional[int] = None
     population_size: Optional[int] = None
@@ -170,6 +198,8 @@ class RunContext:
     @property
     def window_s(self) -> Optional[float]:
         """The accounting window: the period, or the deadline without one."""
+        if self.contract is None:
+            return None
         return self.contract.period_s() or self.contract.deadline_s()
 
 
@@ -189,34 +219,51 @@ class SideOutcome:
 
 @dataclass
 class ScenarioResult:
-    """Everything one scenario run produces."""
+    """Everything one scenario run produces.
+
+    ``custom`` scenarios have no baseline/TeamPlay comparison: their
+    ``baseline``/``teamplay``/``report`` stay ``None`` and the experiment's
+    output lives in ``detail``.
+    """
 
     spec: ScenarioSpec
     platform: Platform
-    contract: ContractSpec
-    baseline: SideOutcome
-    teamplay: SideOutcome
-    report: ImprovementReport
+    contract: Optional[ContractSpec] = None
+    baseline: Optional[SideOutcome] = None
+    teamplay: Optional[SideOutcome] = None
+    report: Optional[ImprovementReport] = None
     #: The per-period energy charged identically to both sides.
     overhead_energy_j: float = 0.0
     #: Output of the spec's ``postprocess`` hook (the paper-specific
-    #: comparison object), when one is attached.
+    #: comparison object) — or, for custom scenarios, of ``custom_run``.
     detail: Any = None
+    #: Per-stage evaluation-cache counters of the run's toolchain
+    #: (predictable workflow only; see ``PredictableToolchain.cache_stats``).
+    cache_stats: Optional[Dict[str, Dict[str, int]]] = None
 
     def summary(self) -> Dict[str, object]:
         """JSON-ready summary of the run (the CLI's output row)."""
-        return {
+        row: Dict[str, object] = {
             "name": self.spec.name,
             "title": self.spec.title,
             "kind": self.spec.kind,
             "platform": self.platform.name,
-            "baseline_time_s": self.report.baseline_time_s,
-            "teamplay_time_s": self.report.teamplay_time_s,
-            "baseline_energy_j": self.report.baseline_energy_j,
-            "teamplay_energy_j": self.report.teamplay_energy_j,
-            "performance_improvement_pct":
-                self.report.performance_improvement_pct,
-            "energy_improvement_pct": self.report.energy_improvement_pct,
-            "deadline_s": self.report.deadline_s,
-            "deadlines_met": self.report.deadlines_met,
         }
+        if self.report is not None:
+            row.update({
+                "baseline_time_s": self.report.baseline_time_s,
+                "teamplay_time_s": self.report.teamplay_time_s,
+                "baseline_energy_j": self.report.baseline_energy_j,
+                "teamplay_energy_j": self.report.teamplay_energy_j,
+                "performance_improvement_pct":
+                    self.report.performance_improvement_pct,
+                "energy_improvement_pct":
+                    self.report.energy_improvement_pct,
+                "deadline_s": self.report.deadline_s,
+                "deadlines_met": self.report.deadlines_met,
+            })
+        elif self.spec.summarize is not None:
+            row["detail"] = self.spec.summarize(self.detail)
+        if self.cache_stats is not None:
+            row["cache_stats"] = self.cache_stats
+        return row

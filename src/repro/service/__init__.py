@@ -1,0 +1,56 @@
+"""Evaluation service: job queue + worker pool + HTTP/JSON API.
+
+The scaling layer over the scenario registry.  PR 1 made a single
+evaluation cheap (staged caches, batched evaluation), PR 2 made every
+experiment a declarative :class:`~repro.scenarios.spec.ScenarioSpec` behind
+a registry — this package turns those into a *service* that accepts many
+concurrent evaluation requests instead of one blocking CLI call:
+
+* :class:`EvaluationService` — the facade: submit/status/cancel/result
+  over a thread-safe priority :class:`JobQueue` whose request-fingerprint
+  dedup coalesces identical submissions onto one computation,
+* :class:`ResultStore` — bounded LRU of completed jobs (engine-cache
+  ``stats()`` conventions) serving repeats without recomputation,
+* :class:`WorkerPool` — daemon threads driving the shared
+  :class:`~repro.scenarios.runner.ScenarioRunner` under the process-wide
+  shared analysis cache,
+* :mod:`repro.service.http` — a dependency-free stdlib HTTP/JSON API
+  (POST /jobs, GET /jobs/<id>, GET /scenarios, GET /stats),
+* ``python -m repro.service {serve,submit,status,sweep}`` — the CLI.
+
+Determinism is the load-bearing property: scenario runs are deterministic
+and every cache layer is exact, so a deduplicated, store-served or
+HTTP-fetched result is bit-for-bit identical to a direct
+:class:`~repro.scenarios.runner.ScenarioRunner` call — pinned by
+``tests/test_service.py`` against the golden-parity fixtures.
+
+In-process quickstart::
+
+    from repro.service import EvaluationService
+
+    with EvaluationService(workers=2) as service:
+        job = service.submit("camera-pill")
+        result = service.result(job)          # ScenarioResult
+        print(service.stats()["queue"])       # dedup counters etc.
+
+Over HTTP: ``python -m repro.service serve`` and see
+``examples/service_client.py``.
+"""
+
+from repro.service.core import EvaluationService, sweep_scenarios
+from repro.service.jobs import Job, JobError, JobRequest, JobState
+from repro.service.queue import JobQueue
+from repro.service.store import ResultStore
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "EvaluationService",
+    "Job",
+    "JobError",
+    "JobQueue",
+    "JobRequest",
+    "JobState",
+    "ResultStore",
+    "WorkerPool",
+    "sweep_scenarios",
+]

@@ -1,0 +1,232 @@
+"""Command-line interface of the evaluation service.
+
+Usage::
+
+    python -m repro.service serve  [--host H] [--port P] [--workers N]
+                                   [--store-size N] [--no-shared-cache] [-v]
+    python -m repro.service submit NAME [--priority P] [--generations N]
+                                   [--population N] [--profiling-runs N]
+                                   [--no-postprocess] [--wait] [--host H]
+                                   [--port P]
+    python -m repro.service status (JOB_ID | --all) [--host H] [--port P]
+    python -m repro.service sweep  [NAME ...] [--all] [--jobs N] [--json]
+                                   [--shared-cache] [--generations N]
+                                   [--population N] [--profiling-runs N]
+
+``serve`` runs the HTTP/JSON API over an in-process worker pool; ``submit``
+and ``status`` are thin :mod:`http.client` clients against a running
+server; ``sweep`` runs scenarios on an ephemeral in-process service (no
+server needed) — the same pool ``python -m repro.scenarios run --jobs N``
+uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from repro.scenarios.registry import UnknownScenarioError, get_scenario
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8787
+
+#: Poll cadence of ``submit --wait`` (the API is poll-based by design:
+#: no sockets held open across a long evaluation).
+_WAIT_POLL_S = 0.2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Job-queue evaluation service over the scenario "
+                    "registry.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve_cmd = sub.add_parser("serve", help="run the HTTP/JSON API")
+    serve_cmd.add_argument("--host", default=DEFAULT_HOST)
+    serve_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve_cmd.add_argument("--workers", type=int, default=2,
+                           help="worker threads draining the job queue")
+    serve_cmd.add_argument("--store-size", type=int, default=64,
+                           help="bounded LRU result-store capacity")
+    serve_cmd.add_argument("--no-shared-cache", action="store_true",
+                           help="do not enable the process-wide WCET/WCEC "
+                                "analysis cache")
+    serve_cmd.add_argument("-v", "--verbose", action="store_true",
+                           help="log every HTTP request")
+
+    submit_cmd = sub.add_parser("submit", help="submit a job to a server")
+    submit_cmd.add_argument("name", metavar="NAME", help="scenario name")
+    submit_cmd.add_argument("--priority", type=int, default=0)
+    submit_cmd.add_argument("--generations", type=int, default=None)
+    submit_cmd.add_argument("--population", type=int, default=None)
+    submit_cmd.add_argument("--profiling-runs", type=int, default=None)
+    submit_cmd.add_argument("--no-postprocess", action="store_true")
+    submit_cmd.add_argument("--wait", action="store_true",
+                            help="poll until the job is terminal and print "
+                                 "the final document")
+    submit_cmd.add_argument("--host", default=DEFAULT_HOST)
+    submit_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+    status_cmd = sub.add_parser("status", help="query a server for jobs")
+    status_cmd.add_argument("job_id", nargs="?", metavar="JOB_ID")
+    status_cmd.add_argument("--all", action="store_true", dest="show_all",
+                            help="list every job record instead")
+    status_cmd.add_argument("--host", default=DEFAULT_HOST)
+    status_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+    sweep_cmd = sub.add_parser(
+        "sweep", help="run scenarios on an ephemeral in-process pool")
+    sweep_cmd.add_argument("names", nargs="*", metavar="NAME")
+    sweep_cmd.add_argument("--all", action="store_true", dest="run_all",
+                           help="sweep every registered scenario")
+    sweep_cmd.add_argument("--jobs", type=int, default=2, metavar="N",
+                           help="worker threads (default: 2)")
+    sweep_cmd.add_argument("--json", action="store_true")
+    sweep_cmd.add_argument("--shared-cache", action="store_true",
+                           help="share WCET/WCEC analysis tables across "
+                                "the sweep's scenarios")
+    sweep_cmd.add_argument("--generations", type=int, default=None)
+    sweep_cmd.add_argument("--population", type=int, default=None)
+    sweep_cmd.add_argument("--profiling-runs", type=int, default=None)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# HTTP client plumbing (submit/status talk to a running server)
+# ---------------------------------------------------------------------------
+def _request(host: str, port: int, method: str, path: str,
+             payload: Optional[dict] = None) -> Tuple[int, dict]:
+    connection = http.client.HTTPConnection(host, port, timeout=600)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def _print_json(document) -> None:
+    print(json.dumps(document, indent=2))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.core import EvaluationService
+    from repro.service.http import ServiceRequestHandler, create_server
+
+    ServiceRequestHandler.verbose = args.verbose
+    service = EvaluationService(
+        workers=args.workers,
+        store_max_entries=args.store_size,
+        shared_analysis_cache=not args.no_shared_cache,
+    )
+    server = create_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"evaluation service on http://{host}:{port} "
+          f"({args.workers} workers; POST /jobs, GET /jobs/<id>, "
+          f"GET /scenarios, GET /stats)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    payload = {"scenario": args.name, "priority": args.priority,
+               "postprocess": not args.no_postprocess}
+    for key, value in (("generations", args.generations),
+                       ("population_size", args.population),
+                       ("profiling_runs", args.profiling_runs)):
+        if value is not None:
+            payload[key] = value
+    status, document = _request(args.host, args.port, "POST", "/jobs",
+                                payload)
+    if status not in (200, 202):
+        print(document.get("error", f"HTTP {status}"), file=sys.stderr)
+        return 1
+    if args.wait:
+        job_id = document["id"]
+        while document["state"] in ("pending", "running"):
+            time.sleep(_WAIT_POLL_S)
+            status, document = _request(args.host, args.port, "GET",
+                                        f"/jobs/{job_id}")
+            if status != 200:
+                print(document.get("error", f"HTTP {status}"),
+                      file=sys.stderr)
+                return 1
+    _print_json(document)
+    return 0 if document["state"] != "failed" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if args.show_all == bool(args.job_id):
+        print("pass a JOB_ID or --all, not both/neither", file=sys.stderr)
+        return 2
+    path = "/jobs" if args.show_all else f"/jobs/{args.job_id}"
+    status, document = _request(args.host, args.port, "GET", path)
+    if status != 200:
+        print(document.get("error", f"HTTP {status}"), file=sys.stderr)
+        return 1
+    _print_json(document)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.compiler.engine import enable_process_analysis_cache
+    from repro.service.core import sweep_scenarios
+
+    if args.run_all and args.names:
+        print("pass either scenario names or --all, not both",
+              file=sys.stderr)
+        return 2
+    if not args.run_all and not args.names:
+        print("nothing to sweep: name scenarios or pass --all",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        names = (None if args.run_all
+                 else [get_scenario(name).name for name in args.names])
+    except UnknownScenarioError as error:
+        print(str(error.args[0]), file=sys.stderr)
+        return 2
+    if args.shared_cache:
+        enable_process_analysis_cache()
+    results = sweep_scenarios(
+        names, jobs=args.jobs,
+        generations=args.generations,
+        population_size=args.population,
+        profiling_runs=args.profiling_runs,
+    )
+    if args.json:
+        _print_json({"scenarios": [result.summary() for result in results]})
+    else:
+        from repro.scenarios.__main__ import print_results
+        print_results(results)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {"serve": _cmd_serve, "submit": _cmd_submit,
+                "status": _cmd_status, "sweep": _cmd_sweep}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

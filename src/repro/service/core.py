@@ -1,0 +1,255 @@
+"""The :class:`EvaluationService` facade.
+
+One object wires the service subsystem together: a thread-safe priority
+:class:`~repro.service.queue.JobQueue` with request-fingerprint dedup, a
+bounded LRU :class:`~repro.service.store.ResultStore`, and a
+:class:`~repro.service.workers.WorkerPool` whose workers drive the shared
+:class:`~repro.scenarios.runner.ScenarioRunner` over the scenario registry
+under the process-wide shared analysis cache.  The HTTP layer
+(:mod:`repro.service.http`) and the CLI (``python -m repro.service``) are
+thin views over this facade, so in-process callers, the registry sweep's
+``--jobs`` parallelism and remote JSON clients all share one code path.
+
+Determinism contract: every scenario run is deterministic and all cache
+layers are exact, so a result served from the store, a deduplicated job or
+a fresh computation are bit-for-bit interchangeable — which is what makes
+coalescing identical submissions safe.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.compiler.engine import (
+    disable_process_analysis_cache,
+    enable_process_analysis_cache,
+    process_analysis_cache_enabled,
+    process_analysis_cache_stats,
+)
+from repro.scenarios.registry import get_scenario, list_scenarios
+from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.spec import ScenarioResult, ScenarioSpec
+from repro.service.jobs import Job, JobError, JobRequest, JobState
+from repro.service.queue import JobQueue
+from repro.service.store import ResultStore
+from repro.service.workers import WorkerPool
+
+
+class EvaluationService:
+    """Job-queue evaluation service over the scenario registry."""
+
+    def __init__(self, workers: int = 2,
+                 store_max_entries: Optional[int] = 64,
+                 max_job_records: Optional[int] = 1024,
+                 shared_analysis_cache: bool = True,
+                 runner: Optional[ScenarioRunner] = None,
+                 autostart: bool = True):
+        """``shared_analysis_cache`` turns on the process-wide WCET/WCEC
+        cache for the service's lifetime (restored on :meth:`close` unless
+        someone else had already enabled it); ``autostart=False`` leaves the
+        worker pool stopped so tests can stage deterministic queue states.
+        """
+        self.runner = runner if runner is not None else ScenarioRunner()
+        self.queue = JobQueue(max_records=max_job_records)
+        self.store = ResultStore(max_entries=store_max_entries)
+        self.pool = WorkerPool(self.queue, self._execute, workers=workers)
+        self._owns_shared_cache = (shared_analysis_cache
+                                   and not process_analysis_cache_enabled())
+        if self._owns_shared_cache:
+            enable_process_analysis_cache()
+        self._closed = False
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------- lifecycle --
+    def start(self) -> None:
+        self.pool.start()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the workers and restore the shared-cache state."""
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.stop(wait=wait)
+        if self._owns_shared_cache:
+            disable_process_analysis_cache()
+
+    def __enter__(self) -> "EvaluationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ submission --
+    def submit(self, scenario: str, *,
+               generations: Optional[int] = None,
+               population_size: Optional[int] = None,
+               profiling_runs: Optional[int] = None,
+               postprocess: bool = True,
+               priority: int = 0,
+               use_cache: bool = True) -> Job:
+        """Submit one evaluation; returns its (possibly shared) job.
+
+        The scenario name is resolved against the registry immediately so
+        unknown names fail at submission, not in a worker.  Identical
+        requests coalesce: a store hit returns the completed job without
+        touching the queue, and a live duplicate joins the in-flight job.
+        ``use_cache=False`` skips the store (the queue still coalesces
+        concurrent duplicates — two forced runs of the same request at the
+        same time would compute the same bits twice).
+        """
+        get_scenario(scenario)
+        request = JobRequest(
+            scenario=scenario,
+            generations=generations,
+            population_size=population_size,
+            profiling_runs=profiling_runs,
+            postprocess=postprocess,
+        )
+        fingerprint = request.fingerprint()
+        if use_cache:
+            cached = self.store.get(fingerprint)
+            if cached is not None:
+                cached.submissions += 1
+                return cached
+        job, deduplicated = self.queue.submit(request, priority=priority)
+        if use_cache and not deduplicated:
+            # TOCTOU guard: the live job may have finished between our
+            # store miss and the enqueue.  The worker fills the store
+            # *before* the queue releases the fingerprint, so in that
+            # interleaving this second lookup necessarily hits — withdraw
+            # the redundant fresh job and share the computed one.  (If a
+            # worker already claimed it, the run proceeds and produces the
+            # identical bits; sharing the cached job is still correct.)
+            cached = self.store.get(fingerprint)
+            if cached is not None and cached is not job:
+                self.queue.cancel(job.id)
+                cached.submissions += 1
+                return cached
+        return job
+
+    def _execute(self, job: Job) -> ScenarioResult:
+        """Worker entry point: run the scenario, finish and cache the job."""
+        request = job.request
+        result = self.runner.run(
+            request.scenario,
+            generations=request.generations,
+            population_size=request.population_size,
+            profiling_runs=request.profiling_runs,
+            postprocess=request.postprocess,
+        )
+        # Cache before finishing: the queue's dedup window closes at
+        # ``finish``, so once the fingerprint is released the store is
+        # guaranteed to hit — which is what the submit-side TOCTOU
+        # re-check relies on.  A store hit during the gap returns this
+        # still-running job; its waiters block on ``job.done`` like every
+        # other submitter.
+        self.store.put(job)
+        self.queue.finish(job, result=result)
+        return result
+
+    # --------------------------------------------------------------- queries --
+    def job(self, job_id: str) -> Optional[Job]:
+        return self.queue.get(job_id)
+
+    def status(self, job_id: str) -> Optional[Dict[str, object]]:
+        """JSON-ready job document, or ``None`` for unknown ids."""
+        job = self.queue.get(job_id)
+        return None if job is None else job.as_dict()
+
+    def cancel(self, job_id: str) -> bool:
+        return self.queue.cancel(job_id)
+
+    def result(self, job: Union[Job, str],
+               timeout: Optional[float] = None) -> ScenarioResult:
+        """Block for a job's :class:`ScenarioResult`.
+
+        Raises :class:`JobError` on failure, cancellation, timeout or an
+        unknown job id.
+        """
+        if isinstance(job, str):
+            record = self.queue.get(job)
+            if record is None:
+                raise JobError(f"unknown job {job!r}")
+            job = record
+        if not job.wait(timeout):
+            raise JobError(f"job {job.id} did not finish within {timeout}s")
+        if job.state is JobState.FAILED:
+            raise JobError(f"job {job.id} failed: {job.error}")
+        if job.state is JobState.CANCELLED:
+            raise JobError(f"job {job.id} was cancelled")
+        return job.result
+
+    def scenarios(self) -> List[Dict[str, object]]:
+        """Registry listing (the GET /scenarios document)."""
+        return [
+            {"name": spec.name, "title": spec.title, "kind": spec.kind,
+             "platform": spec.platform_name, "tags": list(spec.tags),
+             "description": spec.description}
+            for spec in list_scenarios()
+        ]
+
+    def stats(self) -> Dict[str, object]:
+        """One snapshot across every service layer (the GET /stats body)."""
+        return {
+            "queue": self.queue.stats(),
+            "store": self.store.stats(),
+            "workers": self.pool.stats(),
+            "analysis_cache": {
+                "enabled": process_analysis_cache_enabled(),
+                "platforms": process_analysis_cache_stats(),
+            },
+        }
+
+    # ----------------------------------------------------------------- sweeps --
+    def sweep(self, scenarios: Optional[Iterable[Union[str, ScenarioSpec]]]
+              = None, *,
+              generations: Optional[int] = None,
+              population_size: Optional[int] = None,
+              profiling_runs: Optional[int] = None,
+              postprocess: bool = True,
+              use_cache: bool = True,
+              timeout: Optional[float] = None) -> List[ScenarioResult]:
+        """Run many scenarios through the pool; results in request order.
+
+        ``scenarios`` accepts names or (registered) specs and defaults to
+        the whole registry.
+        """
+        specs = list_scenarios() if scenarios is None else list(scenarios)
+        names = [spec if isinstance(spec, str) else spec.name
+                 for spec in specs]
+        jobs = [self.submit(name,
+                            generations=generations,
+                            population_size=population_size,
+                            profiling_runs=profiling_runs,
+                            postprocess=postprocess,
+                            use_cache=use_cache)
+                for name in names]
+        return [self.result(job, timeout=timeout) for job in jobs]
+
+
+def sweep_scenarios(scenarios: Optional[Sequence[Union[str, ScenarioSpec]]]
+                    = None, *,
+                    jobs: int = 2,
+                    generations: Optional[int] = None,
+                    population_size: Optional[int] = None,
+                    profiling_runs: Optional[int] = None,
+                    postprocess: bool = True,
+                    timeout: Optional[float] = None) -> List[ScenarioResult]:
+    """One-shot parallel sweep on an ephemeral service.
+
+    Used by ``python -m repro.scenarios run --jobs N``: spins up a worker
+    pool, runs the scenarios, and tears the service down again.  The
+    process-wide analysis cache is left exactly as the caller had it
+    (``--shared-cache`` remains the explicit opt-in).
+    """
+    with EvaluationService(workers=jobs, shared_analysis_cache=False,
+                           autostart=True) as service:
+        return service.sweep(
+            scenarios,
+            generations=generations,
+            population_size=population_size,
+            profiling_runs=profiling_runs,
+            postprocess=postprocess,
+            timeout=timeout,
+        )

@@ -1,0 +1,167 @@
+"""Dependency-free HTTP/JSON API over the evaluation service.
+
+Built on the stdlib :mod:`http.server` (threading variant) so the service
+runs anywhere the reproduction runs — no web framework in the container.
+
+Endpoints (all JSON):
+
+========  ==================  ===============================================
+method    path                meaning
+========  ==================  ===============================================
+POST      /jobs               submit ``{"scenario": name, ...overrides}``;
+                              replies with the job document (a coalesced or
+                              cached submission returns the shared job —
+                              its ``submissions`` counter tells)
+GET       /jobs               every known job record
+GET       /jobs/<id>          one job document (includes ``result`` summary
+                              once the job succeeded)
+DELETE    /jobs/<id>          cancel a pending job
+GET       /scenarios          the scenario-registry listing
+GET       /stats              queue/store/worker/analysis-cache counters
+========  ==================  ===============================================
+
+Floats survive the JSON round-trip bit-for-bit (``json`` serialises via
+``repr`` and parses back to the identical double), which is what lets the
+service's golden-parity tests compare HTTP-fetched numbers exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import urlparse
+
+from repro.scenarios.registry import UnknownScenarioError
+from repro.service.core import EvaluationService
+from repro.service.jobs import JobError, JobRequest, JobState
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`EvaluationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int],
+                 service: EvaluationService):
+        super().__init__(address, ServiceRequestHandler)
+        self.service = service
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the JSON API onto the service facade."""
+
+    server: ServiceHTTPServer
+    #: Quiet by default; ``python -m repro.service serve -v`` flips this.
+    verbose = False
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing --
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.verbose:
+            super().log_message(format, *args)
+
+    def _reply(self, status: int, document) -> None:
+        body = json.dumps(document, indent=2).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_json(self) -> Optional[dict]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return None
+        return json.loads(raw.decode("utf-8"))
+
+    @property
+    def _service(self) -> EvaluationService:
+        return self.server.service
+
+    # ----------------------------------------------------------------- routes --
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        if path == "/scenarios":
+            self._reply(200, {"scenarios": self._service.scenarios()})
+        elif path == "/stats":
+            self._reply(200, self._service.stats())
+        elif path == "/jobs":
+            self._reply(200, {"jobs": [job.as_dict()
+                                       for job in self._service.queue.jobs()]})
+        elif path.startswith("/jobs/"):
+            document = self._service.status(path[len("/jobs/"):])
+            if document is None:
+                self._error(404, "unknown job")
+            else:
+                self._reply(200, document)
+        else:
+            self._error(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path.rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"unknown path {path!r}")
+            return
+        try:
+            payload = self._read_json()
+            if payload is None:
+                raise JobError("POST /jobs needs a JSON body")
+            request = JobRequest.from_dict(payload)
+            priority = payload.get("priority", 0)
+            if not isinstance(priority, int):
+                raise JobError(f"priority must be an integer, "
+                               f"got {priority!r}")
+            job = self._service.submit(
+                request.scenario,
+                generations=request.generations,
+                population_size=request.population_size,
+                profiling_runs=request.profiling_runs,
+                postprocess=request.postprocess,
+                priority=priority,
+            )
+        except UnknownScenarioError as error:
+            self._error(404, str(error.args[0]))
+            return
+        except (JobError, json.JSONDecodeError) as error:
+            self._error(400, str(error))
+            return
+        status = 200 if job.state.terminal else 202
+        self._reply(status, job.as_dict())
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlparse(self.path).path.rstrip("/")
+        if not path.startswith("/jobs/"):
+            self._error(404, f"unknown path {path!r}")
+            return
+        job_id = path[len("/jobs/"):]
+        job = self._service.job(job_id)
+        if job is None:
+            self._error(404, "unknown job")
+            return
+        if self._service.cancel(job_id):
+            self._reply(200, job.as_dict())
+        elif job.state is JobState.RUNNING:
+            self._error(409, f"job {job_id} is already running")
+        else:
+            self._error(409, f"job {job_id} is {job.state.value}")
+
+
+def create_server(service: EvaluationService, host: str = "127.0.0.1",
+                  port: int = 0) -> ServiceHTTPServer:
+    """Bind (but do not run) the API server; ``port=0`` picks a free port."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve(service: EvaluationService, host: str = "127.0.0.1",
+          port: int = 8787) -> None:
+    """Blocking convenience runner (used by ``python -m repro.service serve``)."""
+    server = create_server(service, host, port)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

@@ -1,0 +1,159 @@
+"""Job records of the evaluation service.
+
+A :class:`JobRequest` is the declarative unit of work — *which* registered
+scenario to run and with which runner overrides — and is deliberately
+name-based: the HTTP API and the dedup fingerprint both need a canonical,
+serialisable description, so requests reference the scenario registry
+instead of carrying spec objects.  A :class:`Job` wraps one request with
+queue state (priority, lifecycle, timestamps, coalesced-submission count)
+and an event waiters can block on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+from repro.errors import TeamPlayError
+
+
+class JobError(TeamPlayError):
+    """Raised for malformed job requests and failed-job result fetches."""
+
+
+class JobState(str, Enum):
+    """Lifecycle of a job: pending → running → one terminal state."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.SUCCEEDED, JobState.FAILED,
+                        JobState.CANCELLED)
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """What to evaluate: a registered scenario plus runner overrides."""
+
+    scenario: str
+    generations: Optional[int] = None
+    population_size: Optional[int] = None
+    profiling_runs: Optional[int] = None
+    postprocess: bool = True
+
+    def __post_init__(self):
+        if not self.scenario or not isinstance(self.scenario, str):
+            raise JobError("job request needs a scenario name")
+        for field_name in ("generations", "population_size",
+                           "profiling_runs"):
+            value = getattr(self, field_name)
+            if value is not None and (not isinstance(value, int)
+                                      or value < 1):
+                raise JobError(
+                    f"job request field {field_name!r} must be a positive "
+                    f"integer, got {value!r}")
+        if not isinstance(self.postprocess, bool):
+            # Reject JSON strings like "false" instead of truthy-coercing
+            # them into the opposite of what the client asked for.
+            raise JobError(
+                f"job request field 'postprocess' must be a boolean, "
+                f"got {self.postprocess!r}")
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the request.
+
+        Two requests with equal fingerprints ask for the same computation,
+        so the queue coalesces them onto one job and the result store serves
+        repeats without recomputing.
+        """
+        canonical = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "generations": self.generations,
+            "population_size": self.population_size,
+            "profiling_runs": self.profiling_runs,
+            "postprocess": self.postprocess,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "JobRequest":
+        """Build a request from a JSON payload, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise JobError("job request payload must be a JSON object")
+        known = {"scenario", "generations", "population_size",
+                 "profiling_runs", "postprocess", "priority"}
+        unknown = set(payload) - known
+        if unknown:
+            raise JobError(
+                f"unknown job request fields: {', '.join(sorted(unknown))}")
+        return cls(
+            scenario=payload.get("scenario", ""),
+            generations=payload.get("generations"),
+            population_size=payload.get("population_size"),
+            profiling_runs=payload.get("profiling_runs"),
+            postprocess=payload.get("postprocess", True),
+        )
+
+
+@dataclass
+class Job:
+    """One queued evaluation: a request plus its lifecycle state.
+
+    Identical submissions share one ``Job`` (see ``JobQueue.submit``), so a
+    job may represent several callers; ``submissions`` counts them.  The
+    in-process ``result`` holds the full :class:`ScenarioResult`; the HTTP
+    layer serialises ``as_dict()``, which carries the JSON summary only.
+    """
+
+    id: str
+    request: JobRequest
+    priority: int = 0
+    state: JobState = JobState.PENDING
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Any = None
+    error: Optional[str] = None
+    #: Number of submissions coalesced onto this job (dedup hits + 1).
+    submissions: int = 1
+    #: Set when the job reaches a terminal state.
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.request.fingerprint()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; ``False`` on timeout."""
+        return self.done.wait(timeout)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the job (the HTTP API's job document)."""
+        document: Dict[str, object] = {
+            "id": self.id,
+            "request": self.request.as_dict(),
+            "priority": self.priority,
+            "state": self.state.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "submissions": self.submissions,
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        if self.result is not None:
+            document["result"] = self.result.summary()
+        return document

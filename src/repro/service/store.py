@@ -1,0 +1,81 @@
+"""Bounded LRU result store of the evaluation service.
+
+Completed jobs are cached under their request fingerprint so repeated
+submissions of an identical request are served without recomputation even
+after the original job left the queue's dedup window.  The store follows
+the evaluation-engine cache conventions: an optional ``max_entries`` cap
+with least-recently-used eviction and a ``stats()`` snapshot reporting
+``entries``/``max_entries``/``hits``/``misses``/``evictions``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from repro.service.jobs import Job
+
+
+class ResultStore:
+    """Thread-safe LRU map from request fingerprint to completed job."""
+
+    def __init__(self, max_entries: Optional[int] = 64):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+    def get(self, fingerprint: str) -> Optional[Job]:
+        """The cached completed job for ``fingerprint``, if any."""
+        with self._lock:
+            job = self._jobs.get(fingerprint)
+            if job is None:
+                self.misses += 1
+                return None
+            self._jobs.move_to_end(fingerprint)
+            self.hits += 1
+            return job
+
+    def put(self, job: Job) -> None:
+        """Cache a completed job, evicting the least recently used."""
+        with self._lock:
+            self._jobs[job.fingerprint] = job
+            self._jobs.move_to_end(job.fingerprint)
+            while (self.max_entries is not None
+                   and len(self._jobs) > self.max_entries):
+                self._jobs.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one cached result (e.g. after a scenario re-registration)."""
+        with self._lock:
+            return self._jobs.pop(fingerprint, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._jobs.clear()
+
+    def jobs(self) -> List[Job]:
+        """Cached jobs, least recently used first."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot matching the engine-cache ``stats()`` keys."""
+        with self._lock:
+            return {
+                "entries": len(self._jobs),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,134 @@
+"""Worker pool of the evaluation service.
+
+A :class:`WorkerPool` runs N daemon threads that claim jobs from a
+:class:`~repro.service.queue.JobQueue` and hand them to the service's
+execute callable.  The callable — not the pool — decides what running a job
+means (the service drives :class:`~repro.scenarios.runner.ScenarioRunner`
+under the process-wide shared analysis cache) and reports the outcome back
+through ``queue.finish``; the pool guarantees that *every* claimed job is
+finished even when the handler raises, so waiters never hang on a crashed
+worker.
+
+On this reproduction's Python, threads interleave rather than truly run in
+parallel for the pure-Python analysis work, but the pool is what gives the
+service concurrent intake, priority scheduling and a single shared-cache
+process for the registry sweep — and the structure is ready for multi-core
+hosts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.service.jobs import Job, JobState
+from repro.service.queue import JobQueue
+
+#: How long an idle worker waits on the queue before re-checking shutdown.
+_IDLE_POLL_S = 0.05
+
+
+class WorkerPool:
+    """Fixed-size pool of daemon threads draining a job queue."""
+
+    def __init__(self, queue: JobQueue, execute: Callable[[Job], object],
+                 workers: int = 2, name: str = "evalsvc"):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.queue = queue
+        self.execute = execute
+        self.workers = workers
+        self.name = name
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._busy = 0
+        self._processed = 0
+        self._failed = 0
+
+    # ------------------------------------------------------------- lifecycle --
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent while running).
+
+        Each generation of workers captures its own stop event: after a
+        ``stop(wait=False)``, the old threads still see *their* (set) event
+        and drain within one idle poll, so a restart can never resurrect
+        them alongside the new generation.
+        """
+        if self._threads:
+            return
+        self._stop = threading.Event()
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._run, args=(self._stop,),
+                name=f"{self.name}-worker-{index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def stop(self, wait: bool = True) -> None:
+        """Ask the workers to exit after their current job."""
+        self._stop.set()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return bool(self._threads) and not self._stop.is_set()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is drained (best effort); thin helper for
+        tests and the in-process sweep — callers usually wait on jobs."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            stats = self.queue.stats()
+            with self._lock:
+                busy = self._busy
+            if stats["pending"] == 0 and stats["running"] == 0 and busy == 0:
+                return True
+            if deadline is not None and time.monotonic() > deadline:
+                return False
+            time.sleep(_IDLE_POLL_S)
+
+    # ------------------------------------------------------------- the loop --
+    def _run(self, stop_event: threading.Event) -> None:
+        while not stop_event.is_set():
+            job = self.queue.claim(timeout=_IDLE_POLL_S)
+            if job is None:
+                continue
+            with self._lock:
+                self._busy += 1
+            try:
+                self._process(job)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+
+    def _process(self, job: Job) -> None:
+        try:
+            result = self.execute(job)
+        except BaseException as error:  # noqa: BLE001 — jobs must terminate
+            self.queue.finish(
+                job, error=f"{type(error).__name__}: {error}")
+            with self._lock:
+                self._failed += 1
+            return
+        if job.state is JobState.RUNNING:
+            # Handlers may finish the job themselves (e.g. to attach extra
+            # bookkeeping); finish it here otherwise.
+            self.queue.finish(job, result=result)
+        with self._lock:
+            self._processed += 1
+
+    # ------------------------------------------------------------------ stats --
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "alive": sum(t.is_alive() for t in self._threads),
+                "busy": self._busy,
+                "processed": self._processed,
+                "failed": self._failed,
+            }

@@ -96,6 +96,7 @@ class PredictableToolchain:
         shared_analysis = process_analysis_cache(platform)
         self._analysis = (shared_analysis if shared_analysis is not None
                           else AnalysisCache(platform))
+        self._analysis_shared = shared_analysis is not None
         self._lowerings: Dict[int, LoweringCache] = {}
         self._engines: Dict[tuple, EvaluationEngine] = {}
 
@@ -120,6 +121,35 @@ class PredictableToolchain:
             )
             self._engines[key] = engine
         return engine
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage evaluation-cache counters of this toolchain's builds.
+
+        ``variant``/``ir_stage`` counters are summed across the per-(module,
+        entries) engines, ``lowering`` across the per-module lowering caches;
+        ``analysis`` are the counters of the analysis cache the toolchain
+        uses — cumulative process-wide numbers when the opt-in shared cache
+        is enabled (``analysis["shared"]`` says which).
+        """
+
+        def summed(caches) -> Dict[str, int]:
+            totals = {"entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+            for cache in caches:
+                stats = cache.stats()
+                for field_name in totals:
+                    totals[field_name] += stats[field_name]
+            return totals
+
+        analysis = dict(self._analysis.stats())
+        analysis["shared"] = self._analysis_shared
+        return {
+            "variant": summed(engine.variants for engine in
+                              self._engines.values()),
+            "lowering": summed(self._lowerings.values()),
+            "ir_stage": summed(engine.ir_stage for engine in
+                               self._engines.values()),
+            "analysis": analysis,
+        }
 
     # ------------------------------------------------------------------ build --
     def build(self, source: str, csl_text: str,

@@ -108,6 +108,49 @@ def run_m0_variants(image_size: int = 10, matrix_size: int = 8,
     return rows
 
 
+def _summarize_m0(rows: List[KernelVariantRow]) -> Dict[str, object]:
+    """JSON-ready row of the E5 variant table: its shape plus, per kernel,
+    the fastest and the most frugal variant at the nominal operating point."""
+    nominal_label = m0_platform().predictable_cores[0].nominal_opp.label
+    nominal = [row for row in rows if row.opp == nominal_label] or rows
+    kernels = sorted({row.kernel for row in rows})
+    best: Dict[str, object] = {}
+    for kernel in kernels:
+        candidates = [row for row in nominal if row.kernel == kernel]
+        fastest = min(candidates, key=lambda row: row.wcet_ms)
+        frugal = min(candidates, key=lambda row: row.energy_uj)
+        best[kernel] = {
+            "fastest_config": fastest.config,
+            "fastest_wcet_ms": fastest.wcet_ms,
+            "lowest_energy_config": frugal.config,
+            "lowest_energy_uJ": frugal.energy_uj,
+        }
+    return {
+        "rows": len(rows),
+        "kernels": kernels,
+        "configs": sorted({row.config for row in rows}),
+        "nominal_best": best,
+    }
+
+
+#: E5 as a declarative (custom-kind) scenario: the kernel-variant table is
+#: designer guidance, not a baseline-vs-TeamPlay build, so a ``custom_run``
+#: regenerates the table and the registry sweep reports its shape.
+M0_SCENARIO = register_scenario(ScenarioSpec(
+    name="parking-dl-m0",
+    title="CNN kernel variants on Cortex-M0 (E5)",
+    kind="custom",
+    platform="nucleo-stm32f091rc",
+    custom_run=lambda ctx: run_m0_variants(),
+    summarize=_summarize_m0,
+    description="Multi-criteria compilation of the CNN inner kernels on "
+                "the Cortex-M0: one WCET/energy variant row per (kernel, "
+                "configuration, operating point) — the designer guidance "
+                "table of paper Section IV-D.",
+    tags=("paper", "custom"),
+))
+
+
 # ---------------------------------------------------------------------------
 # E6: TK1 deployment vs the hand-optimised mapping
 # ---------------------------------------------------------------------------

@@ -232,3 +232,36 @@ def run_pa_mission(survey_minutes: float = 40.0,
                                 for mode in PA_SOFTWARE_MODES},
         mechanical_power_w=CRUISE_MECHANICAL_POWER_W,
     )
+
+
+def _summarize_pa(detail: PaResult) -> Dict[str, object]:
+    """JSON-ready row of the E4 mission comparison."""
+    return {
+        "adaptive_completed": detail.outcome.completed,
+        "adaptive_flight_time_s": detail.outcome.flight_time_s,
+        "adaptive_final_soc": detail.outcome.final_state_of_charge,
+        "static_completed": detail.static_outcome.completed,
+        "static_flight_time_s": detail.static_outcome.flight_time_s,
+        "software_power_range_w": dict(detail.software_power_range_w),
+        "mechanical_power_w": detail.mechanical_power_w,
+    }
+
+
+#: E4 as a declarative (custom-kind) scenario: not a baseline-vs-TeamPlay
+#: build — only the energy analysis feeds the in-flight battery-aware
+#: schedulability decision — so a ``custom_run`` replaces the pipeline and
+#: the registry sweep reports the mission outcome instead of an improvement
+#: report.
+PA_SCENARIO = register_scenario(ScenarioSpec(
+    name="uav-pa",
+    title="UAV precision agriculture (E4)",
+    kind="custom",
+    platform="jetson-nano",
+    custom_run=lambda ctx: run_pa_mission(),
+    summarize=_summarize_pa,
+    description="Battery-aware mission management for a precision-"
+                "agriculture UAV: the payload degrades its software mode "
+                "in flight so the mission completes on the remaining "
+                "battery (paper Section IV-C).",
+    tags=("paper", "custom"),
+))

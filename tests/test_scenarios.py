@@ -28,10 +28,12 @@ from repro.scenarios.__main__ import main as cli_main
 
 GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
 
-#: All built-in scenarios: the four paper experiments plus the two extras
-#: proving the abstraction generalises.
+#: All built-in scenarios: the six paper experiments (including the two
+#: custom-kind ones, E4/E5) plus the two extras proving the abstraction
+#: generalises.
 BUILTIN_SCENARIOS = {
     "camera-pill", "space-spacewire", "uav-sar", "parking-dl-tk1",
+    "uav-pa", "parking-dl-m0",
     "ecg-wearable", "smart-meter",
 }
 
@@ -119,7 +121,8 @@ class TestRegistry:
     def test_paper_and_extra_scenario_split(self):
         tags = {spec.name: spec.tags for spec in list_scenarios()
                 if spec.name in BUILTIN_SCENARIOS}
-        assert sum("paper" in t for t in tags.values()) == 4
+        assert sum("paper" in t for t in tags.values()) == 6
+        assert sum("custom" in t for t in tags.values()) == 2
         assert sum("extra" in t for t in tags.values()) >= 2
 
     def test_duplicate_name_rejected(self, registered_tiny):
@@ -185,6 +188,22 @@ class TestSpecValidation:
                          platform="apalis-tk1", csl=TINY_CSL,
                          teamplay=BuildOptions(custom=lambda ctx: None))
 
+    def test_custom_kind_needs_custom_run(self):
+        with pytest.raises(ScenarioSpecError, match="custom_run"):
+            ScenarioSpec(name="x", title="x", kind="custom",
+                         platform="gr712rc")
+
+    def test_custom_run_rejected_for_build_kinds(self):
+        with pytest.raises(ScenarioSpecError, match="only valid"):
+            ScenarioSpec(name="x", title="x", kind="predictable",
+                         platform="gr712rc", csl=TINY_CSL, source=TINY_SOURCE,
+                         custom_run=lambda ctx: None)
+
+    def test_build_kinds_need_csl(self):
+        with pytest.raises(ScenarioSpecError, match="CSL"):
+            ScenarioSpec(name="x", title="x", kind="predictable",
+                         platform="gr712rc", source=TINY_SOURCE)
+
     def test_windowless_contract_rejected_for_window_models(self):
         from repro.errors import TeamPlayError
         from repro.scenarios import ScenarioRunner
@@ -238,6 +257,82 @@ class TestRunnerAndCli:
     def test_cli_run_all_with_names_rejected(self, capsys):
         assert cli_main(["run", "--all", "camera-pil"]) == 2
         assert "not both" in capsys.readouterr().err
+
+    def test_json_summary_surfaces_cache_stats(self, registered_tiny,
+                                               capsys):
+        assert cli_main(["run", registered_tiny.name, "--json"]) == 0
+        row = json.loads(capsys.readouterr().out)["scenarios"][0]
+        stats = row["cache_stats"]
+        assert set(stats) == {"variant", "lowering", "ir_stage", "analysis"}
+        for stage in stats.values():
+            assert {"hits", "misses", "evictions"} <= set(stage)
+        # The run evaluates at least one variant, so the caches saw traffic.
+        assert stats["variant"]["misses"] >= 1
+        assert stats["analysis"]["shared"] is False
+
+    def test_shared_cache_json_reports_analysis_cache(self, registered_tiny,
+                                                      capsys):
+        from repro.compiler.engine import disable_process_analysis_cache
+        try:
+            assert cli_main(["run", registered_tiny.name, "--json",
+                             "--shared-cache"]) == 0
+        finally:
+            disable_process_analysis_cache()
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenarios"][0]["cache_stats"]["analysis"]["shared"] \
+            is True
+        assert registered_tiny.platform in payload["analysis_cache"]
+
+
+# ---------------------------------------------------------------------------
+# Custom-kind scenarios: E4 and E5 in the registry sweep
+# ---------------------------------------------------------------------------
+class TestCustomScenarios:
+    def test_uav_pa_mission_through_registry(self):
+        result = run_scenario("uav-pa")
+        assert result.report is None
+        assert result.baseline is None and result.teamplay is None
+        # The paper's claim: adaptation completes the mission the static
+        # full-detection mode cannot finish.
+        assert result.detail.outcome.completed
+        assert not result.detail.static_outcome.completed
+        summary = result.summary()
+        assert summary["kind"] == "custom"
+        assert summary["detail"]["adaptive_completed"] is True
+        assert summary["detail"]["static_completed"] is False
+
+    def test_uav_pa_matches_usecase_api(self):
+        from repro.usecases import uav
+        direct = uav.run_pa_mission()
+        via_registry = run_scenario("uav-pa").detail
+        assert (via_registry.outcome.flight_time_s
+                == direct.outcome.flight_time_s)
+        assert (via_registry.outcome.final_state_of_charge
+                == direct.outcome.final_state_of_charge)
+        assert (via_registry.static_outcome.flight_time_s
+                == direct.static_outcome.flight_time_s)
+
+    def test_m0_variant_table_through_registry(self):
+        from repro.usecases.deep_learning import M0_CONFIGS
+        result = run_scenario("parking-dl-m0")
+        rows = result.detail
+        assert result.report is None
+        # One row per (kernel, config, operating point).
+        kernels = {row.kernel for row in rows}
+        assert kernels == {"conv2d", "matmul"}
+        assert {row.config for row in rows} == set(M0_CONFIGS)
+        assert len(rows) % (len(kernels) * len(M0_CONFIGS)) == 0
+        summary = result.summary()
+        assert summary["detail"]["rows"] == len(rows)
+        assert set(summary["detail"]["nominal_best"]) == kernels
+        for best in summary["detail"]["nominal_best"].values():
+            assert best["lowest_energy_uJ"] > 0
+
+    def test_cli_runs_custom_scenario(self, capsys):
+        assert cli_main(["run", "uav-pa", "--json"]) == 0
+        row = json.loads(capsys.readouterr().out)["scenarios"][0]
+        assert row["kind"] == "custom"
+        assert row["detail"]["adaptive_completed"] is True
 
 
 class TestBuiltinLoadRollback:

@@ -1,0 +1,659 @@
+"""Evaluation service: queue, store, workers, facade, HTTP, golden parity.
+
+The parity classes prove the service is a *transport*, not a computation:
+results fetched through the job queue — or through the HTTP/JSON API — are
+bit-identical to direct :class:`ScenarioRunner` runs pinned by the golden
+fixtures, and duplicate submissions coalesce onto a single computation.
+"""
+
+import http.client
+import json
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.engine import process_analysis_cache_enabled
+from repro.scenarios import (
+    BuildOptions,
+    ScenarioSpec,
+    UnknownScenarioError,
+    register_scenario,
+    run_scenario,
+    unregister_scenario,
+)
+from repro.scenarios.__main__ import main as scenarios_cli
+from repro.service import (
+    EvaluationService,
+    JobError,
+    JobQueue,
+    JobRequest,
+    JobState,
+    ResultStore,
+    WorkerPool,
+    sweep_scenarios,
+)
+from repro.service.__main__ import main as service_cli
+from repro.service.http import create_server
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "golden"
+
+TINY_SOURCE = """
+int samples[16];
+
+#pragma teamplay task(avg) poi(avg)
+int moving_average(int gain) {
+    int acc = 0;
+    for (int i = 0; i < 16; i = i + 1) {
+        acc = acc + samples[i] * gain;
+    }
+    return acc / 16;
+}
+"""
+
+TINY_CSL = """
+system tiny {
+    period 10 ms;
+    deadline 10 ms;
+    task avg { implements moving_average; budget time 5 ms; budget energy 50 uJ; }
+    graph { avg; }
+}
+"""
+
+
+def tiny_spec(name: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        title="Tiny service scenario",
+        kind="predictable",
+        platform="nucleo-stm32f091rc",
+        source=TINY_SOURCE,
+        csl=TINY_CSL,
+        baseline=BuildOptions(config=CompilerConfig.baseline()),
+        teamplay=BuildOptions(generations=1, population_size=2),
+    )
+
+
+@pytest.fixture
+def tiny_scenario():
+    spec = register_scenario(tiny_spec("svc-tiny"))
+    try:
+        yield spec
+    finally:
+        unregister_scenario(spec.name)
+
+
+@pytest.fixture
+def failing_scenario():
+    def explode(ctx):
+        raise RuntimeError("deliberate failure")
+
+    spec = register_scenario(ScenarioSpec(
+        name="svc-failing", title="Always fails", kind="custom",
+        platform="nucleo-stm32f091rc", custom_run=explode))
+    try:
+        yield spec
+    finally:
+        unregister_scenario(spec.name)
+
+
+def request(name: str = "svc-tiny", **overrides) -> JobRequest:
+    return JobRequest(scenario=name, **overrides)
+
+
+def golden(filename: str) -> dict:
+    with open(GOLDEN_DIR / filename, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def assert_report_matches(report, expected: dict) -> None:
+    assert report.name == expected["name"]
+    assert report.baseline_time_s == expected["baseline_time_s"]
+    assert report.teamplay_time_s == expected["teamplay_time_s"]
+    assert report.baseline_energy_j == expected["baseline_energy_j"]
+    assert report.teamplay_energy_j == expected["teamplay_energy_j"]
+    assert report.deadline_s == expected["deadline_s"]
+    assert report.deadlines_met == expected["deadlines_met"]
+
+
+# ---------------------------------------------------------------------------
+# Job queue semantics
+# ---------------------------------------------------------------------------
+class TestJobQueue:
+    def test_priority_order_then_fifo(self):
+        queue = JobQueue()
+        low, _ = queue.submit(request(generations=1), priority=0)
+        high, _ = queue.submit(request(generations=2), priority=5)
+        mid_a, _ = queue.submit(request(generations=3), priority=1)
+        mid_b, _ = queue.submit(request(generations=4), priority=1)
+        order = [queue.claim(timeout=0.1).id for _ in range(4)]
+        assert order == [high.id, mid_a.id, mid_b.id, low.id]
+
+    def test_claim_timeout_returns_none(self):
+        assert JobQueue().claim(timeout=0.01) is None
+
+    def test_identical_requests_share_one_job(self):
+        queue = JobQueue()
+        first, deduplicated = queue.submit(request())
+        assert not deduplicated
+        second, deduplicated = queue.submit(request())
+        assert deduplicated
+        assert second is first
+        assert first.submissions == 2
+        stats = queue.stats()
+        assert stats["submitted"] == 2
+        assert stats["deduplicated"] == 1
+        assert stats["pending"] == 1
+
+    def test_different_requests_do_not_dedup(self):
+        queue = JobQueue()
+        first, _ = queue.submit(request())
+        second, deduplicated = queue.submit(request(generations=9))
+        assert not deduplicated
+        assert second is not first
+
+    def test_dedup_window_closes_after_finish(self):
+        queue = JobQueue()
+        first, _ = queue.submit(request())
+        claimed = queue.claim(timeout=0.1)
+        queue.finish(claimed, result="done")
+        assert first.done.is_set()
+        fresh, deduplicated = queue.submit(request())
+        assert not deduplicated
+        assert fresh is not first
+
+    def test_duplicate_at_higher_priority_jumps_the_queue(self):
+        queue = JobQueue()
+        target, _ = queue.submit(request(), priority=0)
+        queue.submit(request(generations=7), priority=3)
+        shared, deduplicated = queue.submit(request(), priority=9)
+        assert deduplicated and shared is target
+        assert queue.claim(timeout=0.1) is target
+
+    def test_cancel_pending_only(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request())
+        assert queue.cancel(job.id)
+        assert job.state is JobState.CANCELLED
+        assert job.done.is_set()
+        assert not queue.cancel(job.id)  # already terminal
+        assert queue.claim(timeout=0.05) is None  # skipped lazily
+        running, _ = queue.submit(request(generations=2))
+        queue.claim(timeout=0.1)
+        assert not queue.cancel(running.id)
+
+    def test_cancelled_fingerprint_is_released(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request())
+        queue.cancel(job.id)
+        fresh, deduplicated = queue.submit(request())
+        assert not deduplicated and fresh is not job
+
+    def test_finish_requires_running(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request())
+        with pytest.raises(JobError, match="not running"):
+            queue.finish(job, result="nope")
+
+    def test_failed_jobs_record_error(self):
+        queue = JobQueue()
+        job, _ = queue.submit(request())
+        queue.claim(timeout=0.1)
+        queue.finish(job, error="boom")
+        assert job.state is JobState.FAILED
+        assert job.error == "boom"
+        assert queue.stats()["failed"] == 1
+
+    def test_record_pruning_keeps_live_jobs(self):
+        queue = JobQueue(max_records=2)
+        done = []
+        for generation in range(3):
+            job, _ = queue.submit(request(generations=generation + 1))
+            done.append(job)
+            queue.finish(queue.claim(timeout=0.1), result=generation)
+        live, _ = queue.submit(request(generations=99))
+        stats = queue.stats()
+        assert stats["records"] == 2
+        assert stats["evicted_records"] >= 1
+        assert queue.get(live.id) is live  # pending survives pruning
+        assert queue.get(done[0].id) is None  # oldest finished evicted
+
+
+class TestJobRequestValidation:
+    def test_rejects_missing_scenario(self):
+        with pytest.raises(JobError, match="scenario name"):
+            JobRequest(scenario="")
+
+    def test_rejects_non_positive_overrides(self):
+        with pytest.raises(JobError, match="generations"):
+            JobRequest(scenario="x", generations=0)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(JobError, match="unknown job request"):
+            JobRequest.from_dict({"scenario": "x", "flavour": "spicy"})
+
+    def test_rejects_non_bool_postprocess(self):
+        # bool("false") is True — a coercion would silently run the job
+        # with the opposite setting, so the type must be strict.
+        with pytest.raises(JobError, match="postprocess"):
+            JobRequest.from_dict({"scenario": "x", "postprocess": "false"})
+
+    def test_fingerprint_is_canonical(self):
+        assert request().fingerprint() == request().fingerprint()
+        assert request().fingerprint() != request(generations=2).fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Result store
+# ---------------------------------------------------------------------------
+def _finished_job(queue: JobQueue, req: JobRequest):
+    job, _ = queue.submit(req)
+    queue.finish(queue.claim(timeout=0.1), result=req.generations)
+    return job
+
+
+class TestResultStore:
+    def test_lru_eviction_and_stats(self):
+        queue = JobQueue()
+        store = ResultStore(max_entries=2)
+        jobs = [_finished_job(queue, request(generations=g))
+                for g in (1, 2, 3)]
+        for job in jobs[:2]:
+            store.put(job)
+        assert store.get(jobs[0].fingerprint) is jobs[0]  # refresh recency
+        store.put(jobs[2])  # evicts jobs[1], the least recently used
+        assert store.get(jobs[1].fingerprint) is None
+        assert store.get(jobs[0].fingerprint) is jobs[0]
+        stats = store.stats()
+        assert set(stats) == {"entries", "max_entries", "hits", "misses",
+                              "evictions"}
+        assert stats == {"entries": 2, "max_entries": 2, "hits": 2,
+                         "misses": 1, "evictions": 1}
+
+    def test_invalidate_and_clear(self):
+        queue = JobQueue()
+        store = ResultStore()
+        job = _finished_job(queue, request())
+        store.put(job)
+        assert store.invalidate(job.fingerprint)
+        assert not store.invalidate(job.fingerprint)
+        store.put(job)
+        store.clear()
+        assert len(store) == 0
+
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+class TestWorkerPool:
+    def test_drains_queue_and_counts(self):
+        queue = JobQueue()
+
+        def execute(job):
+            return job.request.generations * 10
+
+        pool = WorkerPool(queue, execute, workers=2)
+        jobs = [queue.submit(request(generations=g))[0] for g in (1, 2, 3)]
+        pool.start()
+        try:
+            assert pool.join(timeout=5)
+        finally:
+            pool.stop()
+        assert [job.result for job in jobs] == [10, 20, 30]
+        assert pool.stats()["processed"] == 3
+
+    def test_handler_exception_fails_the_job(self):
+        queue = JobQueue()
+
+        def execute(job):
+            raise ValueError("bad job")
+
+        pool = WorkerPool(queue, execute, workers=1)
+        job, _ = queue.submit(request())
+        pool.start()
+        try:
+            assert job.wait(timeout=5)
+        finally:
+            pool.stop()
+        assert job.state is JobState.FAILED
+        assert "ValueError: bad job" in job.error
+        assert pool.stats()["failed"] == 1
+
+    def test_restart_does_not_resurrect_old_workers(self):
+        queue = JobQueue()
+        pool = WorkerPool(queue, lambda job: None, workers=2,
+                          name="svc-restart")
+        pool.start()
+        pool.stop(wait=False)  # old generation drains on its own event
+        pool.start()
+        try:
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                alive = [thread for thread in threading.enumerate()
+                         if thread.name.startswith("svc-restart-worker")]
+                if len(alive) == 2:
+                    break
+                time.sleep(0.02)
+            assert len(alive) == 2  # only the new generation survives
+            job, _ = queue.submit(request())
+            assert job.wait(timeout=5)  # ...and it still drains the queue
+        finally:
+            pool.stop()
+
+
+# ---------------------------------------------------------------------------
+# Service facade
+# ---------------------------------------------------------------------------
+class TestEvaluationService:
+    def test_unknown_scenario_rejected_at_submission(self):
+        with EvaluationService(workers=1, autostart=False) as service:
+            with pytest.raises(UnknownScenarioError):
+                service.submit("no-such-scenario")
+
+    def test_duplicate_submissions_share_one_computation(self, tiny_scenario):
+        direct = run_scenario(tiny_scenario.name)
+        with EvaluationService(workers=2, autostart=False) as service:
+            jobs = [service.submit(tiny_scenario.name) for _ in range(4)]
+            assert len({job.id for job in jobs}) == 1
+            assert service.queue.stats()["deduplicated"] == 3
+            service.start()
+            result = service.result(jobs[0], timeout=60)
+            # One computation, bit-identical to the direct runner call.
+            assert service.queue.stats()["succeeded"] == 1
+            assert (result.report.baseline_energy_j
+                    == direct.report.baseline_energy_j)
+            assert (result.report.teamplay_energy_j
+                    == direct.report.teamplay_energy_j)
+            assert (result.report.baseline_time_s
+                    == direct.report.baseline_time_s)
+            assert (result.report.teamplay_time_s
+                    == direct.report.teamplay_time_s)
+
+    def test_concurrent_submitters_get_identical_results(self, tiny_scenario):
+        direct = run_scenario(tiny_scenario.name)
+        outcomes = []
+        outcomes_lock = threading.Lock()
+        # Submissions race each other while the pool is still stopped, so
+        # exactly one job exists when the workers start — the dedup counter
+        # is deterministic and all waiters share one computation.
+        with EvaluationService(workers=2, autostart=False) as service:
+            def submit_and_wait():
+                job = service.submit(tiny_scenario.name)
+                result = service.result(job, timeout=60)
+                with outcomes_lock:
+                    outcomes.append(result)
+
+            threads = [threading.Thread(target=submit_and_wait)
+                       for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            service.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+        assert len(outcomes) == 4
+        for result in outcomes:
+            assert (result.report.teamplay_energy_j
+                    == direct.report.teamplay_energy_j)
+        # All four submissions resolved to one computed result; the shared
+        # runs are observable in the queue's dedup counter.
+        assert stats["queue"]["succeeded"] == 1
+        assert (stats["queue"]["deduplicated"]
+                + stats["store"]["hits"]) == 3
+
+    def test_store_serves_repeats_after_completion(self, tiny_scenario):
+        with EvaluationService(workers=1) as service:
+            first = service.submit(tiny_scenario.name)
+            service.result(first, timeout=60)
+            again = service.submit(tiny_scenario.name)
+            assert again is first
+            assert service.store.stats()["hits"] == 1
+            assert service.queue.stats()["succeeded"] == 1
+            # use_cache=False forces a fresh computation.
+            fresh = service.submit(tiny_scenario.name, use_cache=False)
+            assert fresh is not first
+            service.result(fresh, timeout=60)
+            assert service.queue.stats()["succeeded"] == 2
+
+    def test_failed_job_raises_on_result(self, failing_scenario):
+        with EvaluationService(workers=1) as service:
+            job = service.submit(failing_scenario.name)
+            with pytest.raises(JobError, match="deliberate failure"):
+                service.result(job, timeout=60)
+            assert job.state is JobState.FAILED
+
+    def test_cancel_before_start(self, tiny_scenario):
+        with EvaluationService(workers=1, autostart=False) as service:
+            job = service.submit(tiny_scenario.name)
+            assert service.cancel(job.id)
+            with pytest.raises(JobError, match="cancelled"):
+                service.result(job, timeout=1)
+
+    def test_status_document(self, tiny_scenario):
+        with EvaluationService(workers=1) as service:
+            job = service.submit(tiny_scenario.name)
+            service.result(job, timeout=60)
+            document = service.status(job.id)
+            assert document["state"] == "succeeded"
+            assert document["request"]["scenario"] == tiny_scenario.name
+            assert document["result"]["name"] == tiny_scenario.name
+            assert service.status("job-999999") is None
+
+    def test_sweep_preserves_order(self, tiny_scenario):
+        names = [tiny_scenario.name, "uav-pa", tiny_scenario.name]
+        with EvaluationService(workers=2) as service:
+            results = service.sweep(names, timeout=120)
+        assert [result.spec.name for result in results] == names
+
+    def test_shared_cache_lifecycle_restored(self):
+        assert not process_analysis_cache_enabled()
+        with EvaluationService(workers=1, shared_analysis_cache=True,
+                               autostart=False):
+            assert process_analysis_cache_enabled()
+        assert not process_analysis_cache_enabled()
+
+    def test_scenarios_listing_matches_registry(self):
+        with EvaluationService(workers=1, autostart=False) as service:
+            names = {row["name"] for row in service.scenarios()}
+        assert {"camera-pill", "uav-pa", "parking-dl-m0"} <= names
+
+
+# ---------------------------------------------------------------------------
+# Parallel sweep (the scenarios CLI's --jobs path)
+# ---------------------------------------------------------------------------
+class TestParallelSweep:
+    def test_sweep_scenarios_matches_serial(self, tiny_scenario):
+        serial = [run_scenario(tiny_scenario.name),
+                  run_scenario("uav-pa")]
+        parallel = sweep_scenarios([tiny_scenario.name, "uav-pa"], jobs=2,
+                                   timeout=120)
+        assert (parallel[0].report.teamplay_energy_j
+                == serial[0].report.teamplay_energy_j)
+        assert (parallel[0].report.baseline_time_s
+                == serial[0].report.baseline_time_s)
+        assert (parallel[1].detail.outcome.completed
+                == serial[1].detail.outcome.completed)
+
+    def test_cli_jobs_flag_matches_serial_json(self, tiny_scenario, capsys):
+        assert scenarios_cli(["run", tiny_scenario.name, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert scenarios_cli(["run", tiny_scenario.name, "--jobs", "2",
+                              "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_cli_rejects_bad_jobs(self, capsys):
+        assert scenarios_cli(["run", "--all", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_service_cli_sweep(self, tiny_scenario, capsys):
+        assert service_cli(["sweep", tiny_scenario.name, "--jobs", "2",
+                            "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenarios"][0]["name"] == tiny_scenario.name
+        assert payload["scenarios"][0]["deadlines_met"] is True
+
+    def test_service_cli_sweep_validation(self, capsys):
+        assert service_cli(["sweep"]) == 2
+        assert "nothing to sweep" in capsys.readouterr().err
+        assert service_cli(["sweep", "no-such-scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# HTTP API
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def http_service():
+    with EvaluationService(workers=2) as service:
+        server = create_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            yield service, server.server_address[:2]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+def _http(address, method: str, path: str, payload=None):
+    connection = http.client.HTTPConnection(*address, timeout=60)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        headers = {"Content-Type": "application/json"} if body else {}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+def _poll_job(address, job_id: str, timeout_s: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status, document = _http(address, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if document["state"] not in ("pending", "running"):
+            return document
+        assert time.monotonic() < deadline, "job did not finish in time"
+        time.sleep(0.05)
+
+
+class TestHttpApi:
+    def test_round_trip_matches_direct_run(self, http_service, tiny_scenario):
+        _, address = http_service
+        direct = run_scenario(tiny_scenario.name)
+        status, submitted = _http(address, "POST", "/jobs",
+                                  {"scenario": tiny_scenario.name})
+        assert status in (200, 202)
+        document = _poll_job(address, submitted["id"])
+        assert document["state"] == "succeeded"
+        summary = document["result"]
+        # JSON floats round-trip exactly: the HTTP numbers equal the direct
+        # runner's bit-for-bit.
+        assert summary["baseline_time_s"] == direct.report.baseline_time_s
+        assert summary["teamplay_time_s"] == direct.report.teamplay_time_s
+        assert (summary["baseline_energy_j"]
+                == direct.report.baseline_energy_j)
+        assert (summary["teamplay_energy_j"]
+                == direct.report.teamplay_energy_j)
+
+    def test_duplicate_post_shares_job(self, http_service, tiny_scenario):
+        service, address = http_service
+        _, first = _http(address, "POST", "/jobs",
+                         {"scenario": tiny_scenario.name, "generations": 2})
+        _, second = _http(address, "POST", "/jobs",
+                          {"scenario": tiny_scenario.name, "generations": 2})
+        assert second["id"] == first["id"]
+        assert second["submissions"] >= 2
+        stats = service.stats()
+        assert (stats["queue"]["deduplicated"] + stats["store"]["hits"]) >= 1
+        _poll_job(address, first["id"])
+
+    def test_scenarios_and_stats_endpoints(self, http_service):
+        _, address = http_service
+        status, listing = _http(address, "GET", "/scenarios")
+        assert status == 200
+        names = {row["name"] for row in listing["scenarios"]}
+        assert {"camera-pill", "uav-sar", "uav-pa", "parking-dl-m0"} <= names
+        status, stats = _http(address, "GET", "/stats")
+        assert status == 200
+        assert set(stats) == {"queue", "store", "workers", "analysis_cache"}
+        assert stats["analysis_cache"]["enabled"] is True
+        status, jobs = _http(address, "GET", "/jobs")
+        assert status == 200 and isinstance(jobs["jobs"], list)
+
+    def test_error_paths(self, http_service):
+        _, address = http_service
+        status, document = _http(address, "POST", "/jobs",
+                                 {"scenario": "no-such-scenario"})
+        assert status == 404 and "unknown scenario" in document["error"]
+        status, document = _http(address, "POST", "/jobs",
+                                 {"scenario": "camera-pill",
+                                  "flavour": "spicy"})
+        assert status == 400 and "unknown job request" in document["error"]
+        status, document = _http(address, "GET", "/jobs/job-999999")
+        assert status == 404
+        status, document = _http(address, "GET", "/no-such-path")
+        assert status == 404
+        status, document = _http(address, "POST", "/jobs")
+        assert status == 400
+
+    def test_delete_cancels_pending_job(self, tiny_scenario):
+        # A stopped pool keeps the job pending so DELETE is deterministic.
+        with EvaluationService(workers=1, autostart=False) as service:
+            server = create_server(service)
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            try:
+                address = server.server_address[:2]
+                _, submitted = _http(address, "POST", "/jobs",
+                                     {"scenario": tiny_scenario.name})
+                assert submitted["state"] == "pending"
+                status, document = _http(address, "DELETE",
+                                         f"/jobs/{submitted['id']}")
+                assert status == 200
+                assert document["state"] == "cancelled"
+                status, document = _http(address, "DELETE",
+                                         f"/jobs/{submitted['id']}")
+                assert status == 409
+                status, _ = _http(address, "DELETE", "/jobs/job-999999")
+                assert status == 404
+            finally:
+                server.shutdown()
+                server.server_close()
+
+
+# ---------------------------------------------------------------------------
+# Golden parity through the service: E1/E2/E3/E6, bit for bit
+# ---------------------------------------------------------------------------
+class TestServiceGoldenParity:
+    """The pinned paper fixtures, fetched through the service layer."""
+
+    @pytest.fixture(scope="class")
+    def service_results(self):
+        with EvaluationService(workers=2) as service:
+            jobs = {name: service.submit(name)
+                    for name in ("camera-pill", "space-spacewire", "uav-sar",
+                                 "parking-dl-tk1")}
+            yield {name: service.result(job, timeout=600)
+                   for name, job in jobs.items()}
+
+    def test_e1_camera_pill(self, service_results):
+        assert_report_matches(service_results["camera-pill"].report,
+                              golden("camera_pill_e1.json")["report"])
+
+    def test_e2_space(self, service_results):
+        assert_report_matches(service_results["space-spacewire"].report,
+                              golden("space_e2.json")["report"])
+
+    def test_e3_uav_sar(self, service_results):
+        assert_report_matches(service_results["uav-sar"].report,
+                              golden("uav_sar_e3.json")["report"])
+
+    def test_e6_parking_tk1(self, service_results):
+        assert_report_matches(service_results["parking-dl-tk1"].report,
+                              golden("parking_tk1_e6.json")["report"])
