@@ -8,7 +8,11 @@ optimisers — the Flower Pollination Algorithm used by WCC (Jadhav & Falk,
 SCOPES'19) and an NSGA-II baseline — to produce a Pareto front of compiled
 variants trading execution time, energy and security.
 
-All evaluation is served by the batched engine in
+The compile path itself is declarative: :mod:`repro.compiler.pipeline`
+registers every pass (parse → AST → lower → IR → backend → analysis) with a
+:class:`~repro.compiler.pipeline.PassManager` that derives the engine's
+stage-cache keys from the pass list and reports per-pass wall-time/
+invocation counters.  All evaluation is served by the batched engine in
 :mod:`repro.compiler.engine`: staged variant/lowering/analysis caches plus
 numpy-vectorised Pareto machinery shared by both optimisers.
 """
@@ -24,16 +28,20 @@ from repro.compiler.engine import (
 )
 from repro.compiler.fpa import FlowerPollinationOptimizer
 from repro.compiler.nsga2 import Nsga2Optimizer
+from repro.compiler.pipeline import CompilationPipeline, Pass, PassManager
 
 __all__ = [
     "AnalysisCache",
     "BatchEvaluator",
+    "CompilationPipeline",
     "CompilerConfig",
     "EvaluationEngine",
     "FlowerPollinationOptimizer",
     "MultiCriteriaCompiler",
     "Nsga2Optimizer",
     "ParetoFront",
+    "Pass",
+    "PassManager",
     "Variant",
     "VariantCache",
     "evaluate_config",

@@ -36,9 +36,9 @@ from repro.compiler.engine.vectorized import pareto_front
 from repro.compiler.evaluate import SecurityEvaluator, Variant
 from repro.compiler.fpa import FlowerPollinationOptimizer
 from repro.compiler.nsga2 import Nsga2Optimizer
+from repro.compiler.pipeline import CompilationPipeline
 from repro.errors import CompilationError
 from repro.frontend import ast_nodes as ast
-from repro.frontend.parser import parse_cached
 from repro.hw.core import Core
 from repro.hw.dvfs import OperatingPoint
 from repro.hw.platform import Platform
@@ -89,11 +89,17 @@ class MultiCriteriaCompiler:
                 f"multi-criteria compiler targets predictable architectures")
         self.opp = opp or self.core.nominal_opp
         self.security_samples = security_samples
+        #: One compilation pipeline per driver: every engine the driver
+        #: creates compiles through this registered pass list, so per-pass
+        #: wall-time/invocation counters aggregate across engines and are
+        #: reported by :meth:`pipeline_stats`.
+        self.pipeline = CompilationPipeline(platform)
         # Shared caches: the analysis cache is platform-wide, lowering
         # caches are per source module, the engines (and their variant
         # caches) per (module, entry, security context).  Parsing is cached
-        # process-wide (parse_cached), and the analysis cache joins the
-        # opt-in process-wide cache when one is enabled.
+        # process-wide (through the pipeline's timed parse pass), and the
+        # analysis cache joins the opt-in process-wide cache when one is
+        # enabled.
         shared_analysis = process_analysis_cache(platform)
         self._analysis = (shared_analysis if shared_analysis is not None
                           else AnalysisCache(platform))
@@ -101,11 +107,15 @@ class MultiCriteriaCompiler:
         self._engines: Dict[Tuple[int, str, bool], EvaluationEngine] = {}
 
     # -- helpers -----------------------------------------------------------------
-    @staticmethod
-    def _as_module(source: Union[str, ast.SourceModule]) -> ast.SourceModule:
+    def _as_module(self, source: Union[str, ast.SourceModule]
+                   ) -> ast.SourceModule:
         if isinstance(source, ast.SourceModule):
             return source
-        return parse_cached(source)
+        return self.pipeline.parse(source)
+
+    def pipeline_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-pass wall-time/invocation counters of this driver's builds."""
+        return self.pipeline.stats()
 
     def _security_evaluator(self, module: ast.SourceModule,
                             entry_function: str) -> Optional[SecurityEvaluator]:
@@ -136,13 +146,15 @@ class MultiCriteriaCompiler:
         key = (id(module), entry_function, security_evaluator is not None)
         engine = self._engines.get(key)
         if engine is None:
-            lowering = self._lowerings.setdefault(id(module), LoweringCache())
+            lowering = self._lowerings.setdefault(
+                id(module), self.pipeline.lowering_cache())
             engine = EvaluationEngine(
                 module, self.platform, [entry_function],
                 core=self.core, opp=self.opp,
                 security_evaluator=security_evaluator,
                 analysis_cache=self._analysis,
                 lowering_cache=lowering,
+                pipeline=self.pipeline,
             )
             self._engines[key] = engine
         return engine

@@ -41,7 +41,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.compiler.config import CompilerConfig
 from repro.errors import AnalysisError
@@ -70,12 +70,20 @@ _FINGERPRINT_ATTR = "_engine_fingerprint"
 _CALL_OPCODE = Opcode.CALL
 
 
+#: Type of the key-derivation callables the caches accept: config -> tuple.
+KeyFn = Callable[[CompilerConfig], Tuple]
+
+
 def canonical_key(config: CompilerConfig) -> Tuple:
-    """Canonical cache key of a configuration.
+    """Canonical cache key of a configuration (stock pass list).
 
     Two configurations produce the same compiled variant iff their canonical
     keys are equal; the key is simply the ordered tuple of every field (each
-    field toggles or parameterises exactly one pass).
+    field toggles or parameterises exactly one pass).  The evaluation engine
+    keys its caches through :class:`~repro.compiler.pipeline.PassManager`
+    instead, so registered passes widen the keys automatically; this module-
+    level derivation is the stock-pass-list equivalent kept for direct cache
+    use and the batch deduplicator.
     """
     return (
         config.constant_folding,
@@ -189,27 +197,33 @@ class _BoundedCacheMixin:
 
 
 class VariantCache(_BoundedCacheMixin):
-    """Cross-generation cache of fully evaluated variants."""
+    """Cross-generation cache of fully evaluated variants.
 
-    def __init__(self, max_entries: Optional[int] = None):
+    ``key_fn`` overrides the key derivation (the engine passes its pass
+    manager's ``canonical_key`` so the cache is keyed by the pass list).
+    """
+
+    def __init__(self, max_entries: Optional[int] = None,
+                 key_fn: Optional[KeyFn] = None):
         super().__init__(max_entries)
+        self._key = key_fn if key_fn is not None else canonical_key
         self._variants: "OrderedDict[Tuple, object]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._variants)
 
     def __contains__(self, config: CompilerConfig) -> bool:
-        return canonical_key(config) in self._variants
+        return self._key(config) in self._variants
 
     def get(self, config: CompilerConfig):
-        variant = self._touch(self._variants, canonical_key(config))
+        variant = self._touch(self._variants, self._key(config))
         if variant is not None:
             self.hits += 1
         return variant
 
     def put(self, config: CompilerConfig, variant) -> None:
         self.misses += 1
-        self._insert(self._variants, canonical_key(config), variant)
+        self._insert(self._variants, self._key(config), variant)
 
 
 class LoweringCache(_BoundedCacheMixin):
@@ -219,10 +233,19 @@ class LoweringCache(_BoundedCacheMixin):
     returns an independent clone so the caller's in-place IR passes cannot
     corrupt the cached original.  ``max_entries`` bounds the lowered and the
     pre-unroll tables independently (each holds at most that many entries).
+    ``key_fn``/``pre_unroll_key_fn`` override the key derivations (the
+    engine passes its pass manager's stage keys so the cache is keyed by
+    the registered pass list).
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(self, max_entries: Optional[int] = None,
+                 key_fn: Optional[KeyFn] = None,
+                 pre_unroll_key_fn: Optional[KeyFn] = None):
         super().__init__(max_entries)
+        self._key = key_fn if key_fn is not None else ast_stage_key
+        self._pre_unroll_key = (pre_unroll_key_fn
+                                if pre_unroll_key_fn is not None
+                                else pre_unroll_key)
         self._lowered: "OrderedDict[Tuple, Tuple[Program, Dict[str, int]]]" \
             = OrderedDict()
         self._pre_unroll: "OrderedDict[Tuple, Tuple]" = OrderedDict()
@@ -243,16 +266,16 @@ class LoweringCache(_BoundedCacheMixin):
         The stored module is pristine — callers must clone it before
         mutating (the engine always unrolls a fresh clone).
         """
-        return self._touch(self._pre_unroll, pre_unroll_key(config))
+        return self._touch(self._pre_unroll, self._pre_unroll_key(config))
 
     def put_pre_unroll(self, config: CompilerConfig, module,
                        statistics: Dict[str, int]) -> None:
-        self._insert(self._pre_unroll, pre_unroll_key(config),
+        self._insert(self._pre_unroll, self._pre_unroll_key(config),
                      (module, dict(statistics)))
 
     def get(self, config: CompilerConfig
             ) -> Optional[Tuple[Program, Dict[str, int]]]:
-        entry = self._touch(self._lowered, ast_stage_key(config))
+        entry = self._touch(self._lowered, self._key(config))
         if entry is None:
             return None
         self.hits += 1
@@ -265,7 +288,7 @@ class LoweringCache(_BoundedCacheMixin):
         # Keep a private pristine copy; the caller mutates its own clone.
         # Instruction sharing is safe: the IR passes are copy-on-write at
         # instruction granularity.
-        self._insert(self._lowered, ast_stage_key(config),
+        self._insert(self._lowered, self._key(config),
                      (program.clone(share_instructions=True),
                       dict(statistics)))
 
@@ -276,10 +299,14 @@ class IrStageCache(_BoundedCacheMixin):
     Keyed on the AST-stage key plus the DCE/strength-reduction flags: the
     only remaining pass (scratchpad allocation) runs last, so configurations
     differing only in ``spm_allocation`` share everything up to here.
+    ``key_fn`` overrides the derivation (the engine passes its pass
+    manager's post-IR stage key).
     """
 
-    def __init__(self, max_entries: Optional[int] = None):
+    def __init__(self, max_entries: Optional[int] = None,
+                 key_fn: Optional[KeyFn] = None):
         super().__init__(max_entries)
+        self._key = key_fn if key_fn is not None else self.key
         self._programs: "OrderedDict[Tuple, Tuple[Program, Dict[str, int]]]" \
             = OrderedDict()
 
@@ -293,7 +320,7 @@ class IrStageCache(_BoundedCacheMixin):
 
     def get(self, config: CompilerConfig
             ) -> Optional[Tuple[Program, Dict[str, int]]]:
-        entry = self._touch(self._programs, self.key(config))
+        entry = self._touch(self._programs, self._key(config))
         if entry is None:
             return None
         self.hits += 1
@@ -303,7 +330,7 @@ class IrStageCache(_BoundedCacheMixin):
     def put(self, config: CompilerConfig, program: Program,
             statistics: Dict[str, int]) -> None:
         self.misses += 1
-        self._insert(self._programs, self.key(config),
+        self._insert(self._programs, self._key(config),
                      (program.clone(share_instructions=True),
                       dict(statistics)))
 

@@ -1,0 +1,144 @@
+"""The compilation pipeline: parse → AST passes → lower → IR → backend.
+
+One :class:`CompilationPipeline` binds a platform and a
+:class:`~repro.compiler.pipeline.manager.PassManager` and exposes the
+compile path as *stage runs* over the registered pass list.  The evaluation
+engine drives the stages through its caches (each stage method corresponds
+to one cache boundary); :meth:`build` chains them for an uncached one-shot
+build.  All stage methods replay the exact semantics of the previously
+hand-sequenced call sites in :mod:`repro.compiler.evaluate` — same pass
+order, same clone points, same statistics keys — so routed and legacy
+builds are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.pipeline.manager import PassManager
+from repro.compiler.pipeline.passes import PARSE_PASS, PassContext
+from repro.frontend import ast_nodes as ast
+from repro.frontend.parser import parse_cached
+from repro.hw.platform import Platform
+from repro.ir.cfg import Program
+
+#: The pass whose position splits the AST stage into the shared pre-unroll
+#: prefix and the per-unroll-limit suffix (the lowering cache's two tables).
+_UNROLL_PASS = "unroll-loops"
+
+
+class CompilationPipeline:
+    """Declarative compile path over a registered pass list."""
+
+    def __init__(self, platform: Platform,
+                 manager: Optional[PassManager] = None):
+        self.platform = platform
+        self.manager = manager if manager is not None else PassManager()
+
+    # ------------------------------------------------------------ frontend --
+    def parse(self, source: str,
+              source_name: str = "<memory>") -> ast.SourceModule:
+        """Parse (process-wide cached) under the ``parse`` pass's timer.
+
+        Returns a shared module instance — treat it as read-only; every
+        stage below clones before mutating.
+        """
+        with self.manager.timed(PARSE_PASS):
+            return parse_cached(source, source_name)
+
+    # ----------------------------------------------------------- AST stage --
+    def pre_unroll(self, module: ast.SourceModule, config: CompilerConfig
+                   ) -> Tuple[ast.SourceModule, Dict[str, int]]:
+        """Loop-bound inference plus the AST passes that run before unrolling.
+
+        Only hardening, folding and inlining consume configuration here, so
+        the result is shared between configurations differing in
+        ``unroll_limit`` (the lowering cache's pre-unroll table).  The input
+        module is never modified; the returned module is a fresh clone.
+        """
+        ctx = PassContext(config=config, platform=self.platform,
+                          module=ast.clone_module(module))
+        run = self.manager.run
+        run("loop-bound-inference", ctx)
+        run("harden-security", ctx)
+        run("constant-folding", ctx)
+        run("inline-simple-functions", ctx)
+        return ctx.module, ctx.statistics
+
+    def unroll_and_lower(self, working: ast.SourceModule,
+                         config: CompilerConfig,
+                         statistics: Dict[str, int]) -> Program:
+        """Unroll (mutating ``working`` in place) and lower to IR.
+
+        Unrolling exposes constant-index expressions, so the folding pass
+        runs a second round when both are enabled (its counter accumulates).
+        """
+        ctx = PassContext(config=config, platform=self.platform,
+                          module=working, statistics=statistics)
+        if self.manager.run("unroll-loops", ctx):
+            self.manager.run("constant-folding", ctx)
+        self.manager.run("lower-to-ir", ctx)
+        return ctx.program
+
+    # ------------------------------------------------------------ IR stage --
+    def ir_passes(self, program: Program,
+                  config: CompilerConfig) -> Dict[str, int]:
+        """The platform-independent IR passes, mutating ``program`` in place."""
+        ctx = PassContext(config=config, platform=self.platform,
+                          program=program)
+        self.manager.run("dead-code-elimination", ctx)
+        self.manager.run("strength-reduction", ctx)
+        return ctx.statistics
+
+    # ------------------------------------------------------------- backend --
+    def backend_passes(self, program: Program,
+                       config: CompilerConfig) -> Dict[str, int]:
+        """The platform-dependent passes (scratchpad allocation, always last)."""
+        ctx = PassContext(config=config, platform=self.platform,
+                          program=program)
+        self.manager.run("spm-allocation", ctx)
+        return ctx.statistics
+
+    # ----------------------------------------------------------- one-shot --
+    def build(self, module: ast.SourceModule, config: CompilerConfig
+              ) -> Tuple[Program, Dict[str, int]]:
+        """Uncached end-to-end build (the engine adds the cache layers)."""
+        working, statistics = self.pre_unroll(module, config)
+        program = self.unroll_and_lower(working, config, statistics)
+        statistics.update(self.ir_passes(program, config))
+        statistics.update(self.backend_passes(program, config))
+        return program, statistics
+
+    # ------------------------------------------------------ cache factories --
+    def lowering_cache(self, max_entries: Optional[int] = None):
+        """A :class:`~repro.compiler.engine.cache.LoweringCache` keyed by
+        this pipeline's pass list (pre-unroll prefix / post-lower stages)."""
+        from repro.compiler.engine.cache import LoweringCache
+        manager = self.manager
+        return LoweringCache(
+            max_entries=max_entries,
+            key_fn=lambda config: manager.stage_key(config, "lower"),
+            pre_unroll_key_fn=lambda config: manager.key_before(
+                config, _UNROLL_PASS))
+
+    def ir_stage_cache(self, max_entries: Optional[int] = None):
+        """An :class:`~repro.compiler.engine.cache.IrStageCache` keyed by
+        this pipeline's pass list through the IR stage."""
+        from repro.compiler.engine.cache import IrStageCache
+        manager = self.manager
+        return IrStageCache(
+            max_entries=max_entries,
+            key_fn=lambda config: manager.stage_key(config, "ir"))
+
+    def variant_cache(self, max_entries: Optional[int] = None):
+        """A :class:`~repro.compiler.engine.cache.VariantCache` keyed by the
+        full registered pass list."""
+        from repro.compiler.engine.cache import VariantCache
+        return VariantCache(max_entries=max_entries,
+                            key_fn=self.manager.canonical_key)
+
+    # --------------------------------------------------------------- stats --
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-pass wall-time/invocation counters (see ``PassManager.stats``)."""
+        return self.manager.stats()

@@ -1,0 +1,188 @@
+"""Declarative pass objects of the compilation pipeline.
+
+A :class:`Pass` is one named, registered step of the compile path: it knows
+its pipeline *stage*, whether a given :class:`CompilerConfig` enables it,
+which configuration fields it consumes (its *cache-key contribution* — the
+basis of the engine's stage-cache keys), and how to apply itself to a
+:class:`PassContext`.  :func:`default_compile_passes` builds the stock pass
+list, wiring the existing implementations in
+:mod:`repro.compiler.passes`, :mod:`repro.frontend.lowering`,
+:mod:`repro.security.transforms` and :mod:`repro.wcet.loopbounds` into the
+declarative pipeline — the pass functions themselves are unchanged, so the
+pipeline produces bit-for-bit the programs the hand-sequenced call sites
+produced.
+
+Two registered passes are *markers*: ``parse`` and ``analysis`` have no
+``apply`` of their own — parsing happens before a module exists and the
+WCET/WCEC queries run inside the evaluation engine's caches — but they are
+declared in the pass list so the pipeline's stage ordering is complete and
+their wall-time/invocation counters live in the same ``stats()`` table as
+every other pass (their owners time them through
+:meth:`PassManager.timed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.compiler.config import CompilerConfig
+from repro.compiler.passes.ast_passes import (
+    fold_constants,
+    inline_simple_functions,
+    unroll_loops,
+)
+from repro.compiler.passes.ir_passes import eliminate_dead_code, strength_reduce
+from repro.compiler.passes.spm import allocate_scratchpad
+from repro.frontend import ast_nodes as ast
+from repro.frontend.lowering import lower_module
+from repro.hw.platform import Platform
+from repro.ir.cfg import Program
+from repro.security.transforms import harden_module
+from repro.wcet.loopbounds import infer_loop_bounds
+
+#: Pipeline stages in execution order.  ``frontend`` covers parsing,
+#: ``ast`` the source-level passes, ``lower`` the IR generation, ``ir`` the
+#: platform-independent IR passes, ``backend`` the platform-dependent ones
+#: (scratchpad allocation), ``analysis`` the static WCET/WCEC queries.
+STAGES = ("frontend", "ast", "lower", "ir", "backend", "analysis")
+
+
+def _always(config: CompilerConfig) -> bool:
+    return True
+
+
+def _no_key(config: CompilerConfig) -> Tuple:
+    return ()
+
+
+@dataclass
+class PassContext:
+    """Mutable state threaded through the passes of one build.
+
+    AST-stage passes read and replace ``module``; the lowering pass fills
+    ``program``; IR/backend passes mutate ``program`` in place.  Every pass
+    records its counters under its statistic name in ``statistics`` (the
+    dict that ends up as ``Variant.pass_statistics``).
+    """
+
+    config: CompilerConfig
+    platform: Optional[Platform] = None
+    module: Optional[ast.SourceModule] = None
+    program: Optional[Program] = None
+    statistics: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Pass:
+    """One named, registered step of the compilation pipeline.
+
+    ``cache_key`` returns the tuple of configuration fields this pass
+    consumes; the :class:`~repro.compiler.pipeline.manager.PassManager`
+    concatenates the contributions of the registered pass list into the
+    engine's stage-cache keys, so registering a new configurable pass
+    automatically widens the keys of every downstream cache stage.
+    ``apply`` may be ``None`` for marker passes timed by their owner (see
+    the module docstring).
+    """
+
+    name: str
+    stage: str
+    apply: Optional[Callable[[PassContext], None]] = None
+    enabled: Callable[[CompilerConfig], bool] = _always
+    cache_key: Callable[[CompilerConfig], Tuple] = _no_key
+
+    def __post_init__(self):
+        if self.stage not in STAGES:
+            raise ValueError(
+                f"pass {self.name!r}: unknown stage {self.stage!r}; "
+                f"expected one of {STAGES}")
+
+
+# ---------------------------------------------------------------------------
+# Stock pass implementations (thin adapters over the existing pass functions)
+# ---------------------------------------------------------------------------
+def _infer_loop_bounds(ctx: PassContext) -> None:
+    infer_loop_bounds(ctx.module)
+
+
+def _harden_security(ctx: PassContext) -> None:
+    ctx.module, hardening = harden_module(ctx.module)
+    ctx.statistics["hardened_branches"] = hardening.transformed_count
+
+
+def _fold_constants(ctx: PassContext) -> None:
+    # Accumulates: the pass runs again after unrolling exposes new
+    # constant-index expressions, and both rounds report one counter.
+    ctx.statistics["constant_folds"] = (
+        ctx.statistics.get("constant_folds", 0) + fold_constants(ctx.module))
+
+
+def _inline_simple_functions(ctx: PassContext) -> None:
+    ctx.statistics["inlined_calls"] = inline_simple_functions(ctx.module)
+
+
+def _unroll_loops(ctx: PassContext) -> None:
+    ctx.statistics["unrolled_loops"] = unroll_loops(
+        ctx.module, ctx.config.unroll_limit)
+
+
+def _lower_to_ir(ctx: PassContext) -> None:
+    ctx.program = lower_module(ctx.module)
+
+
+def _eliminate_dead_code(ctx: PassContext) -> None:
+    ctx.statistics["dead_instructions"] = eliminate_dead_code(ctx.program)
+
+
+def _strength_reduce(ctx: PassContext) -> None:
+    ctx.statistics["strength_reductions"] = strength_reduce(ctx.program)
+
+
+def _allocate_scratchpad(ctx: PassContext) -> None:
+    allocation = allocate_scratchpad(ctx.program, ctx.platform)
+    ctx.statistics["spm_functions"] = len(allocation.placed_functions)
+
+
+#: Names of the two externally-driven marker passes.
+PARSE_PASS = "parse"
+ANALYSIS_PASS = "analysis"
+
+
+def default_compile_passes() -> Tuple[Pass, ...]:
+    """The stock pass list, in execution order.
+
+    Matches the hand-sequenced pipeline of
+    :mod:`repro.compiler.evaluate` exactly: loop-bound inference and the
+    pre-unroll AST passes (hardening, folding, inlining), unrolling (with a
+    second folding round, re-run by the pipeline when both are enabled),
+    lowering, the platform-independent IR passes, and scratchpad allocation
+    last.
+    """
+    return (
+        Pass(PARSE_PASS, "frontend"),
+        Pass("loop-bound-inference", "ast", _infer_loop_bounds),
+        Pass("harden-security", "ast", _harden_security,
+             enabled=lambda config: config.harden_security,
+             cache_key=lambda config: (config.harden_security,)),
+        Pass("constant-folding", "ast", _fold_constants,
+             enabled=lambda config: config.constant_folding,
+             cache_key=lambda config: (config.constant_folding,)),
+        Pass("inline-simple-functions", "ast", _inline_simple_functions,
+             enabled=lambda config: config.inline_simple_functions,
+             cache_key=lambda config: (config.inline_simple_functions,)),
+        Pass("unroll-loops", "ast", _unroll_loops,
+             enabled=lambda config: bool(config.unroll_limit),
+             cache_key=lambda config: (config.unroll_limit,)),
+        Pass("lower-to-ir", "lower", _lower_to_ir),
+        Pass("dead-code-elimination", "ir", _eliminate_dead_code,
+             enabled=lambda config: config.dead_code_elimination,
+             cache_key=lambda config: (config.dead_code_elimination,)),
+        Pass("strength-reduction", "ir", _strength_reduce,
+             enabled=lambda config: config.strength_reduction,
+             cache_key=lambda config: (config.strength_reduction,)),
+        Pass("spm-allocation", "backend", _allocate_scratchpad,
+             enabled=lambda config: config.spm_allocation,
+             cache_key=lambda config: (config.spm_allocation,)),
+        Pass(ANALYSIS_PASS, "analysis"),
+    )

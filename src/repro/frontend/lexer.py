@@ -4,10 +4,30 @@ Produces a flat list of :class:`Token` objects.  ``#pragma teamplay`` lines
 are emitted as single ``PRAGMA`` tokens whose value is the directive text, so
 the parser can attach them to the following function or loop.
 
-ASCII sources (all of them, in practice) take a master-regex fast path —
-roughly an order of magnitude quicker than the character loop, which is kept
-as the fallback for non-ASCII input (``str.isalpha``/``isdigit`` are
-Unicode-aware, and the fallback preserves that behaviour exactly).
+ASCII sources (all of them, in practice) take a single-compiled-regex
+scanner: one master pattern whose alternatives cover every token class,
+driven through ``re``'s scanner protocol so the matcher itself keeps the
+position.  The scanner is the compile path's cold-start hot spot — every
+byte of every source flows through here before anything is cached — so the
+loop is written for speed:
+
+* whitespace and newlines collapse into one ``SKIP`` alternative, halving
+  the match count of typical sources (every line break used to cost two
+  dispatches: one newline, one indentation run),
+* keywords are discriminated inside the pattern (``KW`` vs ``ID``) instead
+  of a per-identifier set lookup,
+* dispatch is on ``match.lastindex`` (an int compare) rather than
+  ``lastgroup`` (a dict lookup on the pattern object), with branches ordered
+  by token frequency,
+* tokens are built with ``tuple.__new__`` — :class:`Token` adds no behaviour
+  over its tuple layout, and skipping the generated ``__new__`` saves a
+  Python-level call per token.
+
+The character-by-character loop — the seed implementation — is kept as the
+fallback for non-ASCII input (``str.isalpha``/``isdigit`` are Unicode-aware,
+and the fallback preserves that behaviour exactly).  Both paths produce
+token-for-token identical streams, including error messages and line/column
+positions; ``tests/test_frontend_scanner.py`` pins the stream golden.
 """
 
 from __future__ import annotations
@@ -45,24 +65,41 @@ class Token(NamedTuple):
         return f"Token({self.kind}, {self.value!r}, {self.line}:{self.column})"
 
 
-#: Master token pattern for the ASCII fast path.  Alternation order matters:
-#: comments before operators (``//``, ``/*`` vs ``/``), the terminated block
-#: comment before the unterminated-opener error case, hex before decimal.
+#: Master token pattern of the ASCII scanner.  Alternation order matters
+#: twice over: for correctness (keywords before identifiers, comments before
+#: operators so ``//`` and ``/*`` win over ``/``, the terminated block
+#: comment before the unterminated-opener error case, hex before decimal)
+#: and for speed (alternatives are tried in order, so the most frequent
+#: classes come first).
 _TOKEN_RE = re.compile(
     r"""
-      (?P<NL>\n)
-     |(?P<WS>[ \t\r]+)
+      (?P<SKIP>[ \t\r\n]+)
+     |(?P<KW>(?:%s)\b)
+     |(?P<ID>[A-Za-z_][A-Za-z0-9_]*)
+     |(?P<NUM>0[xX][0-9a-fA-F]*|[0-9]+)
      |(?P<LC>//[^\n]*)
      |(?P<BC>/\*(?:[^*]|\*(?!/))*\*/)
      |(?P<BCOPEN>/\*)
+     |(?P<OP><<=|>>=|==|!=|<=|>=|&&|\|\||<<|>>|\+=|-=|\*=|/=|%%=|&=|\|=|\^=
+            |[+\-*/%%<>=!&|^~(){}\[\];,])
      |(?P<PRAGMA>\#[^\n]*)
-     |(?P<NUM>0[xX][0-9a-fA-F]*|[0-9]+)
-     |(?P<ID>[A-Za-z_][A-Za-z0-9_]*)
-     |(?P<OP><<=|>>=|==|!=|<=|>=|&&|\|\||<<|>>|\+=|-=|\*=|/=|%=|&=|\|=|\^=
-            |[+\-*/%<>=!&|^~(){}\[\];,])
-    """,
+    """ % "|".join(sorted(KEYWORDS)),
     re.VERBOSE,
 )
+
+#: Group-number constants for the ``lastindex`` dispatch; resolved from the
+#: compiled pattern so reordering the alternation cannot desynchronise them.
+_SKIP = _TOKEN_RE.groupindex["SKIP"]
+_KW = _TOKEN_RE.groupindex["KW"]
+_ID = _TOKEN_RE.groupindex["ID"]
+_NUM = _TOKEN_RE.groupindex["NUM"]
+_LC = _TOKEN_RE.groupindex["LC"]
+_BC = _TOKEN_RE.groupindex["BC"]
+_BCOPEN = _TOKEN_RE.groupindex["BCOPEN"]
+_OP = _TOKEN_RE.groupindex["OP"]
+_PRAGMA = _TOKEN_RE.groupindex["PRAGMA"]
+
+_tuple_new = tuple.__new__
 
 
 def tokenize(source: str) -> List[Token]:
@@ -73,56 +110,66 @@ def tokenize(source: str) -> List[Token]:
 
 
 def _tokenize_ascii(source: str) -> List[Token]:
-    """Regex fast path; token-for-token identical to the character loop."""
+    """Single-regex scanner; token-for-token identical to the character loop."""
     tokens: List[Token] = []
     append = tokens.append
-    match = _TOKEN_RE.match
+    scan = _TOKEN_RE.scanner(source).match
     line = 1
     column = 1
     pos = 0
     length = len(source)
-    while pos < length:
-        token = match(source, pos)
-        if token is None:
-            raise FrontendError(f"unexpected character {source[pos]!r}",
-                                line, column)
-        kind = token.lastgroup
-        text = token.group()
-        if kind == "ID":
-            append(Token("KEYWORD" if text in KEYWORDS else "ID",
-                         text, line, column))
-            column += len(text)
-        elif kind == "OP" or kind == "NUM":
-            append(Token(kind, text, line, column))
-            column += len(text)
-        elif kind == "WS":
-            column += len(text)
-        elif kind == "NL":
-            line += 1
-            column = 1
-        elif kind == "LC":
-            pass  # column untouched; the next token is the newline (or EOF)
-        elif kind == "BC":
+    match = scan()
+    while match is not None:
+        index = match.lastindex
+        end = match.end()
+        if index == _ID:
+            append(_tuple_new(Token, ("ID", match.group(), line, column)))
+            column += end - pos
+        elif index == _OP:
+            append(_tuple_new(Token, ("OP", match.group(), line, column)))
+            column += end - pos
+        elif index == _SKIP:
+            text = match.group()
             newlines = text.count("\n")
             if newlines:
                 line += newlines
-                column = len(text) - text.rfind("\n")
+                column = end - pos - text.rfind("\n")
             else:
-                column += len(text)
-        elif kind == "BCOPEN":
+                column += end - pos
+        elif index == _KW:
+            append(_tuple_new(Token, ("KEYWORD", match.group(), line, column)))
+            column += end - pos
+        elif index == _NUM:
+            append(_tuple_new(Token, ("NUM", match.group(), line, column)))
+            column += end - pos
+        elif index == _LC:
+            pass  # column untouched; the next token is the newline (or EOF)
+        elif index == _BC:
+            text = match.group()
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                column = end - pos - text.rfind("\n")
+            else:
+                column += end - pos
+        elif index == _BCOPEN:
             raise FrontendError("unterminated block comment", line, column)
         else:  # PRAGMA
-            stripped = text.strip()
+            stripped = match.group().strip()
             if not stripped.startswith("#pragma"):
                 raise FrontendError(
                     f"unsupported preprocessor directive {stripped!r}",
                     line, column)
             directive = stripped[len("#pragma"):].strip()
-            append(Token("PRAGMA", directive, line, column))
+            append(_tuple_new(Token, ("PRAGMA", directive, line, column)))
             # column deliberately untouched, as in the character loop: the
             # next token is the trailing newline, which resets it anyway.
-        pos = token.end()
-    append(Token("EOF", "", line, column))
+        pos = end
+        match = scan()
+    if pos < length:
+        raise FrontendError(f"unexpected character {source[pos]!r}",
+                            line, column)
+    append(_tuple_new(Token, ("EOF", "", line, column)))
     return tokens
 
 

@@ -9,7 +9,8 @@ Usage::
 ``run`` drives every named scenario through the shared
 :class:`~repro.scenarios.runner.ScenarioRunner` and prints one improvement
 report per scenario; ``--json`` emits a machine-readable summary instead
-(including per-scenario evaluation-cache counters for predictable builds).
+(including per-scenario evaluation-cache counters for predictable builds
+and the per-pass compilation-pipeline timings of every build workflow).
 ``--shared-cache`` enables the process-wide analysis cache so WCET/WCEC
 tables are reused across scenarios targeting the same platform, and
 ``--jobs N`` runs the sweep through the evaluation service's worker pool —

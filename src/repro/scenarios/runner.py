@@ -75,9 +75,9 @@ class ScenarioRunner:
             return self._run_custom(ctx, postprocess)
 
         if spec.kind == "predictable":
-            sides, cache_stats = self._run_predictable(ctx)
+            sides, cache_stats, pipeline_stats = self._run_predictable(ctx)
         else:
-            sides, cache_stats = self._run_complex(ctx)
+            sides, cache_stats, pipeline_stats = self._run_complex(ctx)
 
         overhead = 0.0
         if spec.shared_overhead_energy_j is not None:
@@ -108,6 +108,7 @@ class ScenarioRunner:
             report=report,
             overhead_energy_j=overhead,
             cache_stats=cache_stats,
+            pipeline_stats=pipeline_stats,
         )
         if postprocess and spec.postprocess is not None:
             result.detail = spec.postprocess(result)
@@ -131,7 +132,7 @@ class ScenarioRunner:
         toolchain = PredictableToolchain(ctx.platform)
         sides = [self._build_predictable(toolchain, ctx, options)
                  for options in (ctx.spec.baseline, ctx.spec.teamplay)]
-        return sides, toolchain.cache_stats()
+        return sides, toolchain.cache_stats(), toolchain.pipeline_stats()
 
     def _build_predictable(self, toolchain: PredictableToolchain,
                            ctx: RunContext, options: BuildOptions) -> tuple:
@@ -177,8 +178,10 @@ class ScenarioRunner:
                 glue_style=options.glue_style,
             )
             sides.append((build, build.schedule))
-        # The complex workflow profiles dynamically — no evaluation caches.
-        return sides, None
+        # The complex workflow profiles dynamically — no evaluation caches,
+        # but its stage timers (CSL parse, profiling, scheduling) report
+        # through the same pipeline-stats convention.
+        return sides, None, toolchain.pipeline_stats()
 
     @staticmethod
     def _generations(ctx: RunContext, options: BuildOptions) -> int:

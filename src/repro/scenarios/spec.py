@@ -240,6 +240,9 @@ class ScenarioResult:
     #: Per-stage evaluation-cache counters of the run's toolchain
     #: (predictable workflow only; see ``PredictableToolchain.cache_stats``).
     cache_stats: Optional[Dict[str, Dict[str, int]]] = None
+    #: Per-pass wall-time/invocation counters of the run's compilation
+    #: pipeline (both build workflows; see ``PassManager.stats``).
+    pipeline_stats: Optional[Dict[str, Dict[str, object]]] = None
 
     def summary(self) -> Dict[str, object]:
         """JSON-ready summary of the run (the CLI's output row)."""
@@ -266,4 +269,6 @@ class ScenarioResult:
             row["detail"] = self.spec.summarize(self.detail)
         if self.cache_stats is not None:
             row["cache_stats"] = self.cache_stats
+        if self.pipeline_stats is not None:
+            row["pipeline_stats"] = self.pipeline_stats
         return row

@@ -39,7 +39,7 @@ Over HTTP: ``python -m repro.service serve`` and see
 
 from repro.service.core import EvaluationService, sweep_scenarios
 from repro.service.jobs import Job, JobError, JobRequest, JobState
-from repro.service.queue import JobQueue
+from repro.service.queue import JobQueue, QueueFull
 from repro.service.store import ResultStore
 from repro.service.workers import WorkerPool
 
@@ -50,6 +50,7 @@ __all__ = [
     "JobQueue",
     "JobRequest",
     "JobState",
+    "QueueFull",
     "ResultStore",
     "WorkerPool",
     "sweep_scenarios",

@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro.service serve  [--host H] [--port P] [--workers N]
-                                   [--store-size N] [--no-shared-cache] [-v]
+                                   [--store-size N] [--store-ttl S]
+                                   [--max-pending N] [--no-shared-cache] [-v]
     python -m repro.service submit NAME [--priority P] [--generations N]
                                    [--population N] [--profiling-runs N]
                                    [--no-postprocess] [--wait] [--host H]
@@ -53,6 +54,14 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="worker threads draining the job queue")
     serve_cmd.add_argument("--store-size", type=int, default=64,
                            help="bounded LRU result-store capacity")
+    serve_cmd.add_argument("--store-ttl", type=float, default=None,
+                           metavar="SECONDS",
+                           help="lazily expire cached results older than "
+                                "this (default: keep until evicted)")
+    serve_cmd.add_argument("--max-pending", type=int, default=None,
+                           metavar="N",
+                           help="bound the pending backlog; submissions "
+                                "beyond it get HTTP 429 + Retry-After")
     serve_cmd.add_argument("--no-shared-cache", action="store_true",
                            help="do not enable the process-wide WCET/WCEC "
                                 "analysis cache")
@@ -127,6 +136,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = EvaluationService(
         workers=args.workers,
         store_max_entries=args.store_size,
+        store_ttl_s=args.store_ttl,
+        max_pending=args.max_pending,
         shared_analysis_cache=not args.no_shared_cache,
     )
     server = create_server(service, args.host, args.port)

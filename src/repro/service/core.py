@@ -18,6 +18,7 @@ coalescing identical submissions safe.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.compiler.engine import (
@@ -26,6 +27,7 @@ from repro.compiler.engine import (
     process_analysis_cache_enabled,
     process_analysis_cache_stats,
 )
+from repro.compiler.pipeline import merge_pipeline_stats
 from repro.scenarios.registry import get_scenario, list_scenarios
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
@@ -40,7 +42,9 @@ class EvaluationService:
 
     def __init__(self, workers: int = 2,
                  store_max_entries: Optional[int] = 64,
+                 store_ttl_s: Optional[float] = None,
                  max_job_records: Optional[int] = 1024,
+                 max_pending: Optional[int] = None,
                  shared_analysis_cache: bool = True,
                  runner: Optional[ScenarioRunner] = None,
                  autostart: bool = True):
@@ -48,11 +52,21 @@ class EvaluationService:
         cache for the service's lifetime (restored on :meth:`close` unless
         someone else had already enabled it); ``autostart=False`` leaves the
         worker pool stopped so tests can stage deterministic queue states.
+        ``store_ttl_s`` lazily expires cached results older than the TTL;
+        ``max_pending`` bounds the pending backlog — beyond it ``submit``
+        raises :class:`~repro.service.queue.QueueFull` (HTTP 429).
         """
         self.runner = runner if runner is not None else ScenarioRunner()
-        self.queue = JobQueue(max_records=max_job_records)
-        self.store = ResultStore(max_entries=store_max_entries)
+        self.queue = JobQueue(max_records=max_job_records,
+                              max_pending=max_pending)
+        self.store = ResultStore(max_entries=store_max_entries,
+                                 ttl_s=store_ttl_s)
         self.pool = WorkerPool(self.queue, self._execute, workers=workers)
+        #: Cross-job rollup of per-pass compile timings, fed by every
+        #: completed run; the GET /stats "pipeline" document.
+        self._pipeline_totals: Dict[str, Dict[str, object]] = {}
+        self._pipeline_jobs = 0
+        self._pipeline_lock = threading.Lock()
         self._owns_shared_cache = (shared_analysis_cache
                                    and not process_analysis_cache_enabled())
         if self._owns_shared_cache:
@@ -138,6 +152,11 @@ class EvaluationService:
             profiling_runs=request.profiling_runs,
             postprocess=request.postprocess,
         )
+        if result.pipeline_stats is not None:
+            with self._pipeline_lock:
+                merge_pipeline_stats(self._pipeline_totals,
+                                     result.pipeline_stats)
+                self._pipeline_jobs += 1
         # Cache before finishing: the queue's dedup window closes at
         # ``finish``, so once the fingerprint is released the store is
         # guaranteed to hit — which is what the submit-side TOCTOU
@@ -189,12 +208,22 @@ class EvaluationService:
             for spec in list_scenarios()
         ]
 
+    def pipeline_stats(self) -> Dict[str, object]:
+        """Per-pass compile timings aggregated across completed jobs."""
+        with self._pipeline_lock:
+            return {
+                "jobs_reported": self._pipeline_jobs,
+                "passes": {name: dict(row) for name, row
+                           in self._pipeline_totals.items()},
+            }
+
     def stats(self) -> Dict[str, object]:
         """One snapshot across every service layer (the GET /stats body)."""
         return {
             "queue": self.queue.stats(),
             "store": self.store.stats(),
             "workers": self.pool.stats(),
+            "pipeline": self.pipeline_stats(),
             "analysis_cache": {
                 "enabled": process_analysis_cache_enabled(),
                 "platforms": process_analysis_cache_stats(),

@@ -11,13 +11,17 @@ method    path                meaning
 POST      /jobs               submit ``{"scenario": name, ...overrides}``;
                               replies with the job document (a coalesced or
                               cached submission returns the shared job —
-                              its ``submissions`` counter tells)
+                              its ``submissions`` counter tells); a bounded
+                              pending queue rejects overload with ``429``
+                              and a ``Retry-After`` header
 GET       /jobs               every known job record
 GET       /jobs/<id>          one job document (includes ``result`` summary
                               once the job succeeded)
 DELETE    /jobs/<id>          cancel a pending job
 GET       /scenarios          the scenario-registry listing
 GET       /stats              queue/store/worker/analysis-cache counters
+                              plus per-pass compile timings aggregated
+                              across completed jobs (``pipeline``)
 ========  ==================  ===============================================
 
 Floats survive the JSON round-trip bit-for-bit (``json`` serialises via
@@ -35,6 +39,11 @@ from urllib.parse import urlparse
 from repro.scenarios.registry import UnknownScenarioError
 from repro.service.core import EvaluationService
 from repro.service.jobs import JobError, JobRequest, JobState
+from repro.service.queue import QueueFull
+
+#: Retry-After hint (seconds) sent with 429 rejections.  Scenario runs take
+#: O(seconds), so one pending slot frees up on that time scale.
+RETRY_AFTER_S = 1
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -61,16 +70,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if self.verbose:
             super().log_message(format, *args)
 
-    def _reply(self, status: int, document) -> None:
+    def _reply(self, status: int, document,
+               headers: Optional[dict] = None) -> None:
         body = json.dumps(document, indent=2).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(self, status: int, message: str,
+               headers: Optional[dict] = None) -> None:
+        self._reply(status, {"error": message}, headers=headers)
 
     def _read_json(self) -> Optional[dict]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -126,6 +139,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         except UnknownScenarioError as error:
             self._error(404, str(error.args[0]))
+            return
+        except QueueFull as error:
+            # Back-pressure: the pending queue is bounded; tell the client
+            # when to come back instead of letting the backlog grow.
+            self._error(429, str(error),
+                        headers={"Retry-After": RETRY_AFTER_S})
             return
         except (JobError, json.JSONDecodeError) as error:
             self._error(400, str(error))

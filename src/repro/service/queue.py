@@ -7,6 +7,12 @@ are deterministic, so identical submissions must share one run.  Higher
 ``priority`` values run first; submissions of equal priority run in FIFO
 order.  Job records are kept (bounded) after completion so ``status`` keeps
 answering; the least recently *finished* records are pruned beyond the cap.
+
+Back-pressure: an optional ``max_pending`` bounds the number of *pending*
+jobs.  A fresh submission beyond the bound raises :class:`QueueFull`
+(deduplicated submissions always succeed — they join an existing job
+instead of growing the queue); the HTTP layer maps the exception to a
+``429 Too Many Requests`` with a ``Retry-After`` header.
 """
 
 from __future__ import annotations
@@ -21,13 +27,21 @@ from typing import Dict, List, Optional, Tuple
 from repro.service.jobs import Job, JobError, JobRequest, JobState
 
 
+class QueueFull(JobError):
+    """Raised when a fresh submission would exceed ``max_pending``."""
+
+
 class JobQueue:
     """Priority queue of :class:`Job` records with dedup and cancel."""
 
-    def __init__(self, max_records: Optional[int] = 1024):
+    def __init__(self, max_records: Optional[int] = 1024,
+                 max_pending: Optional[int] = None):
         if max_records is not None and max_records < 1:
             raise ValueError(f"max_records must be >= 1, got {max_records}")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.max_records = max_records
+        self.max_pending = max_pending
         self._lock = threading.Lock()
         self._has_pending = threading.Condition(self._lock)
         #: Every known job, oldest first (insertion order = submission order).
@@ -39,9 +53,13 @@ class JobQueue:
         self._live_by_fingerprint: Dict[str, str] = {}
         self._seq = itertools.count()
         self._ids = itertools.count(1)
+        #: Pending-job gauge, maintained incrementally so the back-pressure
+        #: check in ``submit`` is O(1) rather than a record scan.
+        self._pending = 0
         # Counters (monotonic; ``stats()`` derives the live gauges).
         self._submitted = 0
         self._deduplicated = 0
+        self._rejected = 0
         self._cancelled = 0
         self._evicted_records = 0
 
@@ -55,6 +73,10 @@ class JobQueue:
         priority are raised — a duplicate submission at higher priority
         must not wait behind the original's position; the stale heap entry
         is skipped lazily at claim time).
+
+        Raises :class:`QueueFull` when ``max_pending`` fresh jobs are
+        already waiting — duplicates of live jobs never raise, since they
+        coalesce instead of growing the backlog.
         """
         fingerprint = request.fingerprint()
         with self._lock:
@@ -70,11 +92,18 @@ class JobQueue:
                     heapq.heappush(self._heap,
                                    (-priority, next(self._seq), job.id))
                 return job, True
+            if (self.max_pending is not None
+                    and self._pending >= self.max_pending):
+                self._rejected += 1
+                raise QueueFull(
+                    f"queue is full: {self._pending} jobs pending "
+                    f"(max_pending={self.max_pending})")
             job = Job(id=f"job-{next(self._ids):06d}", request=request,
                       priority=priority)
             self._records[job.id] = job
             self._live_by_fingerprint[fingerprint] = job.id
             heapq.heappush(self._heap, (-priority, next(self._seq), job.id))
+            self._pending += 1
             self._prune_records()
             self._has_pending.notify()
             return job, False
@@ -108,6 +137,7 @@ class JobQueue:
                 if job is not None:
                     job.state = JobState.RUNNING
                     job.started_at = time.time()
+                    self._pending -= 1
                     return job
                 if deadline is None:
                     self._has_pending.wait()
@@ -149,6 +179,7 @@ class JobQueue:
                 return False
             job.state = JobState.CANCELLED
             job.finished_at = time.time()
+            self._pending -= 1
             self._cancelled += 1
             self._release_fingerprint_locked(job)
         job.done.set()
@@ -176,9 +207,14 @@ class JobQueue:
             return {
                 "records": len(self._records),
                 "max_records": self.max_records,
+                "max_pending": self.max_pending,
                 "submitted": self._submitted,
                 "deduplicated": self._deduplicated,
-                "pending": sum(s is JobState.PENDING for s in states),
+                "rejected": self._rejected,
+                # The incrementally maintained gauge the back-pressure check
+                # uses — reported directly so the 429 threshold and the
+                # stats document can never disagree.
+                "pending": self._pending,
                 "running": sum(s is JobState.RUNNING for s in states),
                 "succeeded": sum(s is JobState.SUCCEEDED for s in states),
                 "failed": sum(s is JobState.FAILED for s in states),

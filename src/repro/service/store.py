@@ -6,13 +6,21 @@ after the original job left the queue's dedup window.  The store follows
 the evaluation-engine cache conventions: an optional ``max_entries`` cap
 with least-recently-used eviction and a ``stats()`` snapshot reporting
 ``entries``/``max_entries``/``hits``/``misses``/``evictions``.
+
+An optional ``ttl_s`` bounds entry *age*: entries older than the TTL are
+lazily expired — dropped when a lookup, listing or stats snapshot touches
+them, counted under ``expiries`` — so a long-lived service stops serving
+stale sweeps without a background sweeper thread.  Expiry changes *when* a
+result is recomputed, never its value (runs are deterministic), so it is
+safe at any TTL.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.service.jobs import Job
 
@@ -20,25 +28,62 @@ from repro.service.jobs import Job
 class ResultStore:
     """Thread-safe LRU map from request fingerprint to completed job."""
 
-    def __init__(self, max_entries: Optional[int] = 64):
+    def __init__(self, max_entries: Optional[int] = 64,
+                 ttl_s: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        """``ttl_s=None`` keeps entries until evicted; ``clock`` is an
+        injection point for deterministic expiry tests."""
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError(f"ttl_s must be > 0, got {ttl_s}")
         self.max_entries = max_entries
+        self.ttl_s = ttl_s
+        self._clock = clock
         self._lock = threading.Lock()
-        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        #: fingerprint -> (job, stored-at timestamp), least recently used
+        #: first.  The timestamp is the *insertion* time: LRU touches renew
+        #: an entry's recency, not its age.
+        self._jobs: "OrderedDict[str, Tuple[Job, float]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.expiries = 0
 
     def __len__(self) -> int:
         with self._lock:
+            self._expire_locked()
             return len(self._jobs)
 
+    # ------------------------------------------------------------- expiry --
+    def _expired(self, stored_at: float) -> bool:
+        return (self.ttl_s is not None
+                and self._clock() - stored_at > self.ttl_s)
+
+    def _expire_locked(self) -> None:
+        """Drop every out-of-date entry (no-op without a TTL)."""
+        if self.ttl_s is None:
+            return
+        deadline = self._clock() - self.ttl_s
+        stale = [fingerprint
+                 for fingerprint, (_, stored_at) in self._jobs.items()
+                 if stored_at < deadline]
+        for fingerprint in stale:
+            del self._jobs[fingerprint]
+            self.expiries += 1
+
+    # ------------------------------------------------------------- access --
     def get(self, fingerprint: str) -> Optional[Job]:
-        """The cached completed job for ``fingerprint``, if any."""
+        """The cached completed job for ``fingerprint``, if fresh."""
         with self._lock:
-            job = self._jobs.get(fingerprint)
-            if job is None:
+            entry = self._jobs.get(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            job, stored_at = entry
+            if self._expired(stored_at):
+                del self._jobs[fingerprint]
+                self.expiries += 1
                 self.misses += 1
                 return None
             self._jobs.move_to_end(fingerprint)
@@ -48,7 +93,7 @@ class ResultStore:
     def put(self, job: Job) -> None:
         """Cache a completed job, evicting the least recently used."""
         with self._lock:
-            self._jobs[job.fingerprint] = job
+            self._jobs[job.fingerprint] = (job, self._clock())
             self._jobs.move_to_end(job.fingerprint)
             while (self.max_entries is not None
                    and len(self._jobs) > self.max_entries):
@@ -65,17 +110,21 @@ class ResultStore:
             self._jobs.clear()
 
     def jobs(self) -> List[Job]:
-        """Cached jobs, least recently used first."""
+        """Fresh cached jobs, least recently used first."""
         with self._lock:
-            return list(self._jobs.values())
+            self._expire_locked()
+            return [job for job, _ in self._jobs.values()]
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, object]:
         """Counter snapshot matching the engine-cache ``stats()`` keys."""
         with self._lock:
+            self._expire_locked()
             return {
                 "entries": len(self._jobs),
                 "max_entries": self.max_entries,
+                "ttl_s": self.ttl_s,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "expiries": self.expiries,
             }

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.compiler.pipeline import PassManager
 from repro.contracts.checker import ContractChecker, TaskEvidence
 from repro.contracts.certificate import Certificate
 from repro.coordination.gluegen import generate_glue_code
@@ -91,6 +92,15 @@ class ComplexToolchain:
         self.platform = platform
         self.profiler = PowProfiler(platform, noise_std=noise_std, seed=seed)
         self.profiling_runs = profiling_runs
+        #: The complex workflow compiles nothing — dynamic profiling replaces
+        #: static analysis — so its pipeline is an empty pass list used
+        #: purely as the stage timer, keeping ``pipeline_stats()`` uniform
+        #: across both toolchains for the scenario runner and the service.
+        self.manager = PassManager(passes=())
+
+    def pipeline_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-stage wall-time/invocation counters of this toolchain's builds."""
+        return self.manager.stats()
 
     # ------------------------------------------------------------------ build --
     def build(self, tasks: Sequence[WorkloadTask], csl_text: str,
@@ -108,7 +118,8 @@ class ComplexToolchain:
         """
         if scheduler not in SCHEDULER_NAMES:
             raise TeamPlayError(f"unknown scheduler {scheduler!r}")
-        spec = parse_csl(csl_text)
+        with self.manager.timed("csl-parse", stage="frontend"):
+            spec = parse_csl(csl_text)
         workload = {task.name: task for task in tasks}
         missing = set(spec.tasks) - set(workload)
         if missing:
@@ -127,14 +138,15 @@ class ComplexToolchain:
         profiling_core = cpu_names[0]
         profiles: Dict[str, TaskProfile] = {}
         sequential_implementations: Dict[str, List[Implementation]] = {}
-        for name, task in workload.items():
-            profile = self.profiler.profile_workload(
-                name, profiling_core, task.work_units, kernel=task.kernel,
-                runs=self.profiling_runs)
-            profiles[name] = profile
-            sequential_implementations[name] = [Implementation(
-                core=profiling_core,
-                properties=profile.to_properties(task.security_level))]
+        with self.manager.timed("profile-sequential", stage="profiling"):
+            for name, task in workload.items():
+                profile = self.profiler.profile_workload(
+                    name, profiling_core, task.work_units, kernel=task.kernel,
+                    runs=self.profiling_runs)
+                profiles[name] = profile
+                sequential_implementations[name] = [Implementation(
+                    core=profiling_core,
+                    properties=profile.to_properties(task.security_level))]
         sequential_graph = build_task_graph(spec, sequential_implementations,
                                             name=f"{spec.system}-sequential")
         sequential_schedule = SequentialScheduler(
@@ -142,26 +154,31 @@ class ComplexToolchain:
 
         # -- pass 2: per-core/per-OPP implementations and coordination ------------
         implementations: Dict[str, List[Implementation]] = {}
-        for name, task in workload.items():
-            cores = list(cpu_names)
-            if allow_gpu and task.gpu_capable:
-                cores.extend(gpu_names)
-            options: List[Implementation] = []
-            for core_name in cores:
-                core = self.platform.core(core_name)
-                opps = core.operating_points if dvfs else [core.nominal_opp]
-                for opp in opps:
-                    profile = self.profiler.profile_workload(
-                        name, core_name, task.work_units, kernel=task.kernel,
-                        runs=self.profiling_runs, opp=opp)
-                    options.append(Implementation(
-                        core=core_name,
-                        properties=profile.to_properties(task.security_level),
-                        opp_label=opp.label))
-            implementations[name] = options
+        with self.manager.timed("profile-placements", stage="profiling"):
+            for name, task in workload.items():
+                cores = list(cpu_names)
+                if allow_gpu and task.gpu_capable:
+                    cores.extend(gpu_names)
+                options: List[Implementation] = []
+                for core_name in cores:
+                    core = self.platform.core(core_name)
+                    opps = (core.operating_points if dvfs
+                            else [core.nominal_opp])
+                    for opp in opps:
+                        profile = self.profiler.profile_workload(
+                            name, core_name, task.work_units,
+                            kernel=task.kernel,
+                            runs=self.profiling_runs, opp=opp)
+                        options.append(Implementation(
+                            core=core_name,
+                            properties=profile.to_properties(
+                                task.security_level),
+                            opp_label=opp.label))
+                implementations[name] = options
 
         task_graph = build_task_graph(spec, implementations)
-        schedule = self._schedule(task_graph, scheduler)
+        with self.manager.timed("schedule", stage="coordination"):
+            schedule = self._schedule(task_graph, scheduler)
         schedulability = analyse_schedule(schedule, task_graph, self.platform)
         glue_code = generate_glue_code(schedule, task_graph, self.platform,
                                        style=glue_style)

@@ -30,6 +30,7 @@ from repro.compiler.engine import (
 from repro.compiler.evaluate import Variant
 from repro.compiler.fpa import FlowerPollinationOptimizer, pareto_front
 from repro.compiler.nsga2 import Nsga2Optimizer
+from repro.compiler.pipeline import CompilationPipeline
 from repro.contracts.checker import ContractChecker, TaskEvidence
 from repro.contracts.certificate import Certificate
 from repro.coordination.gluegen import generate_glue_code
@@ -45,7 +46,6 @@ from repro.csl.extract import CodeStructure, build_task_graph, extract_structure
 from repro.csl.parser import parse_csl
 from repro.errors import TeamPlayError
 from repro.frontend import ast_nodes as ast
-from repro.frontend.parser import parse_cached
 from repro.hw.core import Core
 from repro.hw.platform import Platform
 from repro.security.analyzer import SecurityAnalyzer
@@ -87,6 +87,10 @@ class PredictableToolchain:
                 f"complex-architecture workflow instead")
         self.platform = platform
         self.core = core or platform.predictable_cores[0]
+        #: One compilation pipeline per toolchain: frontend/CSL parsing and
+        #: every engine build run through its registered pass list, so the
+        #: whole workflow's per-pass timings land in :meth:`pipeline_stats`.
+        self.pipeline = CompilationPipeline(platform)
         # Shared evaluation caches: builds on the same toolchain instance
         # (e.g. a baseline/TeamPlay comparison over one source) reuse parsed
         # modules, lowered IR and per-function analysis tables.  When the
@@ -101,9 +105,8 @@ class PredictableToolchain:
         self._engines: Dict[tuple, EvaluationEngine] = {}
 
     # ------------------------------------------------------------------ caches --
-    @staticmethod
-    def _parse_source(source: str) -> ast.SourceModule:
-        return parse_cached(source)
+    def _parse_source(self, source: str) -> ast.SourceModule:
+        return self.pipeline.parse(source)
 
     def _engine(self, module: ast.SourceModule,
                 entries: Dict[str, str]) -> EvaluationEngine:
@@ -111,12 +114,14 @@ class PredictableToolchain:
         key = (id(module), tuple(entries.items()))
         engine = self._engines.get(key)
         if engine is None:
-            lowering = self._lowerings.setdefault(id(module), LoweringCache())
+            lowering = self._lowerings.setdefault(
+                id(module), self.pipeline.lowering_cache())
             engine = EvaluationEngine(
                 module, self.platform, list(entries.values()),
                 core=self.core,
                 analysis_cache=self._analysis,
                 lowering_cache=lowering,
+                pipeline=self.pipeline,
                 aggregate=True,
             )
             self._engines[key] = engine
@@ -151,6 +156,11 @@ class PredictableToolchain:
             "analysis": analysis,
         }
 
+    def pipeline_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-pass wall-time/invocation counters of this toolchain's builds
+        (parse and CSL extraction included; see ``PassManager.stats``)."""
+        return self.pipeline.stats()
+
     # ------------------------------------------------------------------ build --
     def build(self, source: str, csl_text: str,
               compiler_config: Optional[CompilerConfig] = None,
@@ -177,7 +187,8 @@ class PredictableToolchain:
         """
         if scheduler not in SCHEDULER_NAMES:
             raise TeamPlayError(f"unknown scheduler {scheduler!r}")
-        spec = parse_csl(csl_text)
+        with self.pipeline.manager.timed("csl-parse", stage="frontend"):
+            spec = parse_csl(csl_text)
         module = self._parse_source(source)
 
         # -- stage 2: multi-criteria compilation -----------------------------
@@ -204,7 +215,8 @@ class PredictableToolchain:
 
         # -- stage 4: coordination -----------------------------------------------
         task_graph = build_task_graph(spec, implementations)
-        schedule = self._schedule(task_graph, scheduler)
+        with self.pipeline.manager.timed("schedule", stage="coordination"):
+            schedule = self._schedule(task_graph, scheduler)
         schedulability = analyse_schedule(schedule, task_graph, self.platform)
         glue_code = generate_glue_code(schedule, task_graph, self.platform,
                                        style=glue_style)

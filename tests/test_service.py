@@ -267,10 +267,11 @@ class TestResultStore:
         assert store.get(jobs[1].fingerprint) is None
         assert store.get(jobs[0].fingerprint) is jobs[0]
         stats = store.stats()
-        assert set(stats) == {"entries", "max_entries", "hits", "misses",
-                              "evictions"}
-        assert stats == {"entries": 2, "max_entries": 2, "hits": 2,
-                         "misses": 1, "evictions": 1}
+        assert set(stats) == {"entries", "max_entries", "ttl_s", "hits",
+                              "misses", "evictions", "expiries"}
+        assert stats == {"entries": 2, "max_entries": 2, "ttl_s": None,
+                         "hits": 2, "misses": 1, "evictions": 1,
+                         "expiries": 0}
 
     def test_invalidate_and_clear(self):
         queue = JobQueue()
@@ -477,11 +478,20 @@ class TestParallelSweep:
                 == serial[1].detail.outcome.completed)
 
     def test_cli_jobs_flag_matches_serial_json(self, tiny_scenario, capsys):
+        def strip_timings(document):
+            # Per-pass wall-clock timings are diagnostics, inherently
+            # run-dependent; every *result* field must match bit-for-bit.
+            for row in document["scenarios"]:
+                stats = row.pop("pipeline_stats")
+                assert {entry["invocations"] > 0 for entry in stats.values()} \
+                    == {True}
+            return document
+
         assert scenarios_cli(["run", tiny_scenario.name, "--json"]) == 0
-        serial = json.loads(capsys.readouterr().out)
+        serial = strip_timings(json.loads(capsys.readouterr().out))
         assert scenarios_cli(["run", tiny_scenario.name, "--jobs", "2",
                               "--json"]) == 0
-        parallel = json.loads(capsys.readouterr().out)
+        parallel = strip_timings(json.loads(capsys.readouterr().out))
         assert parallel == serial
 
     def test_cli_rejects_bad_jobs(self, capsys):
@@ -580,7 +590,8 @@ class TestHttpApi:
         assert {"camera-pill", "uav-sar", "uav-pa", "parking-dl-m0"} <= names
         status, stats = _http(address, "GET", "/stats")
         assert status == 200
-        assert set(stats) == {"queue", "store", "workers", "analysis_cache"}
+        assert set(stats) == {"queue", "store", "workers", "pipeline",
+                              "analysis_cache"}
         assert stats["analysis_cache"]["enabled"] is True
         status, jobs = _http(address, "GET", "/jobs")
         assert status == 200 and isinstance(jobs["jobs"], list)

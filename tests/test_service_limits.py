@@ -1,0 +1,233 @@
+"""Service limits: bounded pending queue (429 back-pressure) and store TTL.
+
+The queue bound and the result-store TTL are operational guards for a
+long-lived deployment: the first keeps the backlog from growing without
+bound (fresh submissions beyond ``max_pending`` fail fast with
+:class:`QueueFull`, HTTP 429 + ``Retry-After``), the second stops a
+long-lived service from serving stale sweeps forever (entries expire
+lazily, counted in ``stats()``).  Also covers the service's cross-job
+pipeline-stats rollup under ``GET /stats``.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import (
+    EvaluationService,
+    JobQueue,
+    JobRequest,
+    QueueFull,
+    ResultStore,
+)
+from repro.service.http import RETRY_AFTER_S, create_server
+from test_service import _finished_job, request, tiny_scenario, tiny_spec  # noqa: F401
+
+from repro.scenarios import register_scenario, unregister_scenario
+
+
+# ---------------------------------------------------------------------------
+# Queue back-pressure
+# ---------------------------------------------------------------------------
+class TestBoundedPendingQueue:
+    def test_fresh_submissions_beyond_bound_are_rejected(self):
+        queue = JobQueue(max_pending=2)
+        queue.submit(request(generations=1))
+        queue.submit(request(generations=2))
+        with pytest.raises(QueueFull):
+            queue.submit(request(generations=3))
+        stats = queue.stats()
+        assert stats["max_pending"] == 2
+        assert stats["rejected"] == 1
+        assert stats["pending"] == 2
+        assert stats["submitted"] == 3  # rejections still count submissions
+
+    def test_duplicates_coalesce_instead_of_rejecting(self):
+        queue = JobQueue(max_pending=1)
+        job, _ = queue.submit(request(generations=1))
+        duplicate, deduplicated = queue.submit(request(generations=1))
+        assert deduplicated and duplicate is job
+        assert queue.stats()["rejected"] == 0
+
+    def test_claim_and_cancel_free_slots(self):
+        queue = JobQueue(max_pending=1)
+        first, _ = queue.submit(request(generations=1))
+        claimed = queue.claim(timeout=0.1)
+        assert claimed is first
+        second, _ = queue.submit(request(generations=2))  # slot freed
+        assert queue.cancel(second.id)
+        queue.submit(request(generations=3))  # cancel freed the slot too
+        stats = queue.stats()
+        assert stats["pending"] == 1
+        # The O(1) gauge backing the 429 check must agree with the ground
+        # truth of the record states after a submit/claim/cancel workout.
+        from repro.service.jobs import JobState
+        assert stats["pending"] == sum(job.state is JobState.PENDING
+                                       for job in queue.jobs())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_pending=0)
+
+    def test_service_propagates_queue_full(self, tiny_scenario):  # noqa: F811
+        other = register_scenario(tiny_spec("svc-tiny-2"))
+        try:
+            with EvaluationService(workers=1, max_pending=1,
+                                   shared_analysis_cache=False,
+                                   autostart=False) as service:
+                service.submit(tiny_scenario.name)
+                with pytest.raises(QueueFull):
+                    service.submit(other.name)
+        finally:
+            unregister_scenario(other.name)
+
+
+class TestHttp429:
+    def test_full_queue_maps_to_429_with_retry_after(self, tiny_scenario):  # noqa: F811
+        other = register_scenario(tiny_spec("svc-tiny-http2"))
+        service = EvaluationService(workers=1, max_pending=1,
+                                    shared_analysis_cache=False,
+                                    autostart=False)  # nothing drains
+        server = create_server(service)
+        import threading
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            def post(name):
+                connection = http.client.HTTPConnection(host, port, timeout=30)
+                try:
+                    connection.request(
+                        "POST", "/jobs", body=json.dumps({"scenario": name}),
+                        headers={"Content-Type": "application/json"})
+                    response = connection.getresponse()
+                    return (response.status, dict(response.getheaders()),
+                            json.loads(response.read().decode("utf-8")))
+                finally:
+                    connection.close()
+
+            status, _, document = post(tiny_scenario.name)
+            assert status == 202 and document["state"] == "pending"
+            status, headers, document = post(other.name)
+            assert status == 429
+            assert headers.get("Retry-After") == str(RETRY_AFTER_S)
+            assert "queue is full" in document["error"]
+            # A duplicate of the live job still coalesces fine.
+            status, _, document = post(tiny_scenario.name)
+            assert status == 202 and document["submissions"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()
+            unregister_scenario(other.name)
+
+
+# ---------------------------------------------------------------------------
+# Result-store TTL
+# ---------------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestResultStoreTtl:
+    def test_entries_expire_lazily_on_get(self):
+        clock = FakeClock()
+        queue = JobQueue()
+        store = ResultStore(ttl_s=10.0, clock=clock)
+        job = _finished_job(queue, request(generations=1))
+        store.put(job)
+        clock.advance(9.9)
+        assert store.get(job.fingerprint) is job
+        clock.advance(0.2)  # past the TTL
+        assert store.get(job.fingerprint) is None
+        stats = store.stats()
+        assert stats["expiries"] == 1
+        assert stats["entries"] == 0
+        assert stats["ttl_s"] == 10.0
+
+    def test_lru_touch_does_not_renew_age(self):
+        clock = FakeClock()
+        queue = JobQueue()
+        store = ResultStore(ttl_s=10.0, clock=clock)
+        job = _finished_job(queue, request(generations=1))
+        store.put(job)
+        clock.advance(6)
+        assert store.get(job.fingerprint) is job  # touch at age 6
+        clock.advance(6)  # age 12 > ttl, despite the recent touch
+        assert store.get(job.fingerprint) is None
+
+    def test_reput_renews_age(self):
+        clock = FakeClock()
+        queue = JobQueue()
+        store = ResultStore(ttl_s=10.0, clock=clock)
+        job = _finished_job(queue, request(generations=1))
+        store.put(job)
+        clock.advance(8)
+        store.put(job)  # re-inserted: age resets
+        clock.advance(8)
+        assert store.get(job.fingerprint) is job
+
+    def test_len_jobs_and_stats_sweep_expired(self):
+        clock = FakeClock()
+        queue = JobQueue()
+        store = ResultStore(ttl_s=5.0, clock=clock)
+        fresh_after_advance = _finished_job(queue, request(generations=2))
+        expired = _finished_job(queue, request(generations=1))
+        store.put(expired)
+        clock.advance(4)
+        store.put(fresh_after_advance)
+        clock.advance(2)  # first is 6s old, second 2s
+        assert len(store) == 1
+        assert store.jobs() == [fresh_after_advance]
+        assert store.stats()["expiries"] == 1
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        queue = JobQueue()
+        store = ResultStore(clock=clock)
+        job = _finished_job(queue, request(generations=1))
+        store.put(job)
+        clock.advance(10**9)
+        assert store.get(job.fingerprint) is job
+        assert store.stats()["expiries"] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultStore(ttl_s=0)
+
+    def test_service_wires_ttl_through(self):
+        with EvaluationService(workers=1, store_ttl_s=123.0,
+                               shared_analysis_cache=False,
+                               autostart=False) as service:
+            assert service.store.ttl_s == 123.0
+            assert service.stats()["store"]["ttl_s"] == 123.0
+
+
+# ---------------------------------------------------------------------------
+# Cross-job pipeline-stats rollup
+# ---------------------------------------------------------------------------
+class TestServicePipelineStats:
+    def test_stats_aggregate_across_jobs(self, tiny_scenario):  # noqa: F811
+        with EvaluationService(workers=1,
+                               shared_analysis_cache=False) as service:
+            job = service.submit(tiny_scenario.name)
+            service.result(job, timeout=120)
+            # A store-served repeat computes nothing, so it must not
+            # inflate the rollup.
+            repeat = service.submit(tiny_scenario.name)
+            service.result(repeat, timeout=120)
+            pipeline = service.stats()["pipeline"]
+        assert pipeline["jobs_reported"] == 1
+        passes = pipeline["passes"]
+        assert passes["parse"]["invocations"] >= 1
+        assert passes["analysis"]["invocations"] >= 1
+        assert all(row["wall_s"] >= 0.0 for row in passes.values())
