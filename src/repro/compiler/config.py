@@ -14,6 +14,13 @@ from typing import Dict, List, Sequence
 #: Allowed full-unroll limits (0 disables unrolling).
 UNROLL_CHOICES = (0, 4, 8, 16, 32)
 
+#: Gene-vector lengths of the two search spaces.  The *base* space is the
+#: seed's seven axes; the *extended* space appends the CSE and peephole bits
+#: (strictly opt-in, so default searches consume their random streams
+#: exactly as before and fixed-seed archives stay bit-for-bit reproducible).
+BASE_GENE_LENGTH = 7
+EXTENDED_GENE_LENGTH = 9
+
 
 @dataclass(frozen=True)
 class CompilerConfig:
@@ -26,6 +33,8 @@ class CompilerConfig:
     strength_reduction: bool = False
     spm_allocation: bool = False
     harden_security: bool = False
+    enable_cse: bool = False
+    enable_peephole: bool = False
 
     def __post_init__(self):
         if self.unroll_limit not in UNROLL_CHOICES:
@@ -64,17 +73,31 @@ class CompilerConfig:
 
     # -- encoding for the search algorithms -----------------------------------------
     @staticmethod
-    def gene_length() -> int:
-        return 7
+    def gene_length(extended: bool = False) -> int:
+        """Dimensionality of the search space the optimisers operate on.
+
+        ``extended=True`` adds the two IR cleanup axes (``enable_cse``,
+        ``enable_peephole``).  The base space is the default so existing
+        fixed-seed searches draw the exact random streams they always did.
+        """
+        return EXTENDED_GENE_LENGTH if extended else BASE_GENE_LENGTH
 
     @classmethod
     def from_genes(cls, genes: Sequence[float]) -> "CompilerConfig":
-        """Decode a vector in ``[0, 1]^7`` into a configuration."""
-        if len(genes) != cls.gene_length():
-            raise ValueError(f"expected {cls.gene_length()} genes, got {len(genes)}")
+        """Decode a vector in ``[0, 1]^7`` (base) or ``[0, 1]^9`` (extended).
+
+        Seven-gene vectors leave ``enable_cse``/``enable_peephole`` at their
+        defaults (off), so base-space searches never wander onto the new
+        axes.
+        """
+        if len(genes) not in (BASE_GENE_LENGTH, EXTENDED_GENE_LENGTH):
+            raise ValueError(
+                f"expected {BASE_GENE_LENGTH} or {EXTENDED_GENE_LENGTH} "
+                f"genes, got {len(genes)}")
         clamped = [min(max(float(g), 0.0), 1.0) for g in genes]
         unroll_index = min(int(clamped[1] * len(UNROLL_CHOICES)),
                            len(UNROLL_CHOICES) - 1)
+        extended = len(genes) == EXTENDED_GENE_LENGTH
         return cls(
             constant_folding=clamped[0] > 0.5,
             unroll_limit=UNROLL_CHOICES[unroll_index],
@@ -83,12 +106,19 @@ class CompilerConfig:
             strength_reduction=clamped[4] > 0.5,
             spm_allocation=clamped[5] > 0.5,
             harden_security=clamped[6] > 0.5,
+            enable_cse=clamped[7] > 0.5 if extended else False,
+            enable_peephole=clamped[8] > 0.5 if extended else False,
         )
 
-    def to_genes(self) -> List[float]:
-        """Encode this configuration as the centre of its decoding region."""
+    def to_genes(self, extended: bool = False) -> List[float]:
+        """Encode this configuration as the centre of its decoding region.
+
+        Pass ``extended=True`` when the vector feeds an extended-space
+        search (the optimisers do this for you); the base encoding simply
+        drops the CSE/peephole bits.
+        """
         unroll_index = UNROLL_CHOICES.index(self.unroll_limit)
-        return [
+        genes = [
             0.75 if self.constant_folding else 0.25,
             (unroll_index + 0.5) / len(UNROLL_CHOICES),
             0.75 if self.inline_simple_functions else 0.25,
@@ -97,6 +127,10 @@ class CompilerConfig:
             0.75 if self.spm_allocation else 0.25,
             0.75 if self.harden_security else 0.25,
         ]
+        if extended:
+            genes.append(0.75 if self.enable_cse else 0.25)
+            genes.append(0.75 if self.enable_peephole else 0.25)
+        return genes
 
     # -- reporting ----------------------------------------------------------------------
     def describe(self) -> Dict[str, object]:
@@ -118,4 +152,8 @@ class CompilerConfig:
             flags.append("spm")
         if self.harden_security:
             flags.append("sec")
+        if self.enable_cse:
+            flags.append("cse")
+        if self.enable_peephole:
+            flags.append("peep")
         return "+".join(flags) if flags else "O0"

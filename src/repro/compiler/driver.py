@@ -184,9 +184,15 @@ class MultiCriteriaCompiler:
                 generations: int = 6,
                 seed: int = 7,
                 seed_configs: Optional[Sequence[CompilerConfig]] = None,
-                parallel: bool = False
+                parallel: bool = False,
+                extended_space: bool = False
                 ) -> ParetoFront:
-        """Search the configuration space; returns the Pareto front."""
+        """Search the configuration space; returns the Pareto front.
+
+        ``extended_space`` lets FPA/NSGA-II explore the CSE/peephole axes
+        too (9 genes instead of 7); off by default so fixed-seed searches
+        remain bit-for-bit reproducible.
+        """
         module = self._as_module(source)
         engine = self._engine(module, entry_function, evaluate_security)
         evaluator = BatchEvaluator(engine, parallel=parallel)
@@ -196,13 +202,15 @@ class MultiCriteriaCompiler:
         if optimizer == "fpa":
             search = FlowerPollinationOptimizer(
                 evaluator, population_size=population_size,
-                generations=generations, seed=seed)
+                generations=generations, seed=seed,
+                extended_space=extended_space)
         elif optimizer == "nsga2":
             search = Nsga2Optimizer(
                 evaluator, population_size=population_size,
-                generations=generations, seed=seed)
+                generations=generations, seed=seed,
+                extended_space=extended_space)
         elif optimizer == "exhaustive":
-            return self._exhaustive(evaluator)
+            return self._exhaustive(evaluator, extended_space)
         else:
             raise CompilationError(f"unknown optimizer {optimizer!r}")
 
@@ -210,21 +218,34 @@ class MultiCriteriaCompiler:
         return ParetoFront(variants=variants, evaluations=search.evaluations,
                            optimizer=optimizer)
 
-    def _exhaustive(self, evaluator) -> ParetoFront:
-        """Evaluate a representative grid of configurations exhaustively."""
+    def _exhaustive(self, evaluator,
+                    extended_space: bool = False) -> ParetoFront:
+        """Evaluate a representative grid of configurations exhaustively.
+
+        With ``extended_space`` the grid additionally crosses the
+        CSE/peephole axes (4x the evaluations; the staged caches absorb
+        most of the repeat work).
+        """
         variants = []
         evaluations = 0
+        new_axes = ((False, True) if extended_space else (False,))
         for unroll in (0, 8, 16):
             for spm in (False, True):
                 for strength in (False, True):
                     for inline in (False, True):
-                        config = CompilerConfig(
-                            constant_folding=True, unroll_limit=unroll,
-                            inline_simple_functions=inline,
-                            dead_code_elimination=True,
-                            strength_reduction=strength, spm_allocation=spm)
-                        variants.append(evaluator(config))
-                        evaluations += 1
+                        for cse in new_axes:
+                            for peephole in new_axes:
+                                config = CompilerConfig(
+                                    constant_folding=True,
+                                    unroll_limit=unroll,
+                                    inline_simple_functions=inline,
+                                    dead_code_elimination=True,
+                                    strength_reduction=strength,
+                                    spm_allocation=spm,
+                                    enable_cse=cse,
+                                    enable_peephole=peephole)
+                                variants.append(evaluator(config))
+                                evaluations += 1
         return ParetoFront(variants=pareto_front(variants),
                            evaluations=evaluations, optimizer="exhaustive")
 

@@ -11,7 +11,8 @@ Three cache stages, from coarsest to finest:
 2. :class:`LoweringCache` — lowered IR programs keyed on the *AST-stage key*:
    the subset of configuration fields consumed before/during lowering
    (hardening, constant folding, inlining, unrolling).  Configurations that
-   differ only in IR-level flags (DCE, strength reduction, SPM allocation)
+   differ only in IR-level flags (CSE, DCE, strength reduction, peephole,
+   SPM allocation)
    skip the clone/bound-inference/AST-pass/lowering pipeline entirely and
    receive an independent :meth:`Program.clone` to run their IR passes on.
 3. :class:`AnalysisCache` — per-function worst-case cost tables keyed on a
@@ -93,6 +94,8 @@ def canonical_key(config: CompilerConfig) -> Tuple:
         config.strength_reduction,
         config.spm_allocation,
         config.harden_security,
+        config.enable_cse,
+        config.enable_peephole,
     )
 
 
@@ -296,11 +299,11 @@ class LoweringCache(_BoundedCacheMixin):
 class IrStageCache(_BoundedCacheMixin):
     """Cache of programs after the platform-independent IR passes.
 
-    Keyed on the AST-stage key plus the DCE/strength-reduction flags: the
-    only remaining pass (scratchpad allocation) runs last, so configurations
-    differing only in ``spm_allocation`` share everything up to here.
-    ``key_fn`` overrides the derivation (the engine passes its pass
-    manager's post-IR stage key).
+    Keyed on the AST-stage key plus the IR-stage flags (CSE, DCE, strength
+    reduction, peephole): the only remaining pass (scratchpad allocation)
+    runs last, so configurations differing only in ``spm_allocation`` share
+    everything up to here.  ``key_fn`` overrides the derivation (the engine
+    passes its pass manager's post-IR stage key).
     """
 
     def __init__(self, max_entries: Optional[int] = None,
@@ -315,8 +318,10 @@ class IrStageCache(_BoundedCacheMixin):
 
     @staticmethod
     def key(config: CompilerConfig) -> Tuple:
-        return ast_stage_key(config) + (config.dead_code_elimination,
-                                        config.strength_reduction)
+        return ast_stage_key(config) + (config.enable_cse,
+                                        config.dead_code_elimination,
+                                        config.strength_reduction,
+                                        config.enable_peephole)
 
     def get(self, config: CompilerConfig
             ) -> Optional[Tuple[Program, Dict[str, int]]]:

@@ -17,7 +17,12 @@ from repro.compiler.passes.ast_passes import (
     inline_simple_functions,
     unroll_loops,
 )
-from repro.compiler.passes.ir_passes import eliminate_dead_code, strength_reduce
+from repro.compiler.passes.ir_passes import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    peephole_optimize,
+    strength_reduce,
+)
 from repro.compiler.passes.spm import INSTRUCTION_BYTES, allocate_scratchpad
 from repro.energy.static_analyzer import EnergyAnalyzer
 from repro.errors import CompilationError
@@ -130,12 +135,23 @@ def lower_with_ast_passes(module: ast.SourceModule, config: CompilerConfig
 
 def run_ir_optimisations(program: Program,
                          config: CompilerConfig) -> Dict[str, int]:
-    """Run the platform-independent IR passes (DCE, strength reduction)."""
+    """Run the platform-independent IR passes in pipeline order.
+
+    CSE first (recomputations become copies while their producers are
+    live), then DCE and strength reduction in their historical order, then
+    the peephole cleanups — the same sequence as
+    :meth:`repro.compiler.pipeline.CompilationPipeline.ir_passes`.
+    """
     statistics: Dict[str, int] = {}
+    if config.enable_cse:
+        statistics["cse_replacements"] = (
+            eliminate_common_subexpressions(program))
     if config.dead_code_elimination:
         statistics["dead_instructions"] = eliminate_dead_code(program)
     if config.strength_reduction:
         statistics["strength_reductions"] = strength_reduce(program)
+    if config.enable_peephole:
+        statistics["peephole_rewrites"] = peephole_optimize(program)
     return statistics
 
 

@@ -52,6 +52,10 @@ class FlowerPollinationOptimizer:
     generations: int = 8
     switch_probability: float = 0.8
     seed: int = 7
+    #: Search the extended gene space (adds the CSE/peephole axes).  Off by
+    #: default so fixed-seed base-space searches draw the exact random
+    #: streams they always did and stay bit-for-bit reproducible.
+    extended_space: bool = False
     #: Evaluation cache keyed by the decoded configuration, so re-visited
     #: configurations (frequent with only a handful of genes) are free.
     #: ``evaluations`` counts the unique configurations seen this run, even
@@ -81,11 +85,11 @@ class FlowerPollinationOptimizer:
                  ) -> List[Variant]:
         """Run the search and return the final Pareto archive."""
         rng = random.Random(self.seed)
-        dims = CompilerConfig.gene_length()
+        dims = CompilerConfig.gene_length(self.extended_space)
 
         population: List[List[float]] = []
         for config in (initial_configs or []):
-            population.append(config.to_genes())
+            population.append(config.to_genes(self.extended_space))
         while len(population) < self.population_size:
             population.append([rng.random() for _ in range(dims)])
         population = population[:self.population_size]
@@ -97,7 +101,8 @@ class FlowerPollinationOptimizer:
             for index, genes in enumerate(population):
                 if rng.random() < self.switch_probability and archive:
                     # Global pollination towards a random archive member.
-                    guide = rng.choice(archive).config.to_genes()
+                    guide = rng.choice(archive).config.to_genes(
+                        self.extended_space)
                     candidate = [
                         genes[d] + _levy_step(rng) * (guide[d] - genes[d])
                         for d in range(dims)

@@ -43,6 +43,9 @@ class Nsga2Optimizer:
     generations: int = 8
     mutation_probability: float = 0.2
     seed: int = 11
+    #: Search the extended gene space (adds the CSE/peephole axes); off by
+    #: default so fixed-seed base-space runs stay bit-for-bit reproducible.
+    extended_space: bool = False
     #: Per-run cache; ``evaluations`` counts unique configurations seen this
     #: run even when a shared engine cache made them lookups.
     _cache: Dict[CompilerConfig, Variant] = field(default_factory=dict, repr=False)
@@ -76,10 +79,11 @@ class Nsga2Optimizer:
     def optimize(self, initial_configs: Optional[Sequence[CompilerConfig]] = None
                  ) -> List[Variant]:
         rng = random.Random(self.seed)
-        dims = CompilerConfig.gene_length()
+        dims = CompilerConfig.gene_length(self.extended_space)
 
-        population: List[List[float]] = [config.to_genes()
-                                         for config in (initial_configs or [])]
+        population: List[List[float]] = [
+            config.to_genes(self.extended_space)
+            for config in (initial_configs or [])]
         while len(population) < self.population_size:
             population.append([rng.random() for _ in range(dims)])
         population = population[:self.population_size]

@@ -33,6 +33,11 @@ from repro.compiler.pipeline.passes import (
     PassContext,
     default_compile_passes,
 )
+from repro.compiler.pipeline.profile import (
+    aggregate_pipeline_stats,
+    profile_rows,
+    render_profile,
+)
 
 __all__ = [
     "ANALYSIS_PASS",
@@ -42,6 +47,9 @@ __all__ = [
     "PassContext",
     "PassManager",
     "STAGES",
+    "aggregate_pipeline_stats",
     "default_compile_passes",
     "merge_pipeline_stats",
+    "profile_rows",
+    "render_profile",
 ]

@@ -27,6 +27,10 @@ from repro.ir.cfg import Program
 #: prefix and the per-unroll-limit suffix (the lowering cache's two tables).
 _UNROLL_PASS = "unroll-loops"
 
+#: Re-run after unrolling when both are enabled (unrolling exposes new
+#: constant-index expressions; the counter accumulates over both rounds).
+_FOLD_PASS = "constant-folding"
+
 
 class CompilationPipeline:
     """Declarative compile path over a registered pass list."""
@@ -47,23 +51,38 @@ class CompilationPipeline:
         with self.manager.timed(PARSE_PASS):
             return parse_cached(source, source_name)
 
+    def _run_stage(self, stage: str, ctx: PassContext) -> None:
+        """Run every registered (non-marker) pass of ``stage`` in order.
+
+        Iterating the registered list — not a hard-coded name sequence — is
+        what makes custom passes first-class: a pass registered on this
+        pipeline's manager executes here exactly where its position in the
+        list says, with no engine changes (see ``docs/passes.md``).
+        """
+        for registered in self.manager.passes(stage):
+            if registered.apply is not None:
+                self.manager.run(registered.name, ctx)
+
     # ----------------------------------------------------------- AST stage --
     def pre_unroll(self, module: ast.SourceModule, config: CompilerConfig
                    ) -> Tuple[ast.SourceModule, Dict[str, int]]:
         """Loop-bound inference plus the AST passes that run before unrolling.
 
-        Only hardening, folding and inlining consume configuration here, so
-        the result is shared between configurations differing in
-        ``unroll_limit`` (the lowering cache's pre-unroll table).  The input
-        module is never modified; the returned module is a fresh clone.
+        Of the stock passes only hardening, folding and inlining consume
+        configuration here, so the result is shared between configurations
+        differing in ``unroll_limit`` (the lowering cache's pre-unroll
+        table) — a custom AST pass registered before ``unroll-loops`` joins
+        this prefix (and should contribute its cache key accordingly).  The
+        input module is never modified; the returned module is a fresh
+        clone.
         """
         ctx = PassContext(config=config, platform=self.platform,
                           module=ast.clone_module(module))
-        run = self.manager.run
-        run("loop-bound-inference", ctx)
-        run("harden-security", ctx)
-        run("constant-folding", ctx)
-        run("inline-simple-functions", ctx)
+        for registered in self.manager.passes("ast"):
+            if registered.name == _UNROLL_PASS:
+                break
+            if registered.apply is not None:
+                self.manager.run(registered.name, ctx)
         return ctx.module, ctx.statistics
 
     def unroll_and_lower(self, working: ast.SourceModule,
@@ -72,23 +91,38 @@ class CompilationPipeline:
         """Unroll (mutating ``working`` in place) and lower to IR.
 
         Unrolling exposes constant-index expressions, so the folding pass
-        runs a second round when both are enabled (its counter accumulates).
+        runs a second round when both are enabled (its counter
+        accumulates).  AST passes registered *after* ``unroll-loops`` run
+        here, before lowering.
         """
         ctx = PassContext(config=config, platform=self.platform,
                           module=working, statistics=statistics)
-        if self.manager.run("unroll-loops", ctx):
-            self.manager.run("constant-folding", ctx)
-        self.manager.run("lower-to-ir", ctx)
+        names = [p.name for p in self.manager.passes("ast")]
+        post_unroll = (names.index(_UNROLL_PASS) + 1
+                       if _UNROLL_PASS in names else len(names))
+        if _UNROLL_PASS in names and self.manager.run(_UNROLL_PASS, ctx):
+            if _FOLD_PASS in names:
+                self.manager.run(_FOLD_PASS, ctx)
+        for registered in self.manager.passes("ast")[post_unroll:]:
+            if registered.apply is not None:
+                self.manager.run(registered.name, ctx)
+        self._run_stage("lower", ctx)
         return ctx.program
 
     # ------------------------------------------------------------ IR stage --
     def ir_passes(self, program: Program,
                   config: CompilerConfig) -> Dict[str, int]:
-        """The platform-independent IR passes, mutating ``program`` in place."""
+        """The platform-independent IR passes, mutating ``program`` in place.
+
+        Stock order: CSE first (recomputations become copies while their
+        producers are still live), DCE and strength reduction in their
+        historical order, the peephole pass last so it can clean up the
+        self-copies and foldable patterns the other three leave behind.
+        Custom IR passes run at their registered position.
+        """
         ctx = PassContext(config=config, platform=self.platform,
                           program=program)
-        self.manager.run("dead-code-elimination", ctx)
-        self.manager.run("strength-reduction", ctx)
+        self._run_stage("ir", ctx)
         return ctx.statistics
 
     # ------------------------------------------------------------- backend --
@@ -97,7 +131,7 @@ class CompilationPipeline:
         """The platform-dependent passes (scratchpad allocation, always last)."""
         ctx = PassContext(config=config, platform=self.platform,
                           program=program)
-        self.manager.run("spm-allocation", ctx)
+        self._run_stage("backend", ctx)
         return ctx.statistics
 
     # ----------------------------------------------------------- one-shot --

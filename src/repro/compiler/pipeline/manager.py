@@ -74,6 +74,8 @@ class PassManager:
         return [p for p in self._passes if p.stage == stage]
 
     def pass_named(self, name: str) -> Pass:
+        """The registered pass called ``name`` (:class:`CompilationError`
+        for unknown names)."""
         for registered in self._passes:
             if registered.name == name:
                 return registered
@@ -222,6 +224,7 @@ class PassManager:
         }
 
     def reset_stats(self) -> None:
+        """Zero every per-pass counter (the pass list itself is untouched)."""
         self._counters.clear()
 
 

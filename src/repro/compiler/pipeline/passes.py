@@ -32,7 +32,12 @@ from repro.compiler.passes.ast_passes import (
     inline_simple_functions,
     unroll_loops,
 )
-from repro.compiler.passes.ir_passes import eliminate_dead_code, strength_reduce
+from repro.compiler.passes.ir_passes import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    peephole_optimize,
+    strength_reduce,
+)
 from repro.compiler.passes.spm import allocate_scratchpad
 from repro.frontend import ast_nodes as ast
 from repro.frontend.lowering import lower_module
@@ -131,12 +136,21 @@ def _lower_to_ir(ctx: PassContext) -> None:
     ctx.program = lower_module(ctx.module)
 
 
+def _eliminate_common_subexpressions(ctx: PassContext) -> None:
+    ctx.statistics["cse_replacements"] = (
+        eliminate_common_subexpressions(ctx.program))
+
+
 def _eliminate_dead_code(ctx: PassContext) -> None:
     ctx.statistics["dead_instructions"] = eliminate_dead_code(ctx.program)
 
 
 def _strength_reduce(ctx: PassContext) -> None:
     ctx.statistics["strength_reductions"] = strength_reduce(ctx.program)
+
+
+def _peephole_optimize(ctx: PassContext) -> None:
+    ctx.statistics["peephole_rewrites"] = peephole_optimize(ctx.program)
 
 
 def _allocate_scratchpad(ctx: PassContext) -> None:
@@ -156,8 +170,9 @@ def default_compile_passes() -> Tuple[Pass, ...]:
     :mod:`repro.compiler.evaluate` exactly: loop-bound inference and the
     pre-unroll AST passes (hardening, folding, inlining), unrolling (with a
     second folding round, re-run by the pipeline when both are enabled),
-    lowering, the platform-independent IR passes, and scratchpad allocation
-    last.
+    lowering, the platform-independent IR passes (CSE before DCE so
+    downgraded copies can turn dead, strength reduction, peephole cleanups
+    last), and scratchpad allocation after all of them.
     """
     return (
         Pass(PARSE_PASS, "frontend"),
@@ -175,12 +190,19 @@ def default_compile_passes() -> Tuple[Pass, ...]:
              enabled=lambda config: bool(config.unroll_limit),
              cache_key=lambda config: (config.unroll_limit,)),
         Pass("lower-to-ir", "lower", _lower_to_ir),
+        Pass("common-subexpression-elimination", "ir",
+             _eliminate_common_subexpressions,
+             enabled=lambda config: config.enable_cse,
+             cache_key=lambda config: (config.enable_cse,)),
         Pass("dead-code-elimination", "ir", _eliminate_dead_code,
              enabled=lambda config: config.dead_code_elimination,
              cache_key=lambda config: (config.dead_code_elimination,)),
         Pass("strength-reduction", "ir", _strength_reduce,
              enabled=lambda config: config.strength_reduction,
              cache_key=lambda config: (config.strength_reduction,)),
+        Pass("peephole", "ir", _peephole_optimize,
+             enabled=lambda config: config.enable_peephole,
+             cache_key=lambda config: (config.enable_peephole,)),
         Pass("spm-allocation", "backend", _allocate_scratchpad,
              enabled=lambda config: config.spm_allocation,
              cache_key=lambda config: (config.spm_allocation,)),

@@ -11,10 +11,14 @@ Usage::
 report per scenario; ``--json`` emits a machine-readable summary instead
 (including per-scenario evaluation-cache counters for predictable builds
 and the per-pass compilation-pipeline timings of every build workflow).
-``--shared-cache`` enables the process-wide analysis cache so WCET/WCEC
-tables are reused across scenarios targeting the same platform, and
-``--jobs N`` runs the sweep through the evaluation service's worker pool —
-the registry sweep is embarrassingly parallel across scenarios.
+``--profile`` appends a per-pass wall-time/invocation table aggregated
+across the whole sweep (rendered by
+:func:`repro.compiler.pipeline.render_profile`; with ``--json`` it becomes
+the summary's ``pipeline_profile`` field instead).  ``--shared-cache``
+enables the process-wide analysis cache so WCET/WCEC tables are reused
+across scenarios targeting the same platform, and ``--jobs N`` runs the
+sweep through the evaluation service's worker pool — the registry sweep is
+embarrassingly parallel across scenarios.
 """
 
 from __future__ import annotations
@@ -27,6 +31,11 @@ from typing import List, Optional
 from repro.compiler.engine import (
     enable_process_analysis_cache,
     process_analysis_cache_stats,
+)
+from repro.compiler.pipeline import (
+    aggregate_pipeline_stats,
+    profile_rows,
+    render_profile,
 )
 from repro.scenarios.registry import (
     UnknownScenarioError,
@@ -53,6 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="run every registered scenario")
     run_cmd.add_argument("--json", action="store_true",
                          help="emit a JSON summary instead of reports")
+    run_cmd.add_argument("--profile", action="store_true",
+                         help="append a per-pass wall-time/invocation table "
+                              "aggregated across the sweep (a "
+                              "`pipeline_profile` field with --json)")
     run_cmd.add_argument("--generations", type=int, default=None,
                          help="override the search generations of "
                               "configuration-exploring sides")
@@ -130,11 +143,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.json:
         document = {"scenarios": [result.summary() for result in results]}
+        if args.profile:
+            document["pipeline_profile"] = profile_rows(
+                aggregate_pipeline_stats(
+                    result.pipeline_stats for result in results))
         if args.shared_cache:
             document["analysis_cache"] = process_analysis_cache_stats()
         print(json.dumps(document, indent=2))
     else:
         print_results(results)
+        if args.profile:
+            totals = aggregate_pipeline_stats(
+                result.pipeline_stats for result in results)
+            print(render_profile(
+                totals, title="pipeline profile (aggregated over "
+                              f"{len(results)} scenario run(s))"))
     return 0
 
 
@@ -154,6 +177,7 @@ def print_results(results) -> None:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.scenarios``); returns the exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)

@@ -153,6 +153,7 @@ class ScenarioRunner:
             security_tasks=options.security_tasks,
             security_samples=options.security_samples,
             extra_implementations=extra,
+            extended_search=options.extended_search,
         )
         return build, build.schedule
 

@@ -59,6 +59,10 @@ class BuildOptions:
     optimizer: str = "fpa"
     generations: int = 3
     population_size: int = 6
+    #: Widen the search to the CSE/peephole axes (9 genes instead of 7).
+    #: Off by default so registered scenarios keep their bit-for-bit
+    #: reproducible fixed-seed searches.
+    extended_search: bool = False
     scheduler: str = "sequential"
     dvfs: bool = False
     glue_style: str = "posix"
@@ -76,6 +80,7 @@ class BuildOptions:
         return self.config is None and self.custom is None
 
     def with_(self, **changes) -> "BuildOptions":
+        """A copy of these options with some fields replaced."""
         return replace(self, **changes)
 
 
@@ -179,6 +184,7 @@ class ScenarioSpec:
         return self.platform
 
     def with_(self, **changes) -> "ScenarioSpec":
+        """A copy of this spec with some fields replaced (tiny variants)."""
         return replace(self, **changes)
 
 

@@ -233,6 +233,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.service``); returns the exit code."""
     args = _build_parser().parse_args(argv)
     handlers = {"serve": _cmd_serve, "submit": _cmd_submit,
                 "status": _cmd_status, "sweep": _cmd_sweep}

@@ -27,7 +27,7 @@ from repro.compiler.engine import (
     process_analysis_cache_enabled,
     process_analysis_cache_stats,
 )
-from repro.compiler.pipeline import merge_pipeline_stats
+from repro.compiler.pipeline import merge_pipeline_stats, profile_rows
 from repro.scenarios.registry import get_scenario, list_scenarios
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
@@ -77,6 +77,7 @@ class EvaluationService:
 
     # ------------------------------------------------------------- lifecycle --
     def start(self) -> None:
+        """Start the worker pool (idempotent; used with ``autostart=False``)."""
         self.pool.start()
 
     def close(self, wait: bool = True) -> None:
@@ -169,6 +170,7 @@ class EvaluationService:
 
     # --------------------------------------------------------------- queries --
     def job(self, job_id: str) -> Optional[Job]:
+        """The live :class:`Job` record for ``job_id`` (``None`` if unknown)."""
         return self.queue.get(job_id)
 
     def status(self, job_id: str) -> Optional[Dict[str, object]]:
@@ -177,6 +179,7 @@ class EvaluationService:
         return None if job is None else job.as_dict()
 
     def cancel(self, job_id: str) -> bool:
+        """Cancel a pending job; ``False`` once it is running or finished."""
         return self.queue.cancel(job_id)
 
     def result(self, job: Union[Job, str],
@@ -209,13 +212,23 @@ class EvaluationService:
         ]
 
     def pipeline_stats(self) -> Dict[str, object]:
-        """Per-pass compile timings aggregated across completed jobs."""
+        """Per-pass compile timings aggregated across completed jobs.
+
+        ``passes`` holds the raw cross-job counters (``PassManager.stats()``
+        convention); ``profile`` the derived per-pass view (``avg_ms``,
+        ``share_pct``) in table order — the same rows ``python -m
+        repro.scenarios run --profile`` renders, so a dashboard can show
+        service-side timings without re-deriving them.
+        """
         with self._pipeline_lock:
-            return {
-                "jobs_reported": self._pipeline_jobs,
-                "passes": {name: dict(row) for name, row
-                           in self._pipeline_totals.items()},
-            }
+            totals = {name: dict(row) for name, row
+                      in self._pipeline_totals.items()}
+            jobs = self._pipeline_jobs
+        return {
+            "jobs_reported": jobs,
+            "passes": totals,
+            "profile": profile_rows(totals),
+        }
 
     def stats(self) -> Dict[str, object]:
         """One snapshot across every service layer (the GET /stats body)."""

@@ -98,6 +98,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # ----------------------------------------------------------------- routes --
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """Route GET /scenarios, /stats, /jobs and /jobs/<id>."""
         path = urlparse(self.path).path.rstrip("/") or "/"
         if path == "/scenarios":
             self._reply(200, {"scenarios": self._service.scenarios()})
@@ -116,6 +117,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown path {path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """Route POST /jobs: submit an evaluation (202, or 200 on a
+        store-served repeat; 429 + Retry-After when the backlog is full)."""
         path = urlparse(self.path).path.rstrip("/")
         if path != "/jobs":
             self._error(404, f"unknown path {path!r}")
@@ -153,6 +156,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self._reply(status, job.as_dict())
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        """Route DELETE /jobs/<id>: cancel a still-pending job."""
         path = urlparse(self.path).path.rstrip("/")
         if not path.startswith("/jobs/"):
             self._error(404, f"unknown path {path!r}")

@@ -80,6 +80,7 @@ class JobRequest:
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def as_dict(self) -> Dict[str, object]:
+        """The request's canonical JSON-ready form (the fingerprint input)."""
         return {
             "scenario": self.scenario,
             "generations": self.generations,

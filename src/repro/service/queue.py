@@ -192,6 +192,7 @@ class JobQueue:
 
     # ------------------------------------------------------------------ queries --
     def get(self, job_id: str) -> Optional[Job]:
+        """The job record for ``job_id`` (``None`` for unknown/pruned ids)."""
         with self._lock:
             return self._records.get(job_id)
 

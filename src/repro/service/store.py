@@ -106,6 +106,7 @@ class ResultStore:
             return self._jobs.pop(fingerprint, None) is not None
 
     def clear(self) -> None:
+        """Drop every cached result (counters are kept)."""
         with self._lock:
             self._jobs.clear()
 

@@ -124,6 +124,7 @@ class WorkerPool:
 
     # ------------------------------------------------------------------ stats --
     def stats(self) -> Dict[str, int]:
+        """Pool counters: configured/alive/busy workers and processed jobs."""
         with self._lock:
             return {
                 "workers": self.workers,

@@ -174,6 +174,7 @@ class PredictableToolchain:
               security_samples: int = 6,
               extra_implementations: Optional[
                   Dict[str, List[Implementation]]] = None,
+              extended_search: bool = False,
               ) -> PredictableBuildResult:
         """Run the workflow end to end.
 
@@ -183,7 +184,9 @@ class PredictableToolchain:
         ``security_tasks`` lists tasks whose security level must be measured
         with the SecurityAnalyser; ``extra_implementations`` lets a use case
         add placement options outside the compiled code (e.g. an FPGA
-        -offloaded version of a task).
+        -offloaded version of a task); ``extended_search`` widens the
+        configuration search to the CSE/peephole axes (default off, keeping
+        fixed-seed searches bit-for-bit reproducible).
         """
         if scheduler not in SCHEDULER_NAMES:
             raise TeamPlayError(f"unknown scheduler {scheduler!r}")
@@ -199,7 +202,7 @@ class PredictableToolchain:
             front = [selected]
         else:
             front = self._explore(engine, optimizer, generations,
-                                  population_size)
+                                  population_size, extended_search)
             selected = min(front, key=lambda v: v.energy_j)
 
         # -- stage 1/3: structure extraction and ETS properties -----------------
@@ -261,17 +264,19 @@ class PredictableToolchain:
         return entries
 
     def _explore(self, engine: EvaluationEngine, optimizer: str,
-                 generations: int, population_size: int) -> List[Variant]:
+                 generations: int, population_size: int,
+                 extended_search: bool = False) -> List[Variant]:
         """Search the configuration space over the shared evaluation engine."""
         evaluator = BatchEvaluator(engine)
         seeds = [CompilerConfig.baseline(), CompilerConfig.performance()]
         if optimizer == "fpa":
             search = FlowerPollinationOptimizer(
                 evaluator, population_size=population_size,
-                generations=generations)
+                generations=generations, extended_space=extended_search)
         elif optimizer == "nsga2":
             search = Nsga2Optimizer(evaluator, population_size=population_size,
-                                    generations=generations)
+                                    generations=generations,
+                                    extended_space=extended_search)
         else:
             raise TeamPlayError(f"unknown optimizer {optimizer!r}")
         return pareto_front(search.optimize(initial_configs=seeds))

@@ -11,13 +11,18 @@ from repro.compiler.passes.ast_passes import (
     inline_simple_functions,
     unroll_loops,
 )
-from repro.compiler.passes.ir_passes import eliminate_dead_code, strength_reduce
+from repro.compiler.passes.ir_passes import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    peephole_optimize,
+    strength_reduce,
+)
 from repro.compiler.passes.spm import allocate_scratchpad
 from repro.frontend import ast_nodes as ast
 from repro.frontend.lowering import compile_source, lower_module
 from repro.frontend.parser import parse
 from repro.hw.presets import nucleo_stm32f091rc
-from repro.ir.instructions import Opcode
+from repro.ir.instructions import Imm, Opcode, Reg
 from repro.sim.machine import Simulator
 from repro.wcet.loopbounds import infer_loop_bounds
 
@@ -209,3 +214,244 @@ class TestBuildAndEvaluate:
         assert fast.dominates(base)
         assert not base.dominates(fast)
         assert len(base.objectives()) == 2
+
+
+# ---------------------------------------------------------------------------
+# Common-subexpression elimination
+# ---------------------------------------------------------------------------
+def _single_block_function(*instrs):
+    """A one-block program around ``instrs`` (a RET is appended)."""
+    from repro.ir.cfg import BasicBlock, Function, Program
+    from repro.ir.instructions import ret
+    from repro.ir.regions import BlockRegion
+    function = Function(name="f", params=["a", "b"],
+                        region=BlockRegion("entry"))
+    function.add_block(BasicBlock("entry", list(instrs) + [ret(Reg("r0"))]))
+    program = Program()
+    program.add_function(function)
+    return program
+
+
+class TestCommonSubexpressionElimination:
+    SOURCE = """
+    int kernel(int gain) {
+        int p = gain / 3 + gain * 5;
+        int q = gain / 3 - gain * 5;
+        return p + q + gain / 3;
+    }
+    """
+
+    def test_replaces_repeats_and_preserves_semantics(self, platform):
+        program = compile_source(self.SOURCE)
+        div_before = sum(i.opcode is Opcode.DIV for i in
+                         program.functions["kernel"].iter_instructions())
+        expected = Simulator(program.clone(), platform).run(
+            "kernel", [17]).return_value
+        replaced = eliminate_common_subexpressions(program)
+        assert replaced >= 3  # two gain/3 repeats + one gain*5 repeat
+        div_after = sum(i.opcode is Opcode.DIV for i in
+                        program.functions["kernel"].iter_instructions())
+        assert div_after == div_before - 2
+        assert Simulator(program, platform).run(
+            "kernel", [17]).return_value == expected
+
+    def test_noop_without_repeated_subexpressions(self):
+        program = compile_source(
+            "int kernel(int g) { return g * 3 + g / 4 - g; }")
+        opcodes = [i.opcode for i in
+                   program.functions["kernel"].iter_instructions()]
+        assert eliminate_common_subexpressions(program) == 0
+        assert [i.opcode for i in
+                program.functions["kernel"].iter_instructions()] == opcodes
+
+    def test_operand_redefinition_blocks_reuse(self, platform):
+        source = """
+        int kernel(int a) {
+            int b = 3;
+            int x = a + b;
+            b = b + 1;
+            int y = a + b;
+            return x + y;
+        }
+        """
+        program = compile_source(source)
+        assert eliminate_common_subexpressions(program) == 0
+        assert Simulator(program, platform).run(
+            "kernel", [10]).return_value == (10 + 3) + (10 + 4)
+
+    def test_holder_redefinition_blocks_reuse(self):
+        from repro.ir.instructions import binop, mov
+        program = _single_block_function(
+            binop(Opcode.MUL, Reg("t"), Reg("a"), Reg("b")),
+            mov(Reg("t"), Imm(5)),
+            binop(Opcode.MUL, Reg("r0"), Reg("a"), Reg("b")),
+        )
+        assert eliminate_common_subexpressions(program) == 0
+        opcodes = [i.opcode for i in
+                   program.functions["f"].iter_instructions()]
+        assert opcodes.count(Opcode.MUL) == 2
+
+    def test_commutative_operands_match_canonically(self):
+        from repro.ir.instructions import binop
+        program = _single_block_function(
+            binop(Opcode.ADD, Reg("t1"), Reg("a"), Reg("b")),
+            binop(Opcode.ADD, Reg("t2"), Reg("b"), Reg("a")),
+            binop(Opcode.SUB, Reg("t3"), Reg("a"), Reg("b")),
+            binop(Opcode.SUB, Reg("r0"), Reg("b"), Reg("a")),
+        )
+        # ADD commutes (t2 reuses t1); SUB does not (t3/r0 both stay).
+        assert eliminate_common_subexpressions(program) == 1
+        instrs = list(program.functions["f"].iter_instructions())
+        assert instrs[1].opcode is Opcode.MOV
+        assert instrs[1].srcs == (Reg("t1"),)
+        assert instrs[3].opcode is Opcode.SUB
+
+    def test_loads_are_never_merged(self):
+        from repro.ir.instructions import load, store
+        program = _single_block_function(
+            load(Reg("t1"), "data", Imm(0)),
+            store("data", Imm(0), Imm(99)),
+            load(Reg("r0"), "data", Imm(0)),
+        )
+        program.global_arrays["data"] = 4
+        assert eliminate_common_subexpressions(program) == 0
+        opcodes = [i.opcode for i in
+                   program.functions["f"].iter_instructions()]
+        assert opcodes.count(Opcode.LOAD) == 2
+
+    def test_self_recompute_leaves_copy_for_peephole(self):
+        from repro.ir.instructions import binop
+        program = _single_block_function(
+            binop(Opcode.MUL, Reg("t"), Reg("a"), Reg("b")),
+            binop(Opcode.MUL, Reg("t"), Reg("a"), Reg("b")),
+            binop(Opcode.ADD, Reg("r0"), Reg("t"), Imm(1)),
+        )
+        assert eliminate_common_subexpressions(program) == 1
+        instrs = list(program.functions["f"].iter_instructions())
+        assert instrs[1].opcode is Opcode.MOV
+        assert instrs[1].dst == Reg("t") and instrs[1].srcs == (Reg("t"),)
+        before = program.functions["f"].instruction_count
+        assert peephole_optimize(program) == 1  # the self-copy is deleted
+        assert program.functions["f"].instruction_count == before - 1
+
+    def test_copy_on_write_leaves_shared_clone_pristine(self):
+        program = compile_source(self.SOURCE)
+        shared = program.clone(share_instructions=True)
+        reference = [(i.opcode, i.srcs) for i in
+                     program.functions["kernel"].iter_instructions()]
+        assert eliminate_common_subexpressions(shared) >= 3
+        assert [(i.opcode, i.srcs) for i in
+                program.functions["kernel"].iter_instructions()] == reference
+
+    def test_interaction_with_dce_and_strength_reduction(self, platform):
+        module = parse(SOURCE)
+        data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3]
+        expected = _run_reference(6, data)
+        config = CompilerConfig.performance().with_(enable_cse=True,
+                                                    enable_peephole=True)
+        program, stats = build_program(module, config, platform)
+        assert "cse_replacements" in stats
+        assert "peephole_rewrites" in stats
+        assert _simulate(program, platform, 6, data) == expected
+
+    def test_cse_improves_wcet_on_division_heavy_kernel(self, platform):
+        module = parse(self.SOURCE)
+        base = evaluate_config(module, CompilerConfig.baseline(), platform,
+                               "kernel")
+        tuned = evaluate_config(
+            module, CompilerConfig.baseline().with_(enable_cse=True),
+            platform, "kernel")
+        assert tuned.pass_statistics["cse_replacements"] >= 3
+        assert tuned.wcet_cycles < base.wcet_cycles
+        assert tuned.energy_j < base.energy_j
+        assert tuned.code_size_bytes == base.code_size_bytes
+
+
+# ---------------------------------------------------------------------------
+# Peephole simplification
+# ---------------------------------------------------------------------------
+class TestPeephole:
+    def test_ir_constant_folding_matches_simulator(self, platform):
+        program = compile_source(
+            "int kernel(int a) { return 12 * 3 + 7 + a; }")
+        expected = Simulator(program.clone(), platform).run(
+            "kernel", [5]).return_value
+        assert peephole_optimize(program) >= 1
+        opcodes = [i.opcode for i in
+                   program.functions["kernel"].iter_instructions()]
+        assert Opcode.MUL not in opcodes
+        assert Simulator(program, platform).run(
+            "kernel", [5]).return_value == expected
+
+    def test_wrapping_fold_matches_simulator(self, platform):
+        # 65535 * 65535 overflows 32 bits: the fold must wrap like the sim.
+        program = compile_source(
+            "int kernel(int a) { return 65535 * 65535 + a; }")
+        expected = Simulator(program.clone(), platform).run(
+            "kernel", [1]).return_value
+        assert peephole_optimize(program) >= 1
+        assert Simulator(program, platform).run(
+            "kernel", [1]).return_value == expected
+
+    def test_same_register_identities(self, platform):
+        program = compile_source(
+            "int kernel(int a) { return (a - a) + (a == a) + (a & a); }")
+        expected = Simulator(program.clone(), platform).run(
+            "kernel", [41]).return_value
+        assert peephole_optimize(program) >= 3
+        opcodes = [i.opcode for i in
+                   program.functions["kernel"].iter_instructions()]
+        assert Opcode.SUB not in opcodes
+        assert Opcode.CMPEQ not in opcodes
+        assert Opcode.AND not in opcodes
+        assert Simulator(program, platform).run(
+            "kernel", [41]).return_value == expected
+
+    def test_division_by_zero_is_not_folded(self):
+        from repro.ir.instructions import binop
+        program = _single_block_function(
+            binop(Opcode.DIV, Reg("r0"), Imm(7), Imm(0)))
+        assert peephole_optimize(program) == 0
+        assert list(program.functions["f"].iter_instructions())[0].opcode \
+            is Opcode.DIV
+
+    def test_select_folding(self):
+        from repro.ir.instructions import select
+        program = _single_block_function(
+            select(Reg("t1"), Imm(1), Reg("a"), Reg("b")),
+            select(Reg("t2"), Imm(0), Reg("a"), Reg("b")),
+            select(Reg("r0"), Reg("c"), Reg("a"), Reg("a")),
+        )
+        assert peephole_optimize(program) == 3
+        instrs = list(program.functions["f"].iter_instructions())
+        assert instrs[0].srcs == (Reg("a"),)
+        assert instrs[1].srcs == (Reg("b"),)
+        assert instrs[2].srcs == (Reg("a"),)
+
+    def test_unary_immediate_folding(self):
+        from repro.ir.instructions import unop
+        program = _single_block_function(
+            unop(Opcode.NEG, Reg("t1"), Imm(5)),
+            unop(Opcode.NOT, Reg("t2"), Imm(0)),
+            unop(Opcode.LNOT, Reg("r0"), Imm(3)),
+        )
+        assert peephole_optimize(program) == 3
+        instrs = list(program.functions["f"].iter_instructions())
+        assert [i.srcs[0].value for i in instrs[:3]] == [-5, -1, 0]
+
+    def test_nops_survive(self):
+        from repro.ir.instructions import nop
+        program = _single_block_function(nop("timing pad"))
+        assert peephole_optimize(program) == 0
+        assert list(program.functions["f"].iter_instructions())[0].opcode \
+            is Opcode.NOP
+
+    def test_copy_on_write_leaves_shared_clone_pristine(self):
+        program = compile_source(
+            "int kernel(int a) { return (a - a) + 12 * 3; }")
+        shared = program.clone(share_instructions=True)
+        reference = [(i.opcode, i.srcs) for i in
+                     program.functions["kernel"].iter_instructions()]
+        assert peephole_optimize(shared) >= 2
+        assert [(i.opcode, i.srcs) for i in
+                program.functions["kernel"].iter_instructions()] == reference

@@ -1,0 +1,65 @@
+"""The documentation stays runnable and unbroken.
+
+Two guarantees, both cheap enough for tier-1 (and run by the CI ``docs``
+job):
+
+* every fenced ``python`` block in ``docs/passes.md`` executes cleanly —
+  the pass-authoring guide's worked example is living code, not prose,
+* every local link/path reference in ``README.md``, ``ROADMAP.md`` and
+  ``docs/*.md`` resolves to a file in the repository, so renames cannot
+  silently rot the guides.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOCS = sorted((REPO_ROOT / "docs").glob("*.md"))
+DOCUMENTS = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md"] + DOCS
+
+#: Markdown links (``[text](target)``) plus bare backticked repo paths
+#: (`src/...`, `docs/...`, `tests/...`, `examples/...`, `benchmarks/...`).
+_MD_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)\)")
+_PATH_REF = re.compile(
+    r"`((?:src|docs|tests|examples|benchmarks|\.github)/[A-Za-z0-9_./-]+"
+    r"|[A-Z]+\.md)`")
+
+
+def _python_blocks(text: str):
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_docs_directory_has_the_pass_guide():
+    assert (REPO_ROOT / "docs" / "passes.md").is_file()
+
+
+@pytest.mark.parametrize("doc", DOCS, ids=lambda p: p.name)
+def test_guide_python_blocks_execute(doc):
+    blocks = _python_blocks(doc.read_text(encoding="utf-8"))
+    assert blocks, f"{doc.name} should carry at least one worked example"
+    for block in blocks:
+        exec(compile(block, f"{doc.name}<example>", "exec"), {})
+
+
+@pytest.mark.parametrize("doc", DOCUMENTS, ids=lambda p: p.name)
+def test_local_references_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    targets = set(_MD_LINK.findall(text)) | set(_PATH_REF.findall(text))
+    missing = []
+    for target in targets:
+        if "://" in target:  # external URL: out of scope for tier-1
+            continue
+        resolved = (doc.parent / target) if not target.startswith(
+            ("src/", "docs/", "tests/", "examples/", "benchmarks/",
+             ".github/")) else (REPO_ROOT / target)
+        if not resolved.exists() and not (REPO_ROOT / target).exists():
+            missing.append(target)
+    assert not missing, f"{doc.name} references missing paths: {missing}"
+
+
+def test_readme_and_roadmap_link_the_pass_guide():
+    for name in ("README.md", "ROADMAP.md"):
+        text = (REPO_ROOT / name).read_text(encoding="utf-8")
+        assert "docs/passes.md" in text, f"{name} should link the pass guide"

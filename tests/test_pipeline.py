@@ -7,6 +7,8 @@ through the pipeline produces bit-for-bit the variants the hand-sequenced
 call sites produced.
 """
 
+import json
+
 import pytest
 
 from repro.compiler.config import CompilerConfig
@@ -22,8 +24,11 @@ from repro.compiler.pipeline import (
     Pass,
     PassContext,
     PassManager,
+    aggregate_pipeline_stats,
     default_compile_passes,
     merge_pipeline_stats,
+    profile_rows,
+    render_profile,
 )
 from repro.errors import CompilationError
 from repro.frontend.parser import parse
@@ -40,6 +45,10 @@ CONFIGS = [
     CompilerConfig.baseline().with_(harden_security=True),
     CompilerConfig.performance().with_(strength_reduction=False,
                                        dead_code_elimination=False),
+    CompilerConfig.baseline().with_(enable_cse=True),
+    CompilerConfig.baseline().with_(enable_peephole=True),
+    CompilerConfig.performance().with_(enable_cse=True,
+                                       enable_peephole=True),
 ]
 
 
@@ -68,7 +77,8 @@ class TestPassManager:
     def test_passes_filter_by_stage(self):
         manager = PassManager()
         assert {p.name for p in manager.passes("ir")} \
-            == {"dead-code-elimination", "strength-reduction"}
+            == {"common-subexpression-elimination", "dead-code-elimination",
+                "strength-reduction", "peephole"}
 
     def test_unknown_pass_and_stage_raise(self):
         manager = PassManager()
@@ -83,8 +93,7 @@ class TestPassManager:
         manager = PassManager()
         manager.register(Pass("extra-ir", "ir", lambda ctx: None))
         names = [p.name for p in manager.passes()]
-        assert names.index("extra-ir") \
-            == names.index("strength-reduction") + 1
+        assert names.index("extra-ir") == names.index("peephole") + 1
         assert names.index("extra-ir") < names.index("spm-allocation")
 
     def test_register_with_anchors(self):
@@ -94,8 +103,9 @@ class TestPassManager:
         manager.register(Pass("post-dce", "ir", lambda ctx: None),
                          after="dead-code-elimination")
         names = [p.name for p in manager.passes("ir")]
-        assert names == ["pre-dce", "dead-code-elimination", "post-dce",
-                         "strength-reduction"]
+        assert names == ["common-subexpression-elimination", "pre-dce",
+                         "dead-code-elimination", "post-dce",
+                         "strength-reduction", "peephole"]
 
     def test_register_rejects_stage_disorder_and_duplicates(self):
         manager = PassManager()
@@ -257,11 +267,29 @@ class TestPipelineEquivalence:
         compiler.pipeline.manager.register(Pass(
             "observer", "ir",
             lambda ctx: seen.append(ctx.program is not None)))
-        # The pipeline routes the engine's IR stage through the pass list,
-        # but the stage methods are explicit — the observer registers fine
-        # and is visible to key derivation without perturbing stock runs.
+        # The stage methods iterate the registered pass list, so the
+        # observer executes inside the engine-cached build and lands in
+        # the same stats table as the stock passes.
         compiler.compile(module, "frame_packet", CompilerConfig.baseline())
-        assert compiler.pipeline.manager.pass_named("observer")
+        assert seen == [True]
+        assert compiler.pipeline_stats()["observer"]["invocations"] == 1
+
+    def test_custom_ast_pass_respects_unroll_split(self, platform, module):
+        # A custom AST pass registered before unroll-loops runs in
+        # pre_unroll; one registered after runs in unroll_and_lower.
+        pipeline = CompilationPipeline(platform)
+        order = []
+        pipeline.manager.register(
+            Pass("pre-probe", "ast", lambda ctx: order.append("pre")),
+            before="unroll-loops")
+        pipeline.manager.register(
+            Pass("post-probe", "ast", lambda ctx: order.append("post")),
+            after="unroll-loops")
+        config = CompilerConfig.baseline().with_(unroll_limit=4)
+        working, statistics = pipeline.pre_unroll(module, config)
+        assert order == ["pre"]
+        pipeline.unroll_and_lower(working, config, statistics)
+        assert order == ["pre", "post"]
 
 
 # ---------------------------------------------------------------------------
@@ -299,3 +327,273 @@ system probe {
         assert stats[ANALYSIS_PASS]["invocations"] >= 1
         row = result.summary()
         assert row["pipeline_stats"] == stats
+
+
+# ---------------------------------------------------------------------------
+# New IR passes: enablement, stage keys, cache widening via miss counters
+# ---------------------------------------------------------------------------
+PROFILED_SOURCE = """
+#pragma teamplay task(t) poi(t)
+int work(int a, int b) {
+    int acc = 0;
+    for (int i = 0; i < 4; i = i + 1) {
+        acc = acc + a / b;
+        acc = acc - a / b + (i - i);
+    }
+    return acc;
+}
+"""
+
+PROFILED_CSL = """
+system probe {
+    period 10 ms;
+    deadline 10 ms;
+    task t { implements work; budget time 5 ms; budget energy 50 uJ; }
+    graph { t; }
+}
+"""
+
+
+def profiled_spec(name: str = "pipe-profiled") -> ScenarioSpec:
+    """A tiny scenario whose pinned configs enable CSE and peephole."""
+    tuned = CompilerConfig.baseline().with_(enable_cse=True,
+                                            enable_peephole=True)
+    return ScenarioSpec(
+        name=name, title="CSE/peephole probe", kind="predictable",
+        platform="nucleo-stm32f091rc",
+        source=PROFILED_SOURCE, csl=PROFILED_CSL,
+        baseline=BuildOptions(config=CompilerConfig.baseline()),
+        teamplay=BuildOptions(config=tuned),
+    )
+
+
+class TestNewIrPasses:
+    def test_stats_report_only_enabled_passes(self, platform, module):
+        pipeline = CompilationPipeline(platform)
+        program, _ = pipeline.build(module, CompilerConfig.baseline())
+        stats = pipeline.stats()
+        assert "common-subexpression-elimination" not in stats
+        assert "peephole" not in stats
+        pipeline.build(module, CompilerConfig.baseline().with_(
+            enable_cse=True, enable_peephole=True))
+        stats = pipeline.stats()
+        assert stats["common-subexpression-elimination"]["invocations"] == 1
+        assert stats["common-subexpression-elimination"]["stage"] == "ir"
+        assert stats["peephole"]["invocations"] == 1
+        assert stats["peephole"]["stage"] == "ir"
+
+    def test_new_flags_widen_ir_but_not_lowering_keys(self):
+        manager = PassManager()
+        base = CompilerConfig.baseline()
+        for tweaked in (base.with_(enable_cse=True),
+                        base.with_(enable_peephole=True)):
+            assert manager.stage_key(base, "lower") \
+                == manager.stage_key(tweaked, "lower")
+            assert manager.key_before(base, "unroll-loops") \
+                == manager.key_before(tweaked, "unroll-loops")
+            assert manager.stage_key(base, "ir") \
+                != manager.stage_key(tweaked, "ir")
+            assert manager.canonical_key(base) \
+                != manager.canonical_key(tweaked)
+
+    def test_cache_widening_observable_in_miss_counters(self, platform,
+                                                        module):
+        from repro.compiler.engine import EvaluationEngine
+        engine = EvaluationEngine(module, platform, ["frame_packet"])
+        base = CompilerConfig.baseline()
+        engine.evaluate(base)
+        engine.evaluate(base.with_(enable_cse=True))
+        engine.evaluate(base.with_(enable_cse=True, enable_peephole=True))
+        stats = engine.stats
+        # One shared lowering (the new flags live after the lower stage)...
+        assert stats.lowering_misses == 1
+        assert stats.lowering_hits == 2
+        # ...but three distinct IR-stage programs and three variants.
+        assert stats.ir_stage_misses == 3
+        assert stats.variant_misses == 3
+        # Revisiting an already-seen point stays a pure variant-cache hit.
+        engine.evaluate(base.with_(enable_cse=True))
+        assert engine.stats.variant_hits == 1
+        assert engine.stats.ir_stage_misses == 3
+
+    def test_enabled_passes_are_noops_without_opportunities(self, platform):
+        # A program with nothing to CSE or fold builds bit-identically with
+        # the new passes on — enabling them is safe, not just gated.
+        from repro.compiler.engine import program_fingerprint
+        source = "int work(int a, int b) { return a / b; }"
+        module = parse(source)
+        pipeline = CompilationPipeline(platform)
+        base = CompilerConfig.baseline()
+        tuned = base.with_(enable_cse=True, enable_peephole=True)
+        base_program, _ = pipeline.build(module, base)
+        tuned_program, stats = pipeline.build(module, tuned)
+        assert stats["cse_replacements"] == 0
+        assert stats["peephole_rewrites"] == 0
+        assert program_fingerprint(tuned_program) \
+            == program_fingerprint(base_program)
+
+
+# ---------------------------------------------------------------------------
+# The --profile view: aggregation, rendering, CLI and service surfaces
+# ---------------------------------------------------------------------------
+class TestProfileView:
+    def test_profile_rows_derive_share_and_average(self):
+        totals = {
+            "parse": {"stage": "frontend", "invocations": 4, "wall_s": 1.0},
+            "analysis": {"stage": "analysis", "invocations": 2,
+                         "wall_s": 3.0},
+        }
+        rows = profile_rows(totals)
+        assert [row["pass"] for row in rows] == ["parse", "analysis"]
+        assert rows[0]["avg_ms"] == pytest.approx(250.0)
+        assert rows[0]["share_pct"] == pytest.approx(25.0)
+        assert rows[1]["share_pct"] == pytest.approx(75.0)
+        assert sum(row["share_pct"] for row in rows) == pytest.approx(100.0)
+
+    def test_rows_order_by_stage_then_wall_time(self):
+        totals = {
+            "analysis": {"stage": "analysis", "invocations": 1, "wall_s": 9.0},
+            "strength-reduction": {"stage": "ir", "invocations": 1,
+                                   "wall_s": 0.2},
+            "dead-code-elimination": {"stage": "ir", "invocations": 1,
+                                      "wall_s": 0.4},
+            "parse": {"stage": "frontend", "invocations": 1, "wall_s": 0.1},
+            "schedule": {"stage": "coordination", "invocations": 1,
+                         "wall_s": 0.1},
+        }
+        assert [row["pass"] for row in profile_rows(totals)] == [
+            "parse", "dead-code-elimination", "strength-reduction",
+            "analysis", "schedule"]
+
+    def test_aggregate_skips_missing_snapshots(self):
+        snapshot = {"parse": {"stage": "frontend", "invocations": 1,
+                              "wall_s": 0.5}}
+        totals = aggregate_pipeline_stats([snapshot, None, snapshot])
+        assert totals["parse"]["invocations"] == 2
+        assert totals["parse"]["wall_s"] == pytest.approx(1.0)
+
+    def test_render_profile_contains_rows_and_total(self):
+        totals = {"parse": {"stage": "frontend", "invocations": 2,
+                            "wall_s": 0.25}}
+        text = render_profile(totals, title="probe profile")
+        assert text.splitlines()[0] == "probe profile"
+        assert "parse" in text and "frontend" in text
+        assert "total wall time: 250.00 ms" in text
+        assert render_profile({}).startswith("pipeline profile: no")
+
+    def test_scenario_run_profiles_both_new_passes(self):
+        result = run_scenario(profiled_spec())
+        stats = result.pipeline_stats
+        assert stats["common-subexpression-elimination"]["invocations"] >= 1
+        assert stats["peephole"]["invocations"] >= 1
+        text = render_profile(aggregate_pipeline_stats([stats]))
+        assert "common-subexpression-elimination" in text
+        assert "peephole" in text
+
+    def test_cli_run_profile_renders_table(self, capsys):
+        from repro.scenarios.__main__ import main as cli_main
+        from repro.scenarios.registry import (
+            register_scenario,
+            unregister_scenario,
+        )
+        spec = profiled_spec("pipe-cli-profile")
+        register_scenario(spec)
+        try:
+            assert cli_main(["run", spec.name, "--profile"]) == 0
+            out = capsys.readouterr().out
+            assert "pipeline profile (aggregated over 1 scenario run(s))" \
+                in out
+            assert "common-subexpression-elimination" in out
+            assert "peephole" in out
+
+            assert cli_main(["run", spec.name, "--profile", "--json"]) == 0
+            document = json.loads(capsys.readouterr().out)
+            passes = {row["pass"] for row in document["pipeline_profile"]}
+            assert {"common-subexpression-elimination", "peephole",
+                    PARSE_PASS, ANALYSIS_PASS} <= passes
+        finally:
+            unregister_scenario(spec.name)
+
+    def test_service_stats_aggregate_new_pass_timings(self):
+        from repro.scenarios.registry import (
+            register_scenario,
+            unregister_scenario,
+        )
+        from repro.service import EvaluationService
+        spec = profiled_spec("pipe-service-profile")
+        register_scenario(spec)
+        try:
+            with EvaluationService(workers=1) as service:
+                service.result(service.submit(spec.name), timeout=120)
+                pipeline_doc = service.stats()["pipeline"]
+                assert pipeline_doc["jobs_reported"] == 1
+                passes = pipeline_doc["passes"]
+                assert passes["common-subexpression-elimination"][
+                    "invocations"] >= 1
+                assert passes["peephole"]["invocations"] >= 1
+                profile_passes = {row["pass"]
+                                  for row in pipeline_doc["profile"]}
+                assert "common-subexpression-elimination" in profile_passes
+                assert "peephole" in profile_passes
+        finally:
+            unregister_scenario(spec.name)
+
+
+# ---------------------------------------------------------------------------
+# Extended search space: the optimisers explore the new axes on request
+# ---------------------------------------------------------------------------
+class TestExtendedSearchSpace:
+    def test_gene_roundtrip_extended(self):
+        config = CompilerConfig.performance().with_(enable_cse=True,
+                                                    enable_peephole=True)
+        decoded = CompilerConfig.from_genes(config.to_genes(extended=True))
+        assert decoded == config
+        # The base encoding drops the new axes (decoding leaves them off).
+        rebased = CompilerConfig.from_genes(config.to_genes())
+        assert not rebased.enable_cse and not rebased.enable_peephole
+
+    def test_gene_length_and_validation(self):
+        assert CompilerConfig.gene_length() == 7
+        assert CompilerConfig.gene_length(extended=True) == 9
+        with pytest.raises(ValueError):
+            CompilerConfig.from_genes([0.5] * 8)
+
+    def test_base_space_searches_never_touch_new_axes(self, platform,
+                                                      module):
+        compiler = MultiCriteriaCompiler(platform)
+        front = compiler.explore(module, "frame_packet", optimizer="fpa",
+                                 population_size=4, generations=2)
+        assert front.variants
+        assert all(not v.config.enable_cse and not v.config.enable_peephole
+                   for v in front.variants)
+
+    def test_extended_space_search_explores_new_axes(self, platform, module):
+        compiler = MultiCriteriaCompiler(platform)
+        engine = compiler._engine(module, "frame_packet", False)
+        compiler.explore(module, "frame_packet", optimizer="fpa",
+                         population_size=6, generations=2,
+                         extended_space=True)
+        seen = [key for key in engine.variants._variants]
+        # The canonical key's last two elements are the new flags; the
+        # extended search must have sampled at least one enabled value.
+        assert any(key[-2] or key[-1] for key in seen)
+
+    def test_exhaustive_grid_crosses_new_axes_on_request(self, platform,
+                                                         module):
+        compiler = MultiCriteriaCompiler(platform)
+        base = compiler.explore(module, "frame_packet",
+                                optimizer="exhaustive")
+        extended = compiler.explore(module, "frame_packet",
+                                    optimizer="exhaustive",
+                                    extended_space=True)
+        assert extended.evaluations == base.evaluations * 4
+        assert all(not v.config.enable_cse and not v.config.enable_peephole
+                   for v in base.variants)
+
+    def test_extended_space_matches_base_when_axes_decode_off(self, platform,
+                                                              module):
+        # Same 7 leading genes -> same configuration when bits 8/9 are low.
+        genes = [0.75, 0.1, 0.25, 0.75, 0.25, 0.25, 0.25]
+        base = CompilerConfig.from_genes(genes)
+        extended = CompilerConfig.from_genes(genes + [0.25, 0.25])
+        assert base == extended
