@@ -9,8 +9,10 @@ side of the wire:
 1. ``GET /scenarios`` — discover what the registry can evaluate,
 2. ``POST /jobs`` — submit a scenario evaluation (twice, to show identical
    submissions coalescing onto one computation),
-3. ``GET /jobs/<id>`` — poll until the shared job succeeds,
-4. ``GET /stats`` — read the queue/store/worker/analysis-cache counters.
+3. ``GET /jobs/<id>?wait=`` — long-poll until the shared job succeeds (the
+   server holds the reply instead of the client busy-polling),
+4. ``POST /jobs`` with a JSON *list* — a whole batch as one job,
+5. ``GET /stats`` — queue/store/worker/journal/analysis-cache counters.
 
 Against a long-running server (``python -m repro.service serve``), skip the
 in-process boot and point ``HOST``/``PORT`` at it; the client half of this
@@ -22,7 +24,6 @@ Run with:  python examples/service_client.py
 import http.client
 import json
 import threading
-import time
 
 from repro.service import EvaluationService
 from repro.service.http import create_server
@@ -67,11 +68,13 @@ def main():
               f"({'shared' if first['id'] == second['id'] else 'distinct'}, "
               f"{second['submissions']} submissions)")
 
-        # -- 3. poll the shared job -----------------------------------------
+        # -- 3. long-poll the shared job ------------------------------------
         document = first
         while document["state"] in ("pending", "running"):
-            time.sleep(0.1)
-            _, document = request(address, "GET", f"/jobs/{first['id']}")
+            # The server holds the reply until the job is terminal (or its
+            # per-request cap elapses), so no sleep/poll loop is needed.
+            _, document = request(address, "GET",
+                                  f"/jobs/{first['id']}?wait=30")
         print(f"job {document['id']}: {document['state']}")
         summary = document["result"]
         print(f"  {summary['title']}: energy "
@@ -80,7 +83,18 @@ def main():
               f"({summary['energy_improvement_pct']:+.1f}%), deadline "
               f"{'met' if summary['deadlines_met'] else 'MISSED'}")
 
-        # -- 4. service counters --------------------------------------------
+        # -- 4. a batch: several requests as one job ------------------------
+        _, batch = request(address, "POST", "/jobs",
+                           [{"scenario": SCENARIO},
+                            {"scenario": "smart-meter"}])
+        while batch["state"] in ("pending", "running"):
+            _, batch = request(address, "GET",
+                               f"/jobs/{batch['id']}?wait=30")
+        names = [row["name"] for row in batch["result"]["batch"]]
+        print(f"batch job {batch['id']}: {batch['state']} "
+              f"({batch['result']['count']} results: {', '.join(names)})")
+
+        # -- 5. service counters --------------------------------------------
         _, stats = request(address, "GET", "/stats")
         queue = stats["queue"]
         print(f"\nqueue: {queue['submitted']} submitted, "

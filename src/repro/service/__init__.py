@@ -6,16 +6,24 @@ experiment a declarative :class:`~repro.scenarios.spec.ScenarioSpec` behind
 a registry — this package turns those into a *service* that accepts many
 concurrent evaluation requests instead of one blocking CLI call:
 
-* :class:`EvaluationService` — the facade: submit/status/cancel/result
-  over a thread-safe priority :class:`JobQueue` whose request-fingerprint
-  dedup coalesces identical submissions onto one computation,
+* :class:`EvaluationService` — the facade: submit/submit_batch/status/
+  cancel/result over a thread-safe priority :class:`JobQueue` whose
+  request-fingerprint dedup coalesces identical submissions onto one
+  computation,
 * :class:`ResultStore` — bounded LRU of completed jobs (engine-cache
-  ``stats()`` conventions) serving repeats without recomputation,
+  ``stats()`` conventions) serving repeats without recomputation, id-indexed
+  so evicted queue records stay resolvable,
 * :class:`WorkerPool` — daemon threads driving the shared
   :class:`~repro.scenarios.runner.ScenarioRunner` under the process-wide
-  shared analysis cache,
+  shared analysis cache, or (``worker_mode="process"``) dispatcher threads
+  feeding a :class:`concurrent.futures.ProcessPoolExecutor` for true
+  multi-core parallelism with bit-identical results,
+* :class:`JobJournal` — append-only JSONL persistence; a service built
+  with ``journal=PATH`` replays it on startup, so pending jobs resume and
+  completed results (and cross-restart dedup) survive the process,
 * :mod:`repro.service.http` — a dependency-free stdlib HTTP/JSON API
-  (POST /jobs, GET /jobs/<id>, GET /scenarios, GET /stats),
+  (POST /jobs incl. batches, GET /jobs/<id> incl. ``?wait=`` long-poll,
+  GET /scenarios, GET /stats),
 * ``python -m repro.service {serve,submit,status,sweep}`` — the CLI.
 
 Determinism is the load-bearing property: scenario runs are deterministic
@@ -38,20 +46,35 @@ Over HTTP: ``python -m repro.service serve`` and see
 """
 
 from repro.service.core import EvaluationService, sweep_scenarios
-from repro.service.jobs import Job, JobError, JobRequest, JobState
+from repro.service.jobs import (
+    BatchRequest,
+    BatchResult,
+    Job,
+    JobError,
+    JobRequest,
+    JobState,
+    request_from_dict,
+)
+from repro.service.journal import JobJournal, SummaryOnlyResult
 from repro.service.queue import JobQueue, QueueFull
 from repro.service.store import ResultStore
-from repro.service.workers import WorkerPool
+from repro.service.workers import WORKER_MODES, WorkerPool
 
 __all__ = [
+    "BatchRequest",
+    "BatchResult",
     "EvaluationService",
     "Job",
     "JobError",
+    "JobJournal",
     "JobQueue",
     "JobRequest",
     "JobState",
     "QueueFull",
     "ResultStore",
+    "SummaryOnlyResult",
+    "WORKER_MODES",
     "WorkerPool",
+    "request_from_dict",
     "sweep_scenarios",
 ]

@@ -3,22 +3,29 @@
 Usage::
 
     python -m repro.service serve  [--host H] [--port P] [--workers N]
+                                   [--worker-mode {thread,process}]
+                                   [--journal PATH] [--journal-fsync]
                                    [--store-size N] [--store-ttl S]
                                    [--max-pending N] [--no-shared-cache] [-v]
-    python -m repro.service submit NAME [--priority P] [--generations N]
-                                   [--population N] [--profiling-runs N]
-                                   [--no-postprocess] [--wait] [--host H]
-                                   [--port P]
+    python -m repro.service submit NAME [NAME ...] [--priority P]
+                                   [--generations N] [--population N]
+                                   [--profiling-runs N] [--no-postprocess]
+                                   [--wait] [--host H] [--port P]
     python -m repro.service status (JOB_ID | --all) [--host H] [--port P]
-    python -m repro.service sweep  [NAME ...] [--all] [--jobs N] [--json]
+    python -m repro.service sweep  [NAME ...] [--all] [--jobs N]
+                                   [--worker-mode {thread,process}] [--json]
                                    [--shared-cache] [--generations N]
                                    [--population N] [--profiling-runs N]
 
-``serve`` runs the HTTP/JSON API over an in-process worker pool; ``submit``
-and ``status`` are thin :mod:`http.client` clients against a running
-server; ``sweep`` runs scenarios on an ephemeral in-process service (no
-server needed) — the same pool ``python -m repro.scenarios run --jobs N``
-uses.
+``serve`` runs the HTTP/JSON API over an in-process worker pool —
+``--worker-mode process`` computes jobs on a process pool (true multi-core
+parallelism, bit-identical results) and ``--journal PATH`` persists the job
+journal so a restarted server resumes its backlog and keeps serving
+completed results; ``submit`` and ``status`` are thin :mod:`http.client`
+clients against a running server (several NAMEs submit one *batch* job, and
+``--wait`` long-polls ``GET /jobs/<id>?wait=`` instead of busy-polling);
+``sweep`` runs scenarios on an ephemeral in-process service (no server
+needed) — the same pool ``python -m repro.scenarios run --jobs N`` uses.
 """
 
 from __future__ import annotations
@@ -27,7 +34,6 @@ import argparse
 import http.client
 import json
 import sys
-import time
 from typing import List, Optional, Tuple
 
 from repro.scenarios.registry import UnknownScenarioError, get_scenario
@@ -35,9 +41,10 @@ from repro.scenarios.registry import UnknownScenarioError, get_scenario
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8787
 
-#: Poll cadence of ``submit --wait`` (the API is poll-based by design:
-#: no sockets held open across a long evaluation).
-_WAIT_POLL_S = 0.2
+#: ``submit --wait`` long-polls ``GET /jobs/<id>?wait=S`` in slices of this
+#: many seconds (the server caps a single hold at its ``MAX_WAIT_S``), so a
+#: waiting client blocks on job completion instead of busy-polling.
+_WAIT_SLICE_S = 30
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,7 +58,20 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--host", default=DEFAULT_HOST)
     serve_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
     serve_cmd.add_argument("--workers", type=int, default=2,
-                           help="worker threads draining the job queue")
+                           help="workers draining the job queue")
+    serve_cmd.add_argument("--worker-mode", choices=("thread", "process"),
+                           default="thread",
+                           help="compute jobs on worker threads (default) "
+                                "or on a process pool — same results "
+                                "bit-for-bit, true multi-core parallelism")
+    serve_cmd.add_argument("--journal", default=None, metavar="PATH",
+                           help="append-only JSONL job journal; on startup "
+                                "an existing journal is replayed, so "
+                                "pending jobs resume and completed results "
+                                "survive the restart")
+    serve_cmd.add_argument("--journal-fsync", action="store_true",
+                           help="fsync the journal after every event "
+                                "(durable across power loss, slower)")
     serve_cmd.add_argument("--store-size", type=int, default=64,
                            help="bounded LRU result-store capacity")
     serve_cmd.add_argument("--store-ttl", type=float, default=None,
@@ -69,7 +89,9 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="log every HTTP request")
 
     submit_cmd = sub.add_parser("submit", help="submit a job to a server")
-    submit_cmd.add_argument("name", metavar="NAME", help="scenario name")
+    submit_cmd.add_argument("names", nargs="+", metavar="NAME",
+                            help="scenario name(s); several names submit "
+                                 "one batch job run as a unit of work")
     submit_cmd.add_argument("--priority", type=int, default=0)
     submit_cmd.add_argument("--generations", type=int, default=None)
     submit_cmd.add_argument("--population", type=int, default=None)
@@ -94,7 +116,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--all", action="store_true", dest="run_all",
                            help="sweep every registered scenario")
     sweep_cmd.add_argument("--jobs", type=int, default=2, metavar="N",
-                           help="worker threads (default: 2)")
+                           help="workers (default: 2)")
+    sweep_cmd.add_argument("--worker-mode", choices=("thread", "process"),
+                           default="thread",
+                           help="run the sweep on threads (default) or a "
+                                "process pool")
     sweep_cmd.add_argument("--json", action="store_true")
     sweep_cmd.add_argument("--shared-cache", action="store_true",
                            help="share WCET/WCEC analysis tables across "
@@ -135,6 +161,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     ServiceRequestHandler.verbose = args.verbose
     service = EvaluationService(
         workers=args.workers,
+        worker_mode=args.worker_mode,
+        journal=args.journal,
+        journal_fsync=args.journal_fsync,
         store_max_entries=args.store_size,
         store_ttl_s=args.store_ttl,
         max_pending=args.max_pending,
@@ -142,9 +171,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
+    journal_note = f", journal {args.journal}" if args.journal else ""
     print(f"evaluation service on http://{host}:{port} "
-          f"({args.workers} workers; POST /jobs, GET /jobs/<id>, "
-          f"GET /scenarios, GET /stats)", file=sys.stderr)
+          f"({args.workers} {args.worker_mode} workers{journal_note}; "
+          f"POST /jobs, GET /jobs/<id>, GET /scenarios, GET /stats)",
+          file=sys.stderr)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -156,13 +187,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    payload = {"scenario": args.name, "priority": args.priority,
-               "postprocess": not args.no_postprocess}
-    for key, value in (("generations", args.generations),
-                       ("population_size", args.population),
-                       ("profiling_runs", args.profiling_runs)):
-        if value is not None:
-            payload[key] = value
+    entries = []
+    for name in args.names:
+        entry = {"scenario": name, "postprocess": not args.no_postprocess}
+        for key, value in (("generations", args.generations),
+                           ("population_size", args.population),
+                           ("profiling_runs", args.profiling_runs)):
+            if value is not None:
+                entry[key] = value
+        entries.append(entry)
+    if len(entries) == 1:
+        payload = dict(entries[0], priority=args.priority)
+    else:
+        payload = {"batch": entries, "priority": args.priority}
     status, document = _request(args.host, args.port, "POST", "/jobs",
                                 payload)
     if status not in (200, 202):
@@ -171,9 +208,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     if args.wait:
         job_id = document["id"]
         while document["state"] in ("pending", "running"):
-            time.sleep(_WAIT_POLL_S)
-            status, document = _request(args.host, args.port, "GET",
-                                        f"/jobs/{job_id}")
+            # Long poll: the server holds each reply until the job is
+            # terminal or its per-request cap elapses, then we re-issue.
+            status, document = _request(
+                args.host, args.port, "GET",
+                f"/jobs/{job_id}?wait={_WAIT_SLICE_S}")
             if status != 200:
                 print(document.get("error", f"HTTP {status}"),
                       file=sys.stderr)
@@ -220,6 +259,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         enable_process_analysis_cache()
     results = sweep_scenarios(
         names, jobs=args.jobs,
+        worker_mode=args.worker_mode,
         generations=args.generations,
         population_size=args.population,
         profiling_runs=args.profiling_runs,

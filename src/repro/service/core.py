@@ -31,10 +31,49 @@ from repro.compiler.pipeline import merge_pipeline_stats, profile_rows
 from repro.scenarios.registry import get_scenario, list_scenarios
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
-from repro.service.jobs import Job, JobError, JobRequest, JobState
+from repro.service.jobs import (
+    BatchRequest,
+    BatchResult,
+    Job,
+    JobError,
+    JobRequest,
+    JobState,
+)
+from repro.service.journal import JobJournal, SummaryOnlyResult
 from repro.service.queue import JobQueue
 from repro.service.store import ResultStore
 from repro.service.workers import WorkerPool
+
+
+def execute_request(runner: ScenarioRunner,
+                    request: Union[JobRequest, BatchRequest]):
+    """Run one (possibly batch) job request through a scenario runner.
+
+    The single executable definition of "running a request": thread workers
+    call it on the service's runner, process workers call it in the worker
+    process via :func:`run_request_in_process`, so both modes compute the
+    identical bits.
+    """
+    if isinstance(request, BatchRequest):
+        return BatchResult(runner.run_requests(request.requests))
+    return runner.run(
+        request.scenario,
+        generations=request.generations,
+        population_size=request.population_size,
+        profiling_runs=request.profiling_runs,
+        postprocess=request.postprocess,
+    )
+
+
+def run_request_in_process(request: Union[JobRequest, BatchRequest]):
+    """Process-pool worker entry point (top level, so it pickles).
+
+    Receives the pickled request, runs it on a per-process runner, and
+    returns the result — pickled back over the executor's result channel.
+    Worker processes are forked from the service process, so the scenario
+    registry (including any test-registered specs) comes along.
+    """
+    return execute_request(ScenarioRunner(), request)
 
 
 class EvaluationService:
@@ -47,6 +86,9 @@ class EvaluationService:
                  max_pending: Optional[int] = None,
                  shared_analysis_cache: bool = True,
                  runner: Optional[ScenarioRunner] = None,
+                 worker_mode: str = "thread",
+                 journal: Optional[object] = None,
+                 journal_fsync: bool = False,
                  autostart: bool = True):
         """``shared_analysis_cache`` turns on the process-wide WCET/WCEC
         cache for the service's lifetime (restored on :meth:`close` unless
@@ -55,13 +97,25 @@ class EvaluationService:
         ``store_ttl_s`` lazily expires cached results older than the TTL;
         ``max_pending`` bounds the pending backlog — beyond it ``submit``
         raises :class:`~repro.service.queue.QueueFull` (HTTP 429).
+        ``worker_mode="process"`` computes jobs in a process pool (true
+        multi-core parallelism; results bit-identical to thread mode).
+        ``journal`` names a JSONL path: lifecycle events append there and
+        existing events replay *before* the pool starts, so pending jobs
+        resume, completed results survive, and fingerprint dedup extends
+        across restarts.
         """
         self.runner = runner if runner is not None else ScenarioRunner()
         self.queue = JobQueue(max_records=max_job_records,
                               max_pending=max_pending)
         self.store = ResultStore(max_entries=store_max_entries,
                                  ttl_s=store_ttl_s)
-        self.pool = WorkerPool(self.queue, self._execute, workers=workers)
+        self.journal: Optional[JobJournal] = None
+        if journal is not None:
+            self.journal = (journal if isinstance(journal, JobJournal)
+                            else JobJournal(journal, fsync=journal_fsync))
+        self.pool = WorkerPool(self.queue, self._execute, workers=workers,
+                               mode=worker_mode,
+                               process_task=run_request_in_process)
         #: Cross-job rollup of per-pass compile timings, fed by every
         #: completed run; the GET /stats "pipeline" document.
         self._pipeline_totals: Dict[str, Dict[str, object]] = {}
@@ -72,8 +126,27 @@ class EvaluationService:
         if self._owns_shared_cache:
             enable_process_analysis_cache()
         self._closed = False
+        if self.journal is not None:
+            self._replay_journal()
         if autostart:
             self.start()
+
+    def _replay_journal(self) -> None:
+        """Restore queue records and stored results from the journal.
+
+        Pending jobs rejoin the queue (the workers recompute them once the
+        pool starts); succeeded jobs with a restorable result feed the
+        store, extending fingerprint dedup across the restart; summary-only
+        results stay queryable by id but out of the dedup store, so a fresh
+        submission recomputes instead of serving a hollow result.
+        """
+        for job in self.journal.replay():
+            restored = self.queue.restore(job)
+            if restored is not job:
+                continue  # coalesced onto an earlier live record
+            if (job.state is JobState.SUCCEEDED and job.result is not None
+                    and not isinstance(job.result, SummaryOnlyResult)):
+                self.store.put(job)
 
     # ------------------------------------------------------------- lifecycle --
     def start(self) -> None:
@@ -81,11 +154,13 @@ class EvaluationService:
         self.pool.start()
 
     def close(self, wait: bool = True) -> None:
-        """Stop the workers and restore the shared-cache state."""
+        """Stop the workers, close the journal, restore shared-cache state."""
         if self._closed:
             return
         self._closed = True
         self.pool.stop(wait=wait)
+        if self.journal is not None:
+            self.journal.close()
         if self._owns_shared_cache:
             disable_process_analysis_cache()
 
@@ -121,13 +196,42 @@ class EvaluationService:
             profiling_runs=profiling_runs,
             postprocess=postprocess,
         )
+        return self._submit_request(request, priority=priority,
+                                    use_cache=use_cache)
+
+    def submit_batch(self, requests: Sequence[Union[JobRequest, Dict[str, object]]],
+                     *, priority: int = 0, use_cache: bool = True) -> Job:
+        """Submit several requests as *one* job (one queue entry).
+
+        A whole population/sweep coalesces into a single unit of work: one
+        id to poll, one fingerprint for dedup, one worker execution whose
+        sub-requests run in order on a shared runner (warm evaluation
+        caches, the service-level analogue of the engine's batched
+        population evaluation).  The job's result is a
+        :class:`~repro.service.jobs.BatchResult` with per-request results in
+        request order.
+        """
+        parsed: List[JobRequest] = []
+        for entry in requests:
+            request = (entry if isinstance(entry, JobRequest)
+                       else JobRequest.from_dict(entry))
+            get_scenario(request.scenario)
+            parsed.append(request)
+        return self._submit_request(BatchRequest(tuple(parsed)),
+                                    priority=priority, use_cache=use_cache)
+
+    def _submit_request(self, request: Union[JobRequest, BatchRequest], *,
+                        priority: int, use_cache: bool) -> Job:
+        """Shared store/queue submission dance for single and batch jobs."""
         fingerprint = request.fingerprint()
         if use_cache:
             cached = self.store.get(fingerprint)
             if cached is not None:
-                cached.submissions += 1
+                cached.note_submission()
                 return cached
         job, deduplicated = self.queue.submit(request, priority=priority)
+        if not deduplicated and self.journal is not None:
+            self.journal.record_submit(job)
         if use_cache and not deduplicated:
             # TOCTOU guard: the live job may have finished between our
             # store miss and the enqueue.  The worker fills the store
@@ -138,26 +242,35 @@ class EvaluationService:
             # identical bits; sharing the cached job is still correct.)
             cached = self.store.get(fingerprint)
             if cached is not None and cached is not job:
-                self.queue.cancel(job.id)
-                cached.submissions += 1
+                self.cancel(job.id)
+                cached.note_submission()
                 return cached
         return job
 
-    def _execute(self, job: Job) -> ScenarioResult:
-        """Worker entry point: run the scenario, finish and cache the job."""
-        request = job.request
-        result = self.runner.run(
-            request.scenario,
-            generations=request.generations,
-            population_size=request.population_size,
-            profiling_runs=request.profiling_runs,
-            postprocess=request.postprocess,
-        )
-        if result.pipeline_stats is not None:
-            with self._pipeline_lock:
-                merge_pipeline_stats(self._pipeline_totals,
-                                     result.pipeline_stats)
-                self._pipeline_jobs += 1
+    def _execute(self, job: Job, compute=None):
+        """Worker entry point: run the request, finish and cache the job.
+
+        Thread mode calls ``_execute(job)`` and the request runs on the
+        service's runner; in process mode the pool passes ``compute``, a
+        zero-argument callable resolving the result computed in a worker
+        process from the pickled request.  Everything that touches shared
+        state — pipeline-stats rollup, store, queue, journal — happens here,
+        in the service process, under the appropriate locks.
+        """
+        try:
+            if compute is not None:
+                result = compute()
+            else:
+                result = execute_request(self.runner, job.request)
+        except BaseException as error:
+            # Finish (and journal) the failure here so both worker modes
+            # record outcomes identically; the pool sees the job already
+            # terminal and only counts the failure.
+            self.queue.finish(job, error=f"{type(error).__name__}: {error}")
+            if self.journal is not None:
+                self.journal.record_finish(job)
+            raise
+        self._merge_pipeline_stats(result)
         # Cache before finishing: the queue's dedup window closes at
         # ``finish``, so once the fingerprint is released the store is
         # guaranteed to hit — which is what the submit-side TOCTOU
@@ -166,21 +279,50 @@ class EvaluationService:
         # other submitter.
         self.store.put(job)
         self.queue.finish(job, result=result)
+        if self.journal is not None:
+            self.journal.record_finish(job)
         return result
+
+    def _merge_pipeline_stats(self, result) -> None:
+        """Fold a result's per-pass timings into the cross-job rollup."""
+        results = (result.results if isinstance(result, BatchResult)
+                   else [result])
+        merged_any = False
+        with self._pipeline_lock:
+            for entry in results:
+                if entry.pipeline_stats is not None:
+                    merge_pipeline_stats(self._pipeline_totals,
+                                         entry.pipeline_stats)
+                    merged_any = True
+            if merged_any:
+                self._pipeline_jobs += 1
 
     # --------------------------------------------------------------- queries --
     def job(self, job_id: str) -> Optional[Job]:
-        """The live :class:`Job` record for ``job_id`` (``None`` if unknown)."""
-        return self.queue.get(job_id)
+        """The :class:`Job` record for ``job_id`` (``None`` if unknown).
+
+        Falls back to the result store when the queue has pruned the
+        record: the store keeps completed jobs beyond the queue's bounded
+        record window, so every id the API ever returned stays resolvable
+        until store eviction/expiry.
+        """
+        job = self.queue.get(job_id)
+        if job is None:
+            job = self.store.job_by_id(job_id)
+        return job
 
     def status(self, job_id: str) -> Optional[Dict[str, object]]:
         """JSON-ready job document, or ``None`` for unknown ids."""
-        job = self.queue.get(job_id)
+        job = self.job(job_id)
         return None if job is None else job.as_dict()
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a pending job; ``False`` once it is running or finished."""
-        return self.queue.cancel(job_id)
+        job = self.queue.get(job_id)
+        cancelled = self.queue.cancel(job_id)
+        if cancelled and self.journal is not None:
+            self.journal.record_cancel(job)
+        return cancelled
 
     def result(self, job: Union[Job, str],
                timeout: Optional[float] = None) -> ScenarioResult:
@@ -190,7 +332,7 @@ class EvaluationService:
         unknown job id.
         """
         if isinstance(job, str):
-            record = self.queue.get(job)
+            record = self.job(job)  # queue record or store fallback
             if record is None:
                 raise JobError(f"unknown job {job!r}")
             job = record
@@ -237,6 +379,8 @@ class EvaluationService:
             "store": self.store.stats(),
             "workers": self.pool.stats(),
             "pipeline": self.pipeline_stats(),
+            "journal": (None if self.journal is None
+                        else self.journal.stats()),
             "analysis_cache": {
                 "enabled": process_analysis_cache_enabled(),
                 "platforms": process_analysis_cache_stats(),
@@ -273,6 +417,7 @@ class EvaluationService:
 def sweep_scenarios(scenarios: Optional[Sequence[Union[str, ScenarioSpec]]]
                     = None, *,
                     jobs: int = 2,
+                    worker_mode: str = "thread",
                     generations: Optional[int] = None,
                     population_size: Optional[int] = None,
                     profiling_runs: Optional[int] = None,
@@ -285,7 +430,8 @@ def sweep_scenarios(scenarios: Optional[Sequence[Union[str, ScenarioSpec]]]
     process-wide analysis cache is left exactly as the caller had it
     (``--shared-cache`` remains the explicit opt-in).
     """
-    with EvaluationService(workers=jobs, shared_analysis_cache=False,
+    with EvaluationService(workers=jobs, worker_mode=worker_mode,
+                           shared_analysis_cache=False,
                            autostart=True) as service:
         return service.sweep(
             scenarios,

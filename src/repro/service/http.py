@@ -8,20 +8,30 @@ Endpoints (all JSON):
 ========  ==================  ===============================================
 method    path                meaning
 ========  ==================  ===============================================
-POST      /jobs               submit ``{"scenario": name, ...overrides}``;
+POST      /jobs               submit ``{"scenario": name, ...overrides}``,
+                              or a *list* of such objects (equivalently
+                              ``{"batch": [...], "priority": N}``) — the
+                              whole batch becomes one job whose result
+                              carries per-request summaries in order;
                               replies with the job document (a coalesced or
                               cached submission returns the shared job —
                               its ``submissions`` counter tells); a bounded
                               pending queue rejects overload with ``429``
-                              and a ``Retry-After`` header
+                              and a ``Retry-After`` header; bodies beyond
+                              1 MiB are rejected with ``413``
 GET       /jobs               every known job record
 GET       /jobs/<id>          one job document (includes ``result`` summary
-                              once the job succeeded)
+                              once the job succeeded); ``?wait=SECONDS``
+                              long-polls — the reply is held until the job
+                              is terminal or the wait (capped at
+                              ``MAX_WAIT_S``) elapses, so clients block on
+                              completion instead of polling
 DELETE    /jobs/<id>          cancel a pending job
 GET       /scenarios          the scenario-registry listing
-GET       /stats              queue/store/worker/analysis-cache counters
-                              plus per-pass compile timings aggregated
-                              across completed jobs (``pipeline``)
+GET       /stats              queue/store/worker/journal/analysis-cache
+                              counters plus per-pass compile timings
+                              aggregated across completed jobs
+                              (``pipeline``)
 ========  ==================  ===============================================
 
 Floats survive the JSON round-trip bit-for-bit (``json`` serialises via
@@ -34,16 +44,35 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
-from urllib.parse import urlparse
+from urllib.parse import parse_qs, urlparse
 
 from repro.scenarios.registry import UnknownScenarioError
 from repro.service.core import EvaluationService
-from repro.service.jobs import JobError, JobRequest, JobState
+from repro.service.jobs import (
+    JobError,
+    JobRequest,
+    JobState,
+    request_from_dict,
+)
 from repro.service.queue import QueueFull
 
 #: Retry-After hint (seconds) sent with 429 rejections.  Scenario runs take
 #: O(seconds), so one pending slot frees up on that time scale.
 RETRY_AFTER_S = 1
+
+#: Request bodies beyond this are rejected with 413 before being read — the
+#: Content-Length header is client-controlled, so it must not size a buffer
+#: unchecked.  1 MiB comfortably fits any real batch submission.
+MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound on one ``?wait=`` long-poll hold.  Clients wanting to wait
+#: longer re-issue the request; bounding the hold keeps handler threads
+#: from accumulating behind jobs that never finish.
+MAX_WAIT_S = 60.0
+
+
+class BodyTooLarge(JobError):
+    """Raised when a request body exceeds :data:`MAX_BODY_BYTES` (HTTP 413)."""
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -85,8 +114,20 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                headers: Optional[dict] = None) -> None:
         self._reply(status, {"error": message}, headers=headers)
 
-    def _read_json(self) -> Optional[dict]:
-        length = int(self.headers.get("Content-Length") or 0)
+    def _read_json(self):
+        header = self.headers.get("Content-Length")
+        try:
+            length = int(header or 0)
+        except ValueError:
+            raise JobError(f"invalid Content-Length {header!r}") from None
+        if length < 0:
+            raise JobError(f"invalid Content-Length {header!r}")
+        if length > MAX_BODY_BYTES:
+            # Trusting a client-controlled length to size the read is how
+            # one oversized POST exhausts the server; refuse before reading.
+            raise BodyTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit")
         raw = self.rfile.read(length) if length else b""
         if not raw:
             return None
@@ -98,8 +139,9 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # ----------------------------------------------------------------- routes --
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        """Route GET /scenarios, /stats, /jobs and /jobs/<id>."""
-        path = urlparse(self.path).path.rstrip("/") or "/"
+        """Route GET /scenarios, /stats, /jobs and /jobs/<id>[?wait=S]."""
+        parsed = urlparse(self.path)
+        path = parsed.path.rstrip("/") or "/"
         if path == "/scenarios":
             self._reply(200, {"scenarios": self._service.scenarios()})
         elif path == "/stats":
@@ -108,17 +150,43 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             self._reply(200, {"jobs": [job.as_dict()
                                        for job in self._service.queue.jobs()]})
         elif path.startswith("/jobs/"):
-            document = self._service.status(path[len("/jobs/"):])
-            if document is None:
+            job = self._service.job(path[len("/jobs/"):])
+            if job is None:
                 self._error(404, "unknown job")
-            else:
-                self._reply(200, document)
+                return
+            try:
+                wait_s = self._wait_seconds(parsed.query)
+            except JobError as error:
+                self._error(400, str(error))
+                return
+            if wait_s is not None and not job.state.terminal:
+                # Long poll: hold the reply until the job is terminal or
+                # the (capped) wait elapses — the server is threaded, so a
+                # blocked handler thread costs nothing but itself.
+                job.wait(wait_s)
+            self._reply(200, job.as_dict())
         else:
             self._error(404, f"unknown path {path!r}")
 
+    @staticmethod
+    def _wait_seconds(query: str) -> Optional[float]:
+        """The capped ``?wait=SECONDS`` long-poll duration, if requested."""
+        values = parse_qs(query).get("wait")
+        if not values:
+            return None
+        try:
+            wait_s = float(values[-1])
+        except ValueError:
+            raise JobError(f"wait must be a number of seconds, "
+                           f"got {values[-1]!r}") from None
+        if wait_s < 0:
+            raise JobError(f"wait must be >= 0, got {wait_s}")
+        return min(wait_s, MAX_WAIT_S)
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        """Route POST /jobs: submit an evaluation (202, or 200 on a
-        store-served repeat; 429 + Retry-After when the backlog is full)."""
+        """Route POST /jobs: submit an evaluation or a batch (202, or 200
+        on a store-served repeat; 429 + Retry-After when the backlog is
+        full; 413 for oversized bodies)."""
         path = urlparse(self.path).path.rstrip("/")
         if path != "/jobs":
             self._error(404, f"unknown path {path!r}")
@@ -127,21 +195,32 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             payload = self._read_json()
             if payload is None:
                 raise JobError("POST /jobs needs a JSON body")
-            request = JobRequest.from_dict(payload)
-            priority = payload.get("priority", 0)
-            if not isinstance(priority, int):
-                raise JobError(f"priority must be an integer, "
-                               f"got {priority!r}")
-            job = self._service.submit(
-                request.scenario,
-                generations=request.generations,
-                population_size=request.population_size,
-                profiling_runs=request.profiling_runs,
-                postprocess=request.postprocess,
-                priority=priority,
-            )
+            priority = 0
+            if isinstance(payload, dict):
+                priority = payload.get("priority", 0)
+                # bool subclasses int, so ``"priority": true`` would pass a
+                # plain isinstance check and run at priority 1 — reject it.
+                if isinstance(priority, bool) or not isinstance(priority, int):
+                    raise JobError(f"priority must be an integer, "
+                                   f"got {priority!r}")
+            request = request_from_dict(payload)
+            if isinstance(request, JobRequest):
+                job = self._service.submit(
+                    request.scenario,
+                    generations=request.generations,
+                    population_size=request.population_size,
+                    profiling_runs=request.profiling_runs,
+                    postprocess=request.postprocess,
+                    priority=priority,
+                )
+            else:
+                job = self._service.submit_batch(request.requests,
+                                                 priority=priority)
         except UnknownScenarioError as error:
             self._error(404, str(error.args[0]))
+            return
+        except BodyTooLarge as error:
+            self._error(413, str(error))
             return
         except QueueFull as error:
             # Back-pressure: the pending queue is bounded; tell the client

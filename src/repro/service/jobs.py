@@ -2,11 +2,15 @@
 
 A :class:`JobRequest` is the declarative unit of work — *which* registered
 scenario to run and with which runner overrides — and is deliberately
-name-based: the HTTP API and the dedup fingerprint both need a canonical,
-serialisable description, so requests reference the scenario registry
-instead of carrying spec objects.  A :class:`Job` wraps one request with
-queue state (priority, lifecycle, timestamps, coalesced-submission count)
-and an event waiters can block on.
+name-based: the HTTP API, the dedup fingerprint, the persistent journal and
+the process-pool workers all need a canonical, serialisable (and picklable)
+description, so requests reference the scenario registry instead of
+carrying spec objects.  A :class:`BatchRequest` bundles several requests
+into one unit of work, so a whole population/sweep travels as a single
+queue entry; its :class:`BatchResult` carries the per-request results in
+request order.  A :class:`Job` wraps one request with queue state
+(priority, lifecycle, timestamps, coalesced-submission count) and an event
+waiters can block on.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import TeamPlayError
 
@@ -57,7 +61,10 @@ class JobRequest:
         for field_name in ("generations", "population_size",
                            "profiling_runs"):
             value = getattr(self, field_name)
-            if value is not None and (not isinstance(value, int)
+            # bool is an int subclass: ``True`` would silently evaluate as
+            # the budget 1, so reject it alongside the other non-ints.
+            if value is not None and (isinstance(value, bool)
+                                      or not isinstance(value, int)
                                       or value < 1):
                 raise JobError(
                     f"job request field {field_name!r} must be a positive "
@@ -109,6 +116,82 @@ class JobRequest:
         )
 
 
+@dataclass(frozen=True)
+class BatchRequest:
+    """Several job requests bundled into one unit of work.
+
+    A whole population/sweep travels as a *single* queue entry: one job id,
+    one dedup fingerprint (canonical over the ordered sub-requests), one
+    worker execution producing a :class:`BatchResult`.  The sub-requests run
+    in order on one shared runner, so the evaluation caches warmed by the
+    first sub-request serve the rest — the service-level analogue of handing
+    the engine's :class:`~repro.compiler.engine.BatchEvaluator` a whole
+    population instead of single configurations.
+    """
+
+    requests: Tuple[JobRequest, ...]
+
+    def __post_init__(self):
+        if not self.requests:
+            raise JobError("a batch request needs at least one job request")
+        for entry in self.requests:
+            if not isinstance(entry, JobRequest):
+                raise JobError(
+                    f"batch entries must be job requests, got {entry!r}")
+
+    def fingerprint(self) -> str:
+        """Canonical digest over the ordered sub-requests."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (also the journal's on-disk representation)."""
+        return {"batch": [entry.as_dict() for entry in self.requests]}
+
+    @classmethod
+    def from_list(cls, payloads: Sequence[Dict[str, object]]) -> "BatchRequest":
+        """Build a batch from a JSON list of request payloads."""
+        if not isinstance(payloads, (list, tuple)) or not payloads:
+            raise JobError(
+                "a batch submission needs a non-empty JSON list of job "
+                "requests")
+        return cls(tuple(JobRequest.from_dict(entry) for entry in payloads))
+
+
+def request_from_dict(payload: Union[Dict[str, object], List[dict]]
+                      ) -> Union[JobRequest, BatchRequest]:
+    """Parse a JSON payload into a single or batch request.
+
+    Accepts a plain request object, a list of request objects, or the
+    canonical batch form ``{"batch": [...]}`` (what
+    :meth:`BatchRequest.as_dict` writes — the journal replays through this
+    same entry point).
+    """
+    if isinstance(payload, (list, tuple)):
+        return BatchRequest.from_list(payload)
+    if isinstance(payload, dict) and "batch" in payload:
+        unknown = set(payload) - {"batch", "priority"}
+        if unknown:
+            raise JobError(
+                f"unknown batch request fields: {', '.join(sorted(unknown))}")
+        return BatchRequest.from_list(payload["batch"])
+    return JobRequest.from_dict(payload)
+
+
+@dataclass
+class BatchResult:
+    """Results of a batch job, aligned with its sub-requests."""
+
+    results: List[Any]
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-ready summary: one row per sub-request, in request order."""
+        return {
+            "count": len(self.results),
+            "batch": [result.summary() for result in self.results],
+        }
+
+
 @dataclass
 class Job:
     """One queued evaluation: a request plus its lifecycle state.
@@ -120,7 +203,7 @@ class Job:
     """
 
     id: str
-    request: JobRequest
+    request: Union[JobRequest, BatchRequest]
     priority: int = 0
     state: JobState = JobState.PENDING
     submitted_at: float = field(default_factory=time.time)
@@ -129,13 +212,29 @@ class Job:
     result: Any = None
     error: Optional[str] = None
     #: Number of submissions coalesced onto this job (dedup hits + 1).
+    #: Mutate through :meth:`note_submission` — a queue dedup hit and a
+    #: store hit can race on the same job from different threads.
     submissions: int = 1
     #: Set when the job reaches a terminal state.
     done: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Guards ``submissions`` (see :meth:`note_submission`).
+    submissions_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False)
 
     @property
     def fingerprint(self) -> str:
         return self.request.fingerprint()
+
+    def note_submission(self) -> int:
+        """Count one more coalesced submission (thread-safe); returns the
+        new total.  Both dedup paths — the queue's live-job coalescing and
+        the service's store hits — go through this lock: a bare
+        ``submissions += 1`` is a read-modify-write that loses counts when
+        a store hit races a duplicate enqueue on the same job.
+        """
+        with self.submissions_lock:
+            self.submissions += 1
+            return self.submissions
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job is terminal; ``False`` on timeout."""

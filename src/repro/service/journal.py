@@ -1,0 +1,229 @@
+"""Persistent job journal of the evaluation service.
+
+An append-only JSONL file records every job-lifecycle event — ``submit``,
+``finish``, ``cancel`` — so a restarted ``serve --journal PATH`` replays the
+file and carries on where the previous process stopped: still-pending jobs
+rejoin the queue (and recompute), completed results go back into the
+:class:`~repro.service.store.ResultStore` under their request fingerprint
+(so dedup extends across restarts), and every job id the API ever returned
+stays resolvable.
+
+One JSON object per line, written under a lock and flushed per event, keeps
+the format crash-tolerant: a torn final line (the process died mid-write)
+is skipped on replay and overwritten by the next append.  Requests are
+stored in their canonical ``as_dict`` form (the fingerprint input, so the
+digest is stable across restarts); results are stored twice — a JSON
+``summary`` for humans and the HTTP layer, and a base64 pickle of the full
+result object for in-process callers.  When a result refuses to pickle
+(e.g. a custom scenario built around a closure), the summary alone is kept:
+the job replays as succeeded with a :class:`SummaryOnlyResult`, remains
+queryable by id, but is *not* re-offered for fingerprint dedup — a fresh
+submission of that request recomputes instead of serving a hollow result.
+
+Determinism makes all of this safe: a replayed result, a deduplicated run
+and a fresh computation are bit-for-bit interchangeable.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import threading
+from typing import Dict, List, Optional
+
+from repro.service.jobs import (
+    Job,
+    JobState,
+    request_from_dict,
+)
+
+
+class SummaryOnlyResult:
+    """Stand-in for a journaled result whose pickle was unavailable.
+
+    Carries just enough — the JSON ``summary()`` — for status documents and
+    the HTTP API; in-process callers that need the full result object must
+    recompute (the service keeps these jobs out of the dedup store for
+    exactly that reason).
+    """
+
+    def __init__(self, summary: Dict[str, object]):
+        self._summary = dict(summary)
+
+    def summary(self) -> Dict[str, object]:
+        return dict(self._summary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"SummaryOnlyResult({self._summary.get('name')!r})"
+
+
+class JobJournal:
+    """Append-only JSONL journal of job submissions and outcomes."""
+
+    def __init__(self, path, fsync: bool = False):
+        """``fsync=True`` forces every event to disk before returning —
+        durable across power loss, measurably slower per job.  The default
+        flushes to the OS (durable across process crashes)."""
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._handle = None
+        self._events_written = 0
+        self._pickle_failures = 0
+        self._replayed_jobs = 0
+        self._skipped_lines = 0
+
+    # ---------------------------------------------------------------- write --
+    def _append(self, event: Dict[str, object]) -> None:
+        with self._lock:
+            if self._handle is None:
+                directory = os.path.dirname(self.path)
+                if directory:
+                    os.makedirs(directory, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._events_written += 1
+
+    def record_submit(self, job: Job) -> None:
+        """Journal a freshly enqueued job (dedup hits are not events: they
+        coalesce onto the recorded job and carry no state of their own)."""
+        self._append({
+            "event": "submit",
+            "id": job.id,
+            "request": job.request.as_dict(),
+            "priority": job.priority,
+            "submitted_at": job.submitted_at,
+        })
+
+    def record_finish(self, job: Job) -> None:
+        """Journal a terminal outcome (success with result, or failure)."""
+        event: Dict[str, object] = {
+            "event": "finish",
+            "id": job.id,
+            "state": job.state.value,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+        }
+        if job.error is not None:
+            event["error"] = job.error
+        if job.result is not None:
+            event["summary"] = job.result.summary()
+            try:
+                blob = pickle.dumps(job.result)
+            except Exception:
+                # Unpicklable results (closure-built custom scenarios) keep
+                # their summary only; replay serves status, not dedup.
+                with self._lock:
+                    self._pickle_failures += 1
+            else:
+                event["result_pickle"] = base64.b64encode(blob).decode("ascii")
+        self._append(event)
+
+    def record_cancel(self, job: Job) -> None:
+        """Journal a cancelled pending job."""
+        self._append({
+            "event": "cancel",
+            "id": job.id,
+            "finished_at": job.finished_at,
+        })
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- replay --
+    def replay(self) -> List[Job]:
+        """Rebuild the job records a previous process journaled.
+
+        Returns jobs in submission order, each in its final journaled state:
+        ``pending`` (submitted, never finished — the resume backlog),
+        terminal with a restored result object, terminal with a
+        :class:`SummaryOnlyResult`, or failed/cancelled.  Torn or malformed
+        lines are counted and skipped, so a crash mid-append cannot poison
+        the restart.
+        """
+        jobs: "Dict[str, Job]" = {}
+        order: List[str] = []
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                    self._apply(event, jobs, order)
+                except (ValueError, KeyError, TypeError):
+                    self._skipped_lines += 1
+        restored = [jobs[job_id] for job_id in order]
+        self._replayed_jobs = len(restored)
+        return restored
+
+    def _apply(self, event: Dict[str, object], jobs: Dict[str, Job],
+               order: List[str]) -> None:
+        kind = event["event"]
+        if kind == "submit":
+            job = Job(
+                id=event["id"],
+                request=request_from_dict(event["request"]),
+                priority=int(event.get("priority", 0)),
+            )
+            job.submitted_at = float(event["submitted_at"])
+            jobs[job.id] = job
+            order.append(job.id)
+            return
+        job = jobs.get(event.get("id"))
+        if job is None:
+            # A finish/cancel whose submit line predates this journal file
+            # (e.g. a truncated copy); nothing to attach it to.
+            self._skipped_lines += 1
+            return
+        if kind == "cancel":
+            job.state = JobState.CANCELLED
+            job.finished_at = event.get("finished_at")
+            job.done.set()
+            return
+        if kind != "finish":
+            self._skipped_lines += 1
+            return
+        job.state = JobState(event["state"])
+        job.started_at = event.get("started_at")
+        job.finished_at = event.get("finished_at")
+        job.error = event.get("error")
+        blob = event.get("result_pickle")
+        if blob is not None:
+            try:
+                job.result = pickle.loads(base64.b64decode(blob))
+            except Exception:
+                self._skipped_lines += 1
+                blob = None
+        if blob is None and event.get("summary") is not None:
+            job.result = SummaryOnlyResult(event["summary"])
+        job.done.set()
+
+    # ---------------------------------------------------------------- stats --
+    def stats(self) -> Dict[str, object]:
+        """Counter snapshot (surfaced under ``GET /stats`` as ``journal``)."""
+        with self._lock:
+            return {
+                "path": self.path,
+                "fsync": self.fsync,
+                "events_written": self._events_written,
+                "pickle_failures": self._pickle_failures,
+                "replayed_jobs": self._replayed_jobs,
+                "skipped_lines": self._skipped_lines,
+            }

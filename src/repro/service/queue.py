@@ -52,15 +52,23 @@ class JobQueue:
         #: fingerprint -> job id of the one live (pending/running) job.
         self._live_by_fingerprint: Dict[str, str] = {}
         self._seq = itertools.count()
-        self._ids = itertools.count(1)
+        #: Next fresh job number; a plain int (not ``itertools.count``) so
+        #: journal replay can advance it past restored ids.
+        self._next_id = 1
         #: Pending-job gauge, maintained incrementally so the back-pressure
         #: check in ``submit`` is O(1) rather than a record scan.
         self._pending = 0
         # Counters (monotonic; ``stats()`` derives the live gauges).
+        # ``succeeded``/``failed`` are maintained in ``finish`` rather than
+        # derived from the live records: record pruning evicts terminal
+        # jobs, so a scan silently undercounts on a long-lived queue while
+        # ``cancelled``/``rejected`` keep climbing.
         self._submitted = 0
         self._deduplicated = 0
         self._rejected = 0
         self._cancelled = 0
+        self._succeeded = 0
+        self._failed = 0
         self._evicted_records = 0
 
     # ------------------------------------------------------------- submission --
@@ -84,7 +92,7 @@ class JobQueue:
             live_id = self._live_by_fingerprint.get(fingerprint)
             if live_id is not None:
                 job = self._records[live_id]
-                job.submissions += 1
+                job.note_submission()
                 self._deduplicated += 1
                 if (job.state is JobState.PENDING
                         and priority > job.priority):
@@ -98,8 +106,9 @@ class JobQueue:
                 raise QueueFull(
                     f"queue is full: {self._pending} jobs pending "
                     f"(max_pending={self.max_pending})")
-            job = Job(id=f"job-{next(self._ids):06d}", request=request,
+            job = Job(id=f"job-{self._next_id:06d}", request=request,
                       priority=priority)
+            self._next_id += 1
             self._records[job.id] = job
             self._live_by_fingerprint[fingerprint] = job.id
             heapq.heappush(self._heap, (-priority, next(self._seq), job.id))
@@ -107,6 +116,49 @@ class JobQueue:
             self._prune_records()
             self._has_pending.notify()
             return job, False
+
+    def restore(self, job: Job) -> Job:
+        """Re-insert a job record rebuilt from the persistent journal.
+
+        Pending jobs rejoin the heap (and the dedup window) exactly as a
+        fresh submission would; terminal jobs become queryable records again
+        and count into the monotonic lifetime counters, so ``stats()`` keeps
+        describing the journal's whole history across a restart.  The fresh
+        job-id counter advances past every restored id so new submissions
+        can never collide with journaled ones.
+        """
+        with self._lock:
+            if job.id in self._records:
+                raise JobError(f"job {job.id} is already in the queue")
+            prefix, _, suffix = job.id.rpartition("-")
+            if prefix == "job" and suffix.isdigit():
+                self._next_id = max(self._next_id, int(suffix) + 1)
+            self._records[job.id] = job
+            if job.state is JobState.PENDING:
+                fingerprint = job.fingerprint
+                if fingerprint in self._live_by_fingerprint:
+                    # Two live journal entries for one fingerprint cannot
+                    # happen in a well-formed journal; keep the first and
+                    # coalesce this record onto it rather than running the
+                    # same computation twice after a replay.
+                    live = self._records[self._live_by_fingerprint[fingerprint]]
+                    del self._records[job.id]
+                    live.note_submission()
+                    self._deduplicated += 1
+                    return live
+                self._live_by_fingerprint[fingerprint] = job.id
+                heapq.heappush(self._heap,
+                               (-job.priority, next(self._seq), job.id))
+                self._pending += 1
+                self._has_pending.notify()
+            elif job.state is JobState.SUCCEEDED:
+                self._succeeded += 1
+            elif job.state is JobState.FAILED:
+                self._failed += 1
+            elif job.state is JobState.CANCELLED:
+                self._cancelled += 1
+            self._prune_records()
+            return job
 
     def _prune_records(self) -> None:
         """Drop the oldest *terminal* records beyond ``max_records``."""
@@ -164,6 +216,10 @@ class JobQueue:
             job.error = error
             job.state = (JobState.FAILED if error is not None
                          else JobState.SUCCEEDED)
+            if error is not None:
+                self._failed += 1
+            else:
+                self._succeeded += 1
             job.finished_at = time.time()
             self._release_fingerprint_locked(job)
             # Completed jobs move to the back so record pruning drops the
@@ -217,8 +273,10 @@ class JobQueue:
                 # stats document can never disagree.
                 "pending": self._pending,
                 "running": sum(s is JobState.RUNNING for s in states),
-                "succeeded": sum(s is JobState.SUCCEEDED for s in states),
-                "failed": sum(s is JobState.FAILED for s in states),
+                # Monotonic, like cancelled/rejected: record pruning must
+                # not make the lifetime totals shrink.
+                "succeeded": self._succeeded,
+                "failed": self._failed,
                 "cancelled": self._cancelled,
                 "evicted_records": self._evicted_records,
             }

@@ -45,6 +45,11 @@ class ResultStore:
         #: first.  The timestamp is the *insertion* time: LRU touches renew
         #: an entry's recency, not its age.
         self._jobs: "OrderedDict[str, Tuple[Job, float]]" = OrderedDict()
+        #: job id -> fingerprint, kept in lockstep with ``_jobs`` so a job
+        #: id stays resolvable after the queue pruned its record (see
+        #: :meth:`job_by_id`).  Invariant: ``_by_id[i]`` maps to an entry
+        #: whose job really has id ``i``.
+        self._by_id: Dict[str, str] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -69,8 +74,14 @@ class ResultStore:
                  for fingerprint, (_, stored_at) in self._jobs.items()
                  if stored_at < deadline]
         for fingerprint in stale:
-            del self._jobs[fingerprint]
+            self._drop_locked(fingerprint)
             self.expiries += 1
+
+    def _drop_locked(self, fingerprint: str) -> Job:
+        """Remove one entry and its id-index row; returns the dropped job."""
+        job, _ = self._jobs.pop(fingerprint)
+        self._by_id.pop(job.id, None)
+        return job
 
     # ------------------------------------------------------------- access --
     def get(self, fingerprint: str) -> Optional[Job]:
@@ -82,7 +93,7 @@ class ResultStore:
                 return None
             job, stored_at = entry
             if self._expired(stored_at):
-                del self._jobs[fingerprint]
+                self._drop_locked(fingerprint)
                 self.expiries += 1
                 self.misses += 1
                 return None
@@ -90,25 +101,59 @@ class ResultStore:
             self.hits += 1
             return job
 
+    def job_by_id(self, job_id: str) -> Optional[Job]:
+        """The cached job that was assigned ``job_id``, if still stored.
+
+        The queue prunes terminal records beyond ``max_job_records``, so a
+        job id handed out by the API can outlive its queue record while the
+        *result* still sits in this store — the service's ``status``/``job``
+        lookups fall back here so every id the API ever returned stays
+        resolvable until store eviction/expiry.  Id lookups don't touch the
+        hit/miss counters (those describe fingerprint dedup) and don't renew
+        LRU recency.
+        """
+        with self._lock:
+            fingerprint = self._by_id.get(job_id)
+            if fingerprint is None:
+                return None
+            job, stored_at = self._jobs[fingerprint]
+            if self._expired(stored_at):
+                self._drop_locked(fingerprint)
+                self.expiries += 1
+                return None
+            return job
+
     def put(self, job: Job) -> None:
         """Cache a completed job, evicting the least recently used."""
         with self._lock:
+            replaced = self._jobs.get(job.fingerprint)
+            if replaced is not None and replaced[0].id != job.id:
+                # A forced re-run replaced the cached job: the old id now
+                # resolves to nothing rather than to a job claiming a
+                # different id.
+                self._by_id.pop(replaced[0].id, None)
             self._jobs[job.fingerprint] = (job, self._clock())
+            self._by_id[job.id] = job.fingerprint
             self._jobs.move_to_end(job.fingerprint)
             while (self.max_entries is not None
                    and len(self._jobs) > self.max_entries):
-                self._jobs.popitem(last=False)
+                victim = next(iter(self._jobs))
+                self._drop_locked(victim)
                 self.evictions += 1
 
     def invalidate(self, fingerprint: str) -> bool:
         """Drop one cached result (e.g. after a scenario re-registration)."""
         with self._lock:
-            return self._jobs.pop(fingerprint, None) is not None
+            if fingerprint not in self._jobs:
+                return False
+            self._drop_locked(fingerprint)
+            return True
 
     def clear(self) -> None:
         """Drop every cached result (counters are kept)."""
         with self._lock:
             self._jobs.clear()
+            self._by_id.clear()
 
     def jobs(self) -> List[Job]:
         """Fresh cached jobs, least recently used first."""

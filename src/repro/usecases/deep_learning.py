@@ -133,6 +133,12 @@ def _summarize_m0(rows: List[KernelVariantRow]) -> Dict[str, object]:
     }
 
 
+def _run_m0_custom(ctx):
+    """Module-level ``custom_run`` so the spec (and any ScenarioResult
+    holding it) stays picklable for process workers and the job journal."""
+    return run_m0_variants()
+
+
 #: E5 as a declarative (custom-kind) scenario: the kernel-variant table is
 #: designer guidance, not a baseline-vs-TeamPlay build, so a ``custom_run``
 #: regenerates the table and the registry sweep reports its shape.
@@ -141,7 +147,7 @@ M0_SCENARIO = register_scenario(ScenarioSpec(
     title="CNN kernel variants on Cortex-M0 (E5)",
     kind="custom",
     platform="nucleo-stm32f091rc",
-    custom_run=lambda ctx: run_m0_variants(),
+    custom_run=_run_m0_custom,
     summarize=_summarize_m0,
     description="Multi-criteria compilation of the CNN inner kernels on "
                 "the Cortex-M0: one WCET/energy variant row per (kernel, "

@@ -247,6 +247,12 @@ def _summarize_pa(detail: PaResult) -> Dict[str, object]:
     }
 
 
+def _run_pa_custom(ctx):
+    """Module-level ``custom_run`` so the spec (and any ScenarioResult
+    holding it) stays picklable for process workers and the job journal."""
+    return run_pa_mission()
+
+
 #: E4 as a declarative (custom-kind) scenario: not a baseline-vs-TeamPlay
 #: build — only the energy analysis feeds the in-flight battery-aware
 #: schedulability decision — so a ``custom_run`` replaces the pipeline and
@@ -257,7 +263,7 @@ PA_SCENARIO = register_scenario(ScenarioSpec(
     title="UAV precision agriculture (E4)",
     kind="custom",
     platform="jetson-nano",
-    custom_run=lambda ctx: run_pa_mission(),
+    custom_run=_run_pa_custom,
     summarize=_summarize_pa,
     description="Battery-aware mission management for a precision-"
                 "agriculture UAV: the payload degrades its software mode "

@@ -245,6 +245,34 @@ class TestJobRequestValidation:
         assert request().fingerprint() != request(generations=2).fingerprint()
 
 
+class TestSubmissionCounting:
+    def test_note_submission_is_thread_safe(self):
+        # Pre-fix, the dedup paths did a bare ``submissions += 1`` — a
+        # read-modify-write that loses counts when the queue's live-job
+        # coalescing races the store-hit path on the same job.  Hammer one
+        # job from many threads and demand an exact total.
+        queue = JobQueue()
+        job, _ = queue.submit(request())
+        threads_n, per_thread = 8, 500
+        barrier = threading.Barrier(threads_n)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                # Half the traffic models queue dedup, half store hits.
+                queue.submit(request())
+                job.note_submission()
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert job.submissions == 1 + 2 * threads_n * per_thread
+        assert queue.stats()["deduplicated"] == threads_n * per_thread
+
+
 # ---------------------------------------------------------------------------
 # Result store
 # ---------------------------------------------------------------------------
@@ -591,8 +619,9 @@ class TestHttpApi:
         status, stats = _http(address, "GET", "/stats")
         assert status == 200
         assert set(stats) == {"queue", "store", "workers", "pipeline",
-                              "analysis_cache"}
+                              "analysis_cache", "journal"}
         assert stats["analysis_cache"]["enabled"] is True
+        assert stats["journal"] is None  # no --journal on this fixture
         status, jobs = _http(address, "GET", "/jobs")
         assert status == 200 and isinstance(jobs["jobs"], list)
 

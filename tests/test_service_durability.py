@@ -1,0 +1,591 @@
+"""Durable multi-process service: journal, process workers, batches, waits.
+
+Covers the persistence and parallelism layer added on top of the evaluation
+service:
+
+* :class:`JobJournal` — append-only JSONL event log, torn-line tolerance,
+  summary-only fallback for unpicklable results,
+* restart survival — a service reopened on the same journal serves completed
+  results without recomputation (dedup extends across restarts), resolves
+  every previously issued job id, and resumes still-pending jobs,
+* ``worker_mode="process"`` — jobs computed on a process pool produce
+  bit-identical results (pinned against the E1/E2/E3/E6 goldens),
+* batch jobs — one queue entry, one fingerprint, per-request results in
+  request order, over the facade and the HTTP API,
+* ``GET /jobs/<id>?wait=`` long-polling,
+* the store-backed id fallback that keeps pruned job ids resolvable.
+"""
+
+import json
+import os
+import pathlib
+import socket
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.scenarios import register_scenario, unregister_scenario
+from repro.service import (
+    BatchRequest,
+    EvaluationService,
+    JobJournal,
+    JobQueue,
+    JobRequest,
+    JobState,
+    SummaryOnlyResult,
+    WorkerPool,
+    request_from_dict,
+)
+from test_service import (  # noqa: F401 - fixtures
+    _http,
+    assert_report_matches,
+    golden,
+    http_service,
+    request,
+    tiny_scenario,
+    tiny_spec,
+)
+
+
+# ---------------------------------------------------------------------------
+# Journal unit behaviour
+# ---------------------------------------------------------------------------
+class Unpicklable:
+    """A result whose pickle fails but whose summary works."""
+
+    def summary(self):
+        return {"name": "unpicklable", "note": "summary survives"}
+
+    def __reduce__(self):
+        raise TypeError("deliberately unpicklable")
+
+
+class TestJobJournal:
+    def test_submit_finish_cancel_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue()
+        with JobJournal(path) as journal:
+            done, _ = queue.submit(request(generations=1))
+            journal.record_submit(done)
+            pending, _ = queue.submit(request(generations=2))
+            journal.record_submit(pending)
+            gone, _ = queue.submit(request(generations=3))
+            journal.record_submit(gone)
+            queue.finish(queue.claim(timeout=0.1), result=Unpicklable())
+            journal.record_finish(done)
+            queue.cancel(gone.id)
+            journal.record_cancel(gone)
+            assert journal.stats()["events_written"] == 5
+
+        replayed = {job.id: job for job in JobJournal(path).replay()}
+        assert len(replayed) == 3
+        assert replayed[pending.id].state is JobState.PENDING
+        assert not replayed[pending.id].done.is_set()
+        assert replayed[gone.id].state is JobState.CANCELLED
+        assert replayed[gone.id].done.is_set()
+        restored = replayed[done.id]
+        assert restored.state is JobState.SUCCEEDED
+        assert restored.done.is_set()
+        # The result refused to pickle, so replay restores its summary only.
+        assert isinstance(restored.result, SummaryOnlyResult)
+        assert restored.result.summary()["note"] == "summary survives"
+        # Requests replay through the canonical dict form: same fingerprint.
+        assert restored.fingerprint == done.fingerprint
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue()
+        with JobJournal(path) as journal:
+            job, _ = queue.submit(request(generations=1))
+            journal.record_submit(job)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "finish", "id": "job-0')  # crash mid-write
+        reopened = JobJournal(path)
+        replayed = reopened.replay()
+        assert [j.id for j in replayed] == [job.id]
+        assert replayed[0].state is JobState.PENDING
+        assert reopened.stats()["skipped_lines"] == 1
+
+    def test_finish_for_unknown_submit_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"event": "finish", "id": "job-000009",
+                                     "state": "succeeded"}) + "\n")
+        journal = JobJournal(path)
+        assert journal.replay() == []
+        assert journal.stats()["skipped_lines"] == 1
+
+    def test_batch_requests_replay_as_batches(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        queue = JobQueue()
+        batch = BatchRequest((request(generations=1),
+                              request(generations=2)))
+        with JobJournal(path) as journal:
+            job, _ = queue.submit(batch)
+            journal.record_submit(job)
+        replayed = JobJournal(path).replay()
+        assert isinstance(replayed[0].request, BatchRequest)
+        assert replayed[0].fingerprint == batch.fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# Restart survival (the tentpole's hard constraint)
+# ---------------------------------------------------------------------------
+class TestServiceRestart:
+    def test_completed_results_and_backlog_survive_restart(
+            self, tmp_path, tiny_scenario):  # noqa: F811
+        other = register_scenario(tiny_spec("svc-tiny-restart"))
+        path = tmp_path / "journal.jsonl"
+        try:
+            # First life: complete one job, leave one pending, then "crash"
+            # (close without draining).
+            service = EvaluationService(workers=1, journal=path,
+                                        shared_analysis_cache=False,
+                                        autostart=False)
+            done = service.submit(tiny_scenario.name)
+            pending = service.submit(other.name)
+            service._execute(service.queue.claim(timeout=1))
+            reference = service.result(done, timeout=5).summary()
+            service.close()
+
+            # Second life: replay the same journal.
+            service = EvaluationService(workers=1, journal=path,
+                                        shared_analysis_cache=False,
+                                        autostart=False)
+            try:
+                restored = service.job(done.id)
+                assert restored.state is JobState.SUCCEEDED
+                assert restored.result.summary() == reference
+                backlog = service.job(pending.id)
+                assert backlog.state is JobState.PENDING
+                assert service.queue.stats()["pending"] == 1
+                assert service.queue.stats()["succeeded"] == 1
+
+                # Dedup extends across the restart: an identical submission
+                # is served from the store without recomputation.
+                repeat = service.submit(tiny_scenario.name)
+                assert repeat is restored
+                assert service.store.stats()["hits"] == 1
+
+                # The replayed backlog resumes once the pool starts.
+                service.start()
+                resumed = service.result(backlog, timeout=120)
+                assert resumed.summary()["name"] == other.name
+            finally:
+                service.close()
+        finally:
+            unregister_scenario(other.name)
+
+    def test_restart_ids_never_collide_and_cancel_survives(
+            self, tmp_path, tiny_scenario):  # noqa: F811
+        path = tmp_path / "journal.jsonl"
+        service = EvaluationService(workers=1, journal=path,
+                                    shared_analysis_cache=False,
+                                    autostart=False)
+        job = service.submit(tiny_scenario.name)
+        assert service.cancel(job.id)
+        service.close()
+
+        service = EvaluationService(workers=1, journal=path,
+                                    shared_analysis_cache=False,
+                                    autostart=False)
+        try:
+            assert service.job(job.id).state is JobState.CANCELLED
+            assert service.queue.stats()["cancelled"] == 1
+            # The id counter advanced past every journaled id.
+            fresh = service.submit(tiny_scenario.name)
+            assert fresh.id != job.id
+        finally:
+            service.close()
+
+    def test_duplicate_pending_entries_coalesce_on_replay(
+            self, tmp_path, tiny_scenario):  # noqa: F811
+        path = tmp_path / "journal.jsonl"
+        # Hand-build a journal with two pending submits of one fingerprint
+        # (a malformed journal must not trigger the same computation twice).
+        req = JobRequest(scenario=tiny_scenario.name)
+        with open(path, "w", encoding="utf-8") as handle:
+            for job_id in ("job-000001", "job-000002"):
+                handle.write(json.dumps({
+                    "event": "submit", "id": job_id,
+                    "request": req.as_dict(), "priority": 0,
+                    "submitted_at": 1.0}) + "\n")
+        service = EvaluationService(workers=1, journal=path,
+                                    shared_analysis_cache=False,
+                                    autostart=False)
+        try:
+            assert service.queue.stats()["pending"] == 1
+            assert service.job("job-000001").submissions == 2
+            assert service.job("job-000002") is None
+        finally:
+            service.close()
+
+    def test_stats_surface_journal_counters(self, tmp_path, tiny_scenario):  # noqa: F811
+        path = tmp_path / "journal.jsonl"
+        with EvaluationService(workers=1, journal=path,
+                               shared_analysis_cache=False) as service:
+            service.result(service.submit(tiny_scenario.name), timeout=120)
+            journal_stats = service.stats()["journal"]
+            assert journal_stats["path"] == str(path)
+            assert journal_stats["fsync"] is False
+        # close() joined the worker, so both events are on disk by now
+        # (result() may return a beat before the finish event lands).
+        assert JobJournal(path).stats()["events_written"] == 0
+        events = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert [event["event"] for event in events] == ["submit", "finish"]
+
+
+# ---------------------------------------------------------------------------
+# Process worker mode
+# ---------------------------------------------------------------------------
+class TestProcessWorkerMode:
+    def test_mode_validation(self):
+        queue = JobQueue()
+        with pytest.raises(ValueError, match="worker mode"):
+            WorkerPool(queue, lambda job: None, mode="coroutine")
+        with pytest.raises(ValueError, match="process_task"):
+            WorkerPool(queue, lambda job: None, mode="process")
+
+    def test_process_mode_matches_thread_mode(self, tiny_scenario):  # noqa: F811
+        with EvaluationService(workers=1,
+                               shared_analysis_cache=False) as service:
+            reference = service.result(service.submit(tiny_scenario.name),
+                                       timeout=120)
+        with EvaluationService(workers=2, worker_mode="process",
+                               shared_analysis_cache=False) as service:
+            assert service.pool.stats()["mode"] == "process"
+            result = service.result(service.submit(tiny_scenario.name),
+                                    timeout=300)
+            assert_report_matches(result.report, {
+                "name": reference.report.name,
+                "baseline_time_s": reference.report.baseline_time_s,
+                "teamplay_time_s": reference.report.teamplay_time_s,
+                "baseline_energy_j": reference.report.baseline_energy_j,
+                "teamplay_energy_j": reference.report.teamplay_energy_j,
+                "deadline_s": reference.report.deadline_s,
+                "deadlines_met": reference.report.deadlines_met,
+            })
+
+    def test_process_mode_failures_are_recorded(self, tmp_path):
+        def explode(ctx):
+            raise RuntimeError("process-side failure")
+
+        from repro.scenarios import ScenarioSpec
+        spec = register_scenario(ScenarioSpec(
+            name="svc-proc-failing", title="Always fails", kind="custom",
+            platform="nucleo-stm32f091rc", custom_run=explode))
+        path = tmp_path / "journal.jsonl"
+        try:
+            with EvaluationService(workers=1, worker_mode="process",
+                                   journal=path,
+                                   shared_analysis_cache=False) as service:
+                job = service.submit(spec.name)
+                assert job.wait(120)
+                assert job.state is JobState.FAILED
+                assert "process-side failure" in job.error
+                assert service.queue.stats()["failed"] == 1
+            # The failure was journaled, so it survives a restart.
+            replayed = JobJournal(path).replay()
+            assert replayed[0].state is JobState.FAILED
+        finally:
+            unregister_scenario(spec.name)
+
+    def test_sigkilled_service_releases_its_port(self, tmp_path):
+        """Orphaned pool workers must exit once the service process dies.
+
+        Regression: pool workers fork lazily on the first job — after the
+        HTTP socket is bound — and inherit every parent fd, including the
+        executor's call-pipe write end, so they never see EOF on it.  A
+        SIGKILLed ``serve`` therefore left them blocked forever holding the
+        listening socket, and a journal restart on the same port failed
+        with ``EADDRINUSE``.  The pool's orphan watchdog makes them exit.
+        """
+        script = tmp_path / "orphan_service.py"
+        script.write_text(textwrap.dedent("""\
+            import json, threading, time
+
+            from repro.scenarios import register_scenario
+            from repro.service import EvaluationService
+            from repro.service.http import create_server
+            from test_service import tiny_spec
+
+            register_scenario(tiny_spec("svc-orphan"))
+            service = EvaluationService(workers=1, worker_mode="process",
+                                        shared_analysis_cache=False)
+            server = create_server(service, port=0)
+            threading.Thread(target=server.serve_forever,
+                             daemon=True).start()
+            # Completing one job guarantees the pool forked *after* bind,
+            # so the workers inherited the listening socket.
+            service.result(service.submit("svc-orphan"), timeout=300)
+            print(json.dumps({"port": server.server_address[1]}),
+                  flush=True)
+            time.sleep(600)   # hold the pool open until the test kills us
+        """))
+        here = pathlib.Path(__file__).resolve().parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(here.parent / "src"), str(here)]
+            + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p])
+        proc = subprocess.Popen([sys.executable, str(script)], env=env,
+                                stdout=subprocess.PIPE, text=True)
+        try:
+            line = proc.stdout.readline()
+            assert line, "service subprocess died before serving"
+            port = json.loads(line)["port"]
+            proc.kill()   # SIGKILL: no chance to shut the pool down
+            proc.wait(timeout=30)
+            deadline = time.monotonic() + 20.0
+            while True:
+                probe = socket.socket()
+                probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                try:
+                    probe.bind(("127.0.0.1", port))
+                    break   # the orphaned workers let go of the socket
+                except OSError:
+                    assert time.monotonic() < deadline, (
+                        "orphaned process workers still hold the listening "
+                        "socket 20s after the service was SIGKILLed")
+                    time.sleep(0.2)
+                finally:
+                    probe.close()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+            if proc.stdout is not None:
+                proc.stdout.close()
+
+
+class TestServiceGoldenParityProcess:
+    """E1/E2/E3/E6 computed on process workers, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def service_results(self):
+        with EvaluationService(workers=2,
+                               worker_mode="process") as service:
+            jobs = {name: service.submit(name)
+                    for name in ("camera-pill", "space-spacewire", "uav-sar",
+                                 "parking-dl-tk1")}
+            yield {name: service.result(job, timeout=600)
+                   for name, job in jobs.items()}
+
+    def test_e1_camera_pill(self, service_results):
+        assert_report_matches(service_results["camera-pill"].report,
+                              golden("camera_pill_e1.json")["report"])
+
+    def test_e2_space(self, service_results):
+        assert_report_matches(service_results["space-spacewire"].report,
+                              golden("space_e2.json")["report"])
+
+    def test_e3_uav_sar(self, service_results):
+        assert_report_matches(service_results["uav-sar"].report,
+                              golden("uav_sar_e3.json")["report"])
+
+    def test_e6_parking_tk1(self, service_results):
+        assert_report_matches(service_results["parking-dl-tk1"].report,
+                              golden("parking_tk1_e6.json")["report"])
+
+
+# ---------------------------------------------------------------------------
+# Batch submissions
+# ---------------------------------------------------------------------------
+class TestBatchJobs:
+    def test_batch_runs_as_one_job_in_request_order(self, tiny_scenario):  # noqa: F811
+        other = register_scenario(tiny_spec("svc-tiny-batch"))
+        try:
+            with EvaluationService(workers=1,
+                                   shared_analysis_cache=False) as service:
+                job = service.submit_batch([
+                    {"scenario": other.name},
+                    {"scenario": tiny_scenario.name},
+                ])
+                result = service.result(job, timeout=120)
+                summary = result.summary()
+                assert summary["count"] == 2
+                assert [row["name"] for row in summary["batch"]] == [
+                    other.name, tiny_scenario.name]
+                # One queue entry, one pipeline-rollup job.
+                assert service.queue.stats()["submitted"] == 1
+                assert service.stats()["pipeline"]["jobs_reported"] == 1
+
+                # An identical batch dedups on the batch fingerprint.
+                repeat = service.submit_batch([
+                    {"scenario": other.name},
+                    {"scenario": tiny_scenario.name},
+                ])
+                assert repeat is job
+                # A reordered batch is a different computation.
+                reordered = service.submit_batch([
+                    {"scenario": tiny_scenario.name},
+                    {"scenario": other.name},
+                ])
+                assert reordered is not job
+        finally:
+            unregister_scenario(other.name)
+
+    def test_batch_payload_forms(self):
+        single = request_from_dict({"scenario": "x"})
+        assert isinstance(single, JobRequest)
+        as_list = request_from_dict([{"scenario": "x"}, {"scenario": "y"}])
+        canonical = request_from_dict(
+            {"batch": [{"scenario": "x"}, {"scenario": "y"}],
+             "priority": 3})
+        assert isinstance(as_list, BatchRequest)
+        assert as_list.fingerprint() == canonical.fingerprint()
+
+    def test_batch_validation(self):
+        from repro.service import JobError
+        with pytest.raises(JobError, match="non-empty"):
+            request_from_dict([])
+        with pytest.raises(JobError, match="unknown batch request fields"):
+            request_from_dict({"batch": [{"scenario": "x"}],
+                               "generations": 4})
+
+    def test_http_batch_submission(self, http_service, tiny_scenario):  # noqa: F811
+        _, address = http_service
+        status, document = _http(
+            address, "POST", "/jobs",
+            [{"scenario": tiny_scenario.name},
+             {"scenario": tiny_scenario.name, "generations": 1,
+              "population_size": 2}])
+        assert status in (200, 202)
+        job_id = document["id"]
+        deadline = time.monotonic() + 60
+        while document["state"] in ("pending", "running"):
+            assert time.monotonic() < deadline
+            status, document = _http(address, "GET",
+                                     f"/jobs/{job_id}?wait=5")
+            assert status == 200
+        assert document["state"] == "succeeded"
+        assert document["result"]["count"] == 2
+        names = [row["name"] for row in document["result"]["batch"]]
+        assert names == [tiny_scenario.name, tiny_scenario.name]
+
+
+# ---------------------------------------------------------------------------
+# Long-polling GET /jobs/<id>?wait=
+# ---------------------------------------------------------------------------
+class TestLongPoll:
+    def test_wait_blocks_until_completion(self, tiny_scenario):  # noqa: F811
+        from repro.service.http import create_server
+
+        service = EvaluationService(workers=1, shared_analysis_cache=False,
+                                    autostart=False)
+        server = create_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        address = server.server_address[:2]
+        try:
+            job = service.submit(tiny_scenario.name)
+
+            def finish_soon():
+                claimed = service.queue.claim(timeout=5)
+                service._execute(claimed)
+
+            worker = threading.Thread(target=finish_soon, daemon=True)
+            worker.start()
+            status, document = _http(address, "GET",
+                                     f"/jobs/{job.id}?wait=30")
+            worker.join(timeout=10)
+            assert status == 200
+            assert document["state"] == "succeeded"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()
+
+    def test_wait_times_out_on_still_pending_jobs(self, tiny_scenario):  # noqa: F811
+        from repro.service.http import create_server
+
+        service = EvaluationService(workers=1, shared_analysis_cache=False,
+                                    autostart=False)  # nothing drains
+        server = create_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        address = server.server_address[:2]
+        try:
+            job = service.submit(tiny_scenario.name)
+            started = time.monotonic()
+            status, document = _http(address, "GET",
+                                     f"/jobs/{job.id}?wait=0.2")
+            elapsed = time.monotonic() - started
+            assert status == 200
+            assert document["state"] == "pending"
+            assert 0.15 <= elapsed < 10
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()
+
+    def test_invalid_wait_is_rejected(self, http_service, tiny_scenario):  # noqa: F811
+        _, address = http_service
+        status, document = _http(address, "POST", "/jobs",
+                                 {"scenario": tiny_scenario.name})
+        assert status in (200, 202)
+        job_id = document["id"]
+        status, document = _http(address, "GET", f"/jobs/{job_id}?wait=soon")
+        assert status == 400 and "wait" in document["error"]
+        status, document = _http(address, "GET", f"/jobs/{job_id}?wait=-1")
+        assert status == 400 and "wait" in document["error"]
+
+
+# ---------------------------------------------------------------------------
+# Store-backed id fallback (pruned queue records stay resolvable)
+# ---------------------------------------------------------------------------
+class TestStoreIdFallback:
+    def test_status_survives_queue_record_pruning(self, tiny_scenario):  # noqa: F811
+        other = register_scenario(tiny_spec("svc-tiny-prune"))
+        try:
+            with EvaluationService(workers=1, max_job_records=1,
+                                   shared_analysis_cache=False) as service:
+                first = service.submit(tiny_scenario.name)
+                service.result(first, timeout=120)
+                second = service.submit(other.name)
+                service.result(second, timeout=120)
+                # The one-record window pruned the first job from the queue…
+                assert service.queue.get(first.id) is None
+                assert service.queue.stats()["evicted_records"] == 1
+                # …but its id still resolves through the store.
+                assert service.job(first.id) is first
+                document = service.status(first.id)
+                assert document["state"] == "succeeded"
+                assert document["result"]["name"] == tiny_scenario.name
+                # result() by id takes the same fallback.
+                assert service.result(first.id, timeout=5) is first.result
+        finally:
+            unregister_scenario(other.name)
+
+    def test_http_404_only_after_store_eviction(self, tiny_scenario):  # noqa: F811
+        other = register_scenario(tiny_spec("svc-tiny-prune2"))
+        from repro.service.http import create_server
+
+        service = EvaluationService(workers=1, max_job_records=1,
+                                    store_max_entries=1,
+                                    shared_analysis_cache=False)
+        server = create_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        address = server.server_address[:2]
+        try:
+            first = service.submit(tiny_scenario.name)
+            service.result(first, timeout=120)
+            status, _ = _http(address, "GET", f"/jobs/{first.id}")
+            assert status == 200  # store fallback
+            second = service.submit(other.name)
+            service.result(second, timeout=120)
+            # Queue record pruned *and* store entry evicted: now it is gone.
+            status, document = _http(address, "GET", f"/jobs/{first.id}")
+            assert status == 404 and document["error"] == "unknown job"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            service.close()
+            unregister_scenario(other.name)

@@ -5,23 +5,27 @@ long-lived deployment: the first keeps the backlog from growing without
 bound (fresh submissions beyond ``max_pending`` fail fast with
 :class:`QueueFull`, HTTP 429 + ``Retry-After``), the second stops a
 long-lived service from serving stale sweeps forever (entries expire
-lazily, counted in ``stats()``).  Also covers the service's cross-job
-pipeline-stats rollup under ``GET /stats``.
+lazily, counted in ``stats()``).  Also covers HTTP input hardening (bool
+``priority`` rejection, the request-body size cap), the monotonic
+succeeded/failed lifetime counters across record pruning, and the
+service's cross-job pipeline-stats rollup under ``GET /stats``.
 """
 
 import http.client
 import json
+import threading
 
 import pytest
 
 from repro.service import (
     EvaluationService,
+    JobError,
     JobQueue,
     JobRequest,
     QueueFull,
     ResultStore,
 )
-from repro.service.http import RETRY_AFTER_S, create_server
+from repro.service.http import MAX_BODY_BYTES, RETRY_AFTER_S, create_server
 from test_service import _finished_job, request, tiny_scenario, tiny_spec  # noqa: F401
 
 from repro.scenarios import register_scenario, unregister_scenario
@@ -122,6 +126,145 @@ class TestHttp429:
             thread.join(timeout=5)
             service.close()
             unregister_scenario(other.name)
+
+
+# ---------------------------------------------------------------------------
+# HTTP input hardening
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def idle_http_service():
+    """A served-but-not-draining service for pure input-validation tests."""
+    service = EvaluationService(workers=1, shared_analysis_cache=False,
+                                autostart=False)
+    server = create_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, server.server_address[:2]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        service.close()
+
+
+def _raw_post(address, body: bytes, content_length=None):
+    connection = http.client.HTTPConnection(*address, timeout=30)
+    try:
+        connection.putrequest("POST", "/jobs")
+        connection.putheader("Content-Type", "application/json")
+        connection.putheader("Content-Length",
+                             str(len(body) if content_length is None
+                                 else content_length))
+        connection.endheaders()
+        connection.send(body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+class TestHttpInputHardening:
+    def test_bool_priority_is_rejected(self, idle_http_service,
+                                       tiny_scenario):  # noqa: F811
+        # bool subclasses int: pre-fix, {"priority": true} passed an
+        # isinstance(int) check and silently ran at priority 1.
+        _, address = idle_http_service
+        status, document = _raw_post(
+            address, json.dumps({"scenario": tiny_scenario.name,
+                                 "priority": True}).encode())
+        assert status == 400
+        assert "priority must be an integer" in document["error"]
+        status, document = _raw_post(
+            address, json.dumps({"scenario": tiny_scenario.name,
+                                 "priority": "high"}).encode())
+        assert status == 400
+
+    def test_bool_budget_fields_are_rejected(self):
+        # Same pitfall at the request level: generations=True is not "1".
+        with pytest.raises(JobError, match="generations"):
+            JobRequest(scenario="x", generations=True)
+        with pytest.raises(JobError, match="population_size"):
+            JobRequest.from_dict({"scenario": "x", "population_size": False})
+
+    def test_oversized_body_gets_413_without_reading(self, idle_http_service):
+        _, address = idle_http_service
+        # Declare an absurd Content-Length but send almost nothing: the
+        # server must refuse from the header alone instead of buffering.
+        status, document = _raw_post(address, b"{}",
+                                     content_length=MAX_BODY_BYTES + 1)
+        assert status == 413
+        assert "exceeds" in document["error"]
+
+    def test_bad_content_length_gets_400(self, idle_http_service):
+        _, address = idle_http_service
+        connection = http.client.HTTPConnection(*address, timeout=30)
+        try:
+            connection.putrequest("POST", "/jobs")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", "banana")
+            connection.endheaders()
+            response = connection.getresponse()
+            document = json.loads(response.read().decode("utf-8"))
+            assert response.status == 400
+            assert "Content-Length" in document["error"]
+        finally:
+            connection.close()
+
+    def test_body_at_the_limit_is_still_parsed(self, idle_http_service):
+        _, address = idle_http_service
+        # A large-but-legal body flows through to JSON validation (400 for
+        # the unknown field — not 413).
+        padding = "x" * (1 << 12)
+        status, document = _raw_post(
+            address, json.dumps({"scenario": "nope",
+                                 "unknown_field": padding}).encode())
+        assert status == 400
+        assert "unknown job request fields" in document["error"]
+
+
+# ---------------------------------------------------------------------------
+# Monotonic lifetime counters vs record pruning
+# ---------------------------------------------------------------------------
+class TestMonotonicOutcomeCounters:
+    def test_succeeded_failed_survive_record_eviction(self):
+        # Pre-fix, succeeded/failed were derived by scanning live records,
+        # so pruning the terminal records silently shrank the totals.
+        queue = JobQueue(max_records=1)
+        for generation in (1, 2, 3):
+            queue.submit(request(generations=generation))
+            claimed = queue.claim(timeout=0.1)
+            if generation == 2:
+                queue.finish(claimed, error="boom")
+            else:
+                queue.finish(claimed, result=generation)
+        stats = queue.stats()
+        assert stats["records"] == 1  # pruned down to the cap
+        assert stats["evicted_records"] == 2
+        assert stats["succeeded"] == 2
+        assert stats["failed"] == 1
+        # Consistency: lifetime totals account for every submission.
+        assert (stats["succeeded"] + stats["failed"] + stats["cancelled"]
+                + stats["pending"] + stats["running"]
+                == stats["submitted"] - stats["deduplicated"]
+                - stats["rejected"])
+
+    def test_counters_never_decrease_across_a_workout(self):
+        queue = JobQueue(max_records=2)
+        seen = {"succeeded": 0, "failed": 0}
+        for round_number in range(6):
+            queue.submit(request(generations=round_number + 1))
+            claimed = queue.claim(timeout=0.1)
+            if round_number % 2:
+                queue.finish(claimed, error="boom")
+            else:
+                queue.finish(claimed, result=round_number)
+            stats = queue.stats()
+            assert stats["succeeded"] >= seen["succeeded"]
+            assert stats["failed"] >= seen["failed"]
+            seen = {"succeeded": stats["succeeded"],
+                    "failed": stats["failed"]}
+        assert seen == {"succeeded": 3, "failed": 3}
 
 
 # ---------------------------------------------------------------------------
