@@ -1,20 +1,33 @@
-"""FE1/FE2 — cold-parse benchmark for the pipeline scanner.
+"""FE1-FE4 — frontend benchmarks for the token-cursor parser rewrite.
 
-Not a paper experiment: pins the frontend win of the unified-pipeline PR.
-ROADMAP flagged the frontend as the dominant cold-start cost; FE1 measures
-the scanner itself — the seed's character-loop tokenizer (retained verbatim
-as the non-ASCII fallback, i.e. the *old call path*) against the
-single-compiled-regex pipeline scanner — and asserts the ≥1.5× acceptance
-bar.  FE2 reports the end-to-end cold parse (tokenize + recursive-descent
-parse) through ``CompilationPipeline.parse`` with a cleared parse cache, so
-the trajectory keeps an honest total-frontend number alongside the scanner
-ratio.
+Not a paper experiment: pins the frontend win of the unified-pipeline and
+token-cursor PRs.  ROADMAP flagged the frontend as the dominant cold-start
+cost; the scanner rewrite capped the end-to-end speedup at ~1.4x because the
+Token-object recursive-descent parser still dominated, so the cursor rewrite
+attacks the parse half and adds a process-wide parse cache.
+
+- FE1 measures the scanner itself — the seed's character-loop tokenizer
+  (retained verbatim as the non-ASCII fallback) against the
+  single-compiled-regex pipeline scanner — and asserts the >= 1.5x bar.
+- FE2 measures the end-to-end cold parse through
+  ``CompilationPipeline.parse`` (cache cleared every call) against the seed
+  call path (character loop + Token-object reference parser) and asserts the
+  >= 3x acceptance bar; a secondary row keeps the honest ratio against the
+  previous main (regex scanner + reference parser).
+- FE3 sanity-checks that scan time stays roughly linear in source size.
+- FE4 measures the warm parse served by the fingerprint-keyed parse cache
+  and asserts it is >= 10x faster than the cold cursor parse.
+
+The measured numbers land in ``BENCH_frontend.json`` next to this file so
+the CI bench-smoke job can archive the trajectory.
 
 The container has one vCPU and a noisy clock: every comparison interleaves
 its contestants across rounds and scores the per-round minimum, following
 the engine benchmarks.
 """
 
+import json
+import pathlib
 import time
 
 from conftest import print_experiment
@@ -34,6 +47,17 @@ BIG_SOURCE = "\n".join([SMALL_SOURCE] * 4)
 ROUNDS = 7
 INNER = 5
 
+_RESULTS_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_frontend.json"
+_RESULTS = {}
+
+
+def _record(experiment: str, **numbers) -> None:
+    """Accumulate one experiment's numbers and rewrite the JSON artifact."""
+    _RESULTS[experiment] = numbers
+    _RESULTS_PATH.write_text(json.dumps(
+        {"source_chars": len(BIG_SOURCE), "experiments": _RESULTS},
+        indent=2, sort_keys=True) + "\n")
+
 
 def _best_of(rounds, func, *args):
     """Minimum per-round mean over interleaved timing rounds."""
@@ -46,16 +70,23 @@ def _best_of(rounds, func, *args):
     return min(times)
 
 
+def _interleaved(*funcs):
+    """Best-of-ROUNDS for each function, alternating so noise hits all."""
+    best = [float("inf")] * len(funcs)
+    for _ in range(ROUNDS):
+        for index, func in enumerate(funcs):
+            best[index] = min(best[index], _best_of(1, func))
+    return best
+
+
 def test_fe1_scanner_vs_character_loop(benchmark):
     """FE1: the pipeline scanner must beat the old call path >= 1.5x cold."""
     streams_match = tokenize(BIG_SOURCE) == _tokenize_chars(BIG_SOURCE)
     assert streams_match, "scanner rewrite changed the token stream"
 
-    old_s, new_s = [], []
-    for _ in range(ROUNDS):  # interleaved: shared noise hits both sides
-        old_s.append(_best_of(1, _tokenize_chars, BIG_SOURCE))
-        new_s.append(_best_of(1, _tokenize_ascii, BIG_SOURCE))
-    old_best, new_best = min(old_s), min(new_s)
+    old_best, new_best = _interleaved(
+        lambda: _tokenize_chars(BIG_SOURCE),
+        lambda: _tokenize_ascii(BIG_SOURCE))
     speedup = old_best / new_best
 
     benchmark.pedantic(_tokenize_ascii, args=(BIG_SOURCE,),
@@ -73,49 +104,64 @@ def test_fe1_scanner_vs_character_loop(benchmark):
         notes="the character loop is the seed tokenizer, kept verbatim as "
               "the Unicode fallback",
     )
+    _record("FE1_scanner", char_loop_s=old_best, scanner_s=new_best,
+            speedup=speedup)
     assert speedup >= 1.5, (
         f"scanner speedup {speedup:.2f}x below the 1.5x acceptance bar")
 
 
 def test_fe2_cold_parse_through_the_pipeline():
-    """FE2: end-to-end cold parse (tokenize + parse), old path vs pipeline."""
+    """FE2: end-to-end cold parse must beat the seed frontend >= 3x."""
     pipeline = CompilationPipeline(platform_by_name("camera-pill"))
 
     def cold_parse_pipeline():
-        parser._PARSE_CACHE.clear()
+        parser.clear_parse_cache()
         return pipeline.parse(BIG_SOURCE)
 
-    def cold_parse_old_path():
+    def cold_parse_seed():
+        # The seed frontend exactly: character-loop lexer feeding the
+        # Token-object recursive-descent parser.
         tokens = _tokenize_chars(BIG_SOURCE)
-        return parser._Parser(tokens, "<memory>").parse_module()
+        return parser._ReferenceParser(tokens, "<memory>").parse_module()
 
-    old_s, new_s = [], []
-    for _ in range(ROUNDS):
-        old_s.append(_best_of(1, cold_parse_old_path))
-        new_s.append(_best_of(1, cold_parse_pipeline))
-    old_best, new_best = min(old_s), min(new_s)
+    def cold_parse_previous_main():
+        # Previous main: regex scanner, but still the Token-object parser —
+        # the configuration whose end-to-end win was capped at ~1.4x.
+        tokens = tokenize(BIG_SOURCE)
+        return parser._ReferenceParser(tokens, "<memory>").parse_module()
 
-    warm_started = time.perf_counter()
-    pipeline.parse(BIG_SOURCE)  # parse cache now warm
-    warm_s = time.perf_counter() - warm_started
+    assert cold_parse_seed() == cold_parse_pipeline(), (
+        "cursor parser diverged from the seed parser")
+
+    seed_best, prev_best, new_best = _interleaved(
+        cold_parse_seed, cold_parse_previous_main, cold_parse_pipeline)
+    speedup_seed = seed_best / new_best
+    speedup_prev = prev_best / new_best
     stats = pipeline.stats()
 
     print_experiment(
         "FE2 — end-to-end cold parse through CompilationPipeline.parse",
-        "frontend cold start measurably faster; warm parses ~free",
+        "token-cursor parser + indexed scan >= 3x over the seed frontend",
         [
-            f"old call path (chars+parse) : {old_best * 1e3:7.2f} ms",
-            f"pipeline cold parse         : {new_best * 1e3:7.2f} ms "
-            f"({old_best / new_best:.2f}x)",
-            f"pipeline warm parse         : {warm_s * 1e6:7.1f} us "
-            f"(process-wide parse cache)",
-            f"parse pass counters         : "
+            f"seed path (chars+Token parse) : {seed_best * 1e3:7.2f} ms",
+            f"prev main (scan+Token parse)  : {prev_best * 1e3:7.2f} ms",
+            f"pipeline cold parse           : {new_best * 1e3:7.2f} ms",
+            f"speedup vs seed               : {speedup_seed:7.2f}x",
+            f"speedup vs previous main      : {speedup_prev:7.2f}x",
+            f"parse pass counters           : "
             f"{stats['parse']['invocations']} invocations, "
             f"{stats['parse']['wall_s'] * 1e3:.2f} ms wall",
         ],
+        notes="the Token-object parser survives as parser._ReferenceParser "
+              "(parity oracle); the cursor parser runs over the scan arrays",
     )
-    assert old_best / new_best > 1.0, "pipeline cold parse slower than seed"
-    assert warm_s < new_best, "warm parse should be cache-served"
+    _record("FE2_cold_parse", seed_s=seed_best, previous_main_s=prev_best,
+            pipeline_s=new_best, speedup_vs_seed=speedup_seed,
+            speedup_vs_previous_main=speedup_prev)
+    assert speedup_seed >= 3.0, (
+        f"cold parse speedup {speedup_seed:.2f}x below the 3x acceptance bar")
+    assert speedup_prev >= 1.5, (
+        f"cold parse only {speedup_prev:.2f}x over the previous main path")
     assert stats["parse"]["invocations"] >= ROUNDS * INNER
 
 
@@ -130,4 +176,44 @@ def test_fe3_scanner_scaling_sanity():
         [f"quarter source : {t_small * 1e3:6.2f} ms",
          f"full source    : {t_big * 1e3:6.2f} ms ({ratio:.1f}x)"],
     )
+    _record("FE3_scaling", small_s=t_small, big_s=t_big, ratio=ratio)
     assert ratio < 16, "scanner scaling grossly super-linear"
+
+
+def test_fe4_warm_parse_via_the_fingerprint_cache():
+    """FE4: a warm parse is a fingerprint lookup — >= 10x the cold parse."""
+    pipeline = CompilationPipeline(platform_by_name("camera-pill"))
+
+    def cold_parse():
+        parser.clear_parse_cache()
+        return pipeline.parse(BIG_SOURCE)
+
+    def warm_parse():
+        return pipeline.parse(BIG_SOURCE)
+
+    cold_parse()  # prime the cache once so every warm_parse call hits
+    assert warm_parse() is warm_parse(), "warm parse must return the cached AST"
+
+    cold_best, warm_best = _interleaved(cold_parse, warm_parse)
+    speedup = cold_best / warm_best
+    cache = parser.parse_cache_stats()
+
+    print_experiment(
+        "FE4 — warm parse via the process-wide parse cache",
+        "repeat builds of an unchanged module skip the frontend entirely",
+        [
+            f"cold cursor parse : {cold_best * 1e3:8.3f} ms",
+            f"warm cache hit    : {warm_best * 1e6:8.1f} us",
+            f"speedup           : {speedup:8.1f}x",
+            f"cache counters    : {cache['hits']} hit(s), "
+            f"{cache['misses']} miss(es), {cache['evictions']} eviction(s)",
+        ],
+        notes="keyed by (source_name, frontend pass names, source text); "
+              "LRU, 256 modules",
+    )
+    _record("FE4_warm_parse", cold_s=cold_best, warm_s=warm_best,
+            speedup=speedup, cache_hits=cache["hits"],
+            cache_misses=cache["misses"])
+    assert cache["hits"] > 0, "warm parses never hit the cache"
+    assert speedup >= 10.0, (
+        f"warm parse only {speedup:.1f}x faster — cache not being served")

@@ -45,11 +45,14 @@ class CompilationPipeline:
               source_name: str = "<memory>") -> ast.SourceModule:
         """Parse (process-wide cached) under the ``parse`` pass's timer.
 
-        Returns a shared module instance — treat it as read-only; every
-        stage below clones before mutating.
+        The cache key carries this manager's frontend-stage identity, so a
+        pipeline with a custom frontend pass never shares parse results
+        with the stock one.  Returns a shared module instance — treat it as
+        read-only; every stage below clones before mutating.
         """
         with self.manager.timed(PARSE_PASS):
-            return parse_cached(source, source_name)
+            return parse_cached(source, source_name,
+                                extra_key=self.manager.frontend_key())
 
     def _run_stage(self, stage: str, ctx: PassContext) -> None:
         """Run every registered (non-marker) pass of ``stage`` in order.

@@ -167,6 +167,18 @@ class PassManager:
             key += cache_key(config)
         return key
 
+    def frontend_key(self) -> Tuple[str, ...]:
+        """Identity of the frontend stage, for the process-wide parse cache.
+
+        The parse cache runs before any configuration exists, so the key is
+        the *names* of the registered frontend-stage passes rather than
+        config-dependent contributions: registering a custom frontend pass
+        changes the key and retires every entry parsed without it — the
+        same automatic widening the config-keyed stage caches get from
+        :meth:`stage_key`.
+        """
+        return tuple(p.name for p in self._passes if p.stage == "frontend")
+
     # ----------------------------------------------------------- execution --
     def run(self, name: str, ctx: PassContext) -> bool:
         """Apply the named pass to ``ctx`` if the config enables it.

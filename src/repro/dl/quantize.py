@@ -25,7 +25,10 @@ def quantize_tensor(tensor: np.ndarray, bits: int = 8
         raise ValueError("bits must be within [2, 16]")
     limit = float(np.max(np.abs(tensor))) or 1.0
     qmax = 2 ** (bits - 1) - 1
-    scale = limit / qmax
+    # A subnormal limit can underflow limit/qmax to exactly 0.0, which would
+    # zero the dequantised tensor (error > scale) and divide by zero below;
+    # the limit itself is the smallest scale that still brackets the data.
+    scale = limit / qmax or limit
     quantized = np.clip(np.round(tensor / scale), -qmax - 1, qmax).astype(np.int32)
     return quantized, scale
 

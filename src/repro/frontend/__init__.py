@@ -7,23 +7,41 @@ information (task names, loop bounds, secret parameters, points of interest).
 
 The frontend provides:
 
-* :func:`tokenize` — lexer,
-* :func:`parse` — recursive-descent parser producing the AST in
-  :mod:`repro.frontend.ast_nodes`,
+* :func:`tokenize` — the compatibility lexer (Token objects with exact
+  positions) and :func:`scan` — the parser's indexed
+  :class:`~repro.frontend.lexer.TokenStream` fast path,
+* :func:`parse` — the token-cursor recursive-descent parser producing the
+  AST in :mod:`repro.frontend.ast_nodes`, with :func:`parse_cached` /
+  :func:`parse_cache_stats` in front of it (process-wide LRU keyed by
+  source fingerprint),
 * :func:`lower_module` / :func:`compile_source` — lowering of the AST into
   the IR of :mod:`repro.ir`.
+
+See ``docs/frontend.md`` for the design.
 """
 
-from repro.frontend.lexer import Token, tokenize
-from repro.frontend.parser import parse
+from repro.frontend.lexer import Token, TokenStream, scan, tokenize
+from repro.frontend.parser import (
+    ParseCache,
+    clear_parse_cache,
+    parse,
+    parse_cache_stats,
+    parse_cached,
+)
 from repro.frontend.lowering import compile_source, lower_module
 from repro.frontend import ast_nodes
 
 __all__ = [
+    "ParseCache",
     "Token",
+    "TokenStream",
     "ast_nodes",
+    "clear_parse_cache",
     "compile_source",
     "lower_module",
     "parse",
+    "parse_cache_stats",
+    "parse_cached",
+    "scan",
     "tokenize",
 ]

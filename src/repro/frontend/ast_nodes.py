@@ -1,70 +1,119 @@
 """Abstract syntax tree of TeamPlay-C.
 
-The AST is intentionally plain: dataclasses with no behaviour, so compiler
-passes (loop unrolling, inlining, constant folding, ladderisation) can be
-written as small transformation functions over it.
+The AST is intentionally plain: nodes carry data and no behaviour, so
+compiler passes (loop unrolling, inlining, constant folding, ladderisation)
+can be written as small transformation functions over it.
+
+Nodes are ``__slots__`` classes rather than dataclasses: the parser builds
+tens of thousands of them on every cold parse, and slot storage removes the
+per-instance ``__dict__`` (about half the memory and measurably faster
+construction and attribute access).  Each class declares its fields once in
+``_fields``; the shared :class:`_Node` base derives structural equality and
+``repr`` from it, so nodes still compare and print like the dataclasses
+they replaced (used by the parser parity tests), and :func:`ast_to_dict`
+serialises any node to JSON-ready primitives for the AST golden fixtures.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
+
+
+class _Node:
+    """Shared behaviour of every AST node: field-wise ``==`` and ``repr``."""
+
+    __slots__ = ()
+    _fields: tuple = ()
+
+    def __eq__(self, other):
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        for name in self._fields:
+            if getattr(self, name) != getattr(other, name):
+                return False
+        return True
+
+    __hash__ = None  # mutable nodes, like the dataclasses they replaced
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        args = ", ".join(f"{name}={getattr(self, name)!r}"
+                         for name in self._fields)
+        return f"{self.__class__.__name__}({args})"
 
 
 # ---------------------------------------------------------------------------
 # Expressions
 # ---------------------------------------------------------------------------
-@dataclass
-class Num:
+class Num(_Node):
     """Integer literal."""
 
-    value: int
-    line: int = 0
+    __slots__ = ("value", "line")
+    _fields = __slots__
+
+    def __init__(self, value: int, line: int = 0):
+        self.value = value
+        self.line = line
 
 
-@dataclass
-class Var:
+class Var(_Node):
     """Reference to a scalar variable or parameter."""
 
-    name: str
-    line: int = 0
+    __slots__ = ("name", "line")
+    _fields = __slots__
+
+    def __init__(self, name: str, line: int = 0):
+        self.name = name
+        self.line = line
 
 
-@dataclass
-class Index:
+class Index(_Node):
     """Array element access ``name[index]``."""
 
-    name: str
-    index: "Expr"
-    line: int = 0
+    __slots__ = ("name", "index", "line")
+    _fields = __slots__
+
+    def __init__(self, name: str, index: "Expr", line: int = 0):
+        self.name = name
+        self.index = index
+        self.line = line
 
 
-@dataclass
-class Unary:
+class Unary(_Node):
     """Unary operation: ``-``, ``!`` or ``~``."""
 
-    op: str
-    operand: "Expr"
-    line: int = 0
+    __slots__ = ("op", "operand", "line")
+    _fields = __slots__
+
+    def __init__(self, op: str, operand: "Expr", line: int = 0):
+        self.op = op
+        self.operand = operand
+        self.line = line
 
 
-@dataclass
-class Binary:
+class Binary(_Node):
     """Binary operation with C-like operators."""
 
-    op: str
-    lhs: "Expr"
-    rhs: "Expr"
-    line: int = 0
+    __slots__ = ("op", "lhs", "rhs", "line")
+    _fields = __slots__
+
+    def __init__(self, op: str, lhs: "Expr", rhs: "Expr", line: int = 0):
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+        self.line = line
 
 
-@dataclass
-class Call:
+class Call(_Node):
     """Function call ``name(arg, ...)``."""
 
-    name: str
-    args: List["Expr"] = field(default_factory=list)
-    line: int = 0
+    __slots__ = ("name", "args", "line")
+    _fields = __slots__
+
+    def __init__(self, name: str, args: Optional[List["Expr"]] = None,
+                 line: int = 0):
+        self.name = name
+        self.args = [] if args is None else args
+        self.line = line
 
 
 Expr = Union[Num, Var, Index, Unary, Binary, Call]
@@ -73,65 +122,93 @@ Expr = Union[Num, Var, Index, Unary, Binary, Call]
 # ---------------------------------------------------------------------------
 # Statements
 # ---------------------------------------------------------------------------
-@dataclass
-class VarDecl:
+class VarDecl(_Node):
     """``int x = e;`` or ``int a[N];``"""
 
-    name: str
-    array_size: Optional[int] = None
-    init: Optional[Expr] = None
-    line: int = 0
+    __slots__ = ("name", "array_size", "init", "line")
+    _fields = __slots__
+
+    def __init__(self, name: str, array_size: Optional[int] = None,
+                 init: Optional[Expr] = None, line: int = 0):
+        self.name = name
+        self.array_size = array_size
+        self.init = init
+        self.line = line
 
 
-@dataclass
-class Assign:
+class Assign(_Node):
     """Assignment ``target op= value`` where ``op`` is ``=`` or a compound op."""
 
-    target: Union[Var, Index]
-    op: str
-    value: Expr
-    line: int = 0
+    __slots__ = ("target", "op", "value", "line")
+    _fields = __slots__
+
+    def __init__(self, target: Union[Var, Index], op: str, value: Expr,
+                 line: int = 0):
+        self.target = target
+        self.op = op
+        self.value = value
+        self.line = line
 
 
-@dataclass
-class If:
-    cond: Expr
-    then_body: List["Stmt"] = field(default_factory=list)
-    else_body: List["Stmt"] = field(default_factory=list)
-    line: int = 0
+class If(_Node):
+    __slots__ = ("cond", "then_body", "else_body", "line")
+    _fields = __slots__
+
+    def __init__(self, cond: Expr, then_body: Optional[List["Stmt"]] = None,
+                 else_body: Optional[List["Stmt"]] = None, line: int = 0):
+        self.cond = cond
+        self.then_body = [] if then_body is None else then_body
+        self.else_body = [] if else_body is None else else_body
+        self.line = line
 
 
-@dataclass
-class While:
-    cond: Expr
-    body: List["Stmt"] = field(default_factory=list)
-    #: Loop bound from a ``loopbound`` pragma (None = analyse or reject).
-    bound: Optional[int] = None
-    line: int = 0
+class While(_Node):
+    __slots__ = ("cond", "body", "bound", "line")
+    _fields = __slots__
+
+    def __init__(self, cond: Expr, body: Optional[List["Stmt"]] = None,
+                 bound: Optional[int] = None, line: int = 0):
+        self.cond = cond
+        self.body = [] if body is None else body
+        #: Loop bound from a ``loopbound`` pragma (None = analyse or reject).
+        self.bound = bound
+        self.line = line
 
 
-@dataclass
-class For:
+class For(_Node):
     """``for (init; cond; update) body`` with simple init/update statements."""
 
-    init: Optional["Stmt"]
-    cond: Optional[Expr]
-    update: Optional["Stmt"]
-    body: List["Stmt"] = field(default_factory=list)
-    bound: Optional[int] = None
-    line: int = 0
+    __slots__ = ("init", "cond", "update", "body", "bound", "line")
+    _fields = __slots__
+
+    def __init__(self, init: Optional["Stmt"], cond: Optional[Expr],
+                 update: Optional["Stmt"],
+                 body: Optional[List["Stmt"]] = None,
+                 bound: Optional[int] = None, line: int = 0):
+        self.init = init
+        self.cond = cond
+        self.update = update
+        self.body = [] if body is None else body
+        self.bound = bound
+        self.line = line
 
 
-@dataclass
-class Return:
-    value: Optional[Expr] = None
-    line: int = 0
+class Return(_Node):
+    __slots__ = ("value", "line")
+    _fields = __slots__
+
+    def __init__(self, value: Optional[Expr] = None, line: int = 0):
+        self.value = value
+        self.line = line
 
 
-@dataclass
-class ExprStmt:
-    expr: Expr
-    line: int = 0
+class ExprStmt(_Node):
+    __slots__ = ("expr", "line")
+    _fields = __slots__
+
+    def __init__(self, expr: Expr, line: int = 0):
+        self.expr = expr
+        self.line = line
 
 
 Stmt = Union[VarDecl, Assign, If, While, For, Return, ExprStmt]
@@ -140,33 +217,47 @@ Stmt = Union[VarDecl, Assign, If, While, For, Return, ExprStmt]
 # ---------------------------------------------------------------------------
 # Top-level declarations
 # ---------------------------------------------------------------------------
-@dataclass
-class FunctionDef:
-    name: str
-    params: List[str] = field(default_factory=list)
-    body: List[Stmt] = field(default_factory=list)
-    #: Parsed ``#pragma teamplay`` directives attached to this function.
-    pragmas: Dict[str, object] = field(default_factory=dict)
-    line: int = 0
+class FunctionDef(_Node):
+    __slots__ = ("name", "params", "body", "pragmas", "line")
+    _fields = __slots__
+
+    def __init__(self, name: str, params: Optional[List[str]] = None,
+                 body: Optional[List[Stmt]] = None,
+                 pragmas: Optional[Dict[str, object]] = None, line: int = 0):
+        self.name = name
+        self.params = [] if params is None else params
+        self.body = [] if body is None else body
+        #: Parsed ``#pragma teamplay`` directives attached to this function.
+        self.pragmas = {} if pragmas is None else pragmas
+        self.line = line
 
 
-@dataclass
-class GlobalArray:
+class GlobalArray(_Node):
     """Top-level ``int name[N];`` possibly with an initialiser list."""
 
-    name: str
-    size: int
-    init: Optional[List[int]] = None
-    line: int = 0
+    __slots__ = ("name", "size", "init", "line")
+    _fields = __slots__
+
+    def __init__(self, name: str, size: int,
+                 init: Optional[List[int]] = None, line: int = 0):
+        self.name = name
+        self.size = size
+        self.init = init
+        self.line = line
 
 
-@dataclass
-class SourceModule:
+class SourceModule(_Node):
     """A parsed TeamPlay-C translation unit."""
 
-    functions: List[FunctionDef] = field(default_factory=list)
-    globals: List[GlobalArray] = field(default_factory=list)
-    source_name: str = "<memory>"
+    __slots__ = ("functions", "globals", "source_name")
+    _fields = __slots__
+
+    def __init__(self, functions: Optional[List[FunctionDef]] = None,
+                 globals: Optional[List[GlobalArray]] = None,
+                 source_name: str = "<memory>"):
+        self.functions = [] if functions is None else functions
+        self.globals = [] if globals is None else globals
+        self.source_name = source_name
 
     def function(self, name: str) -> FunctionDef:
         for fn in self.functions:
@@ -292,3 +383,27 @@ def stmt_expressions(stmt: Stmt) -> List[Expr]:
     if isinstance(stmt, ExprStmt):
         return [stmt.expr]
     return []
+
+
+# ---------------------------------------------------------------------------
+# Serialisation (AST golden fixtures)
+# ---------------------------------------------------------------------------
+def ast_to_dict(node) -> object:
+    """Serialise an AST node (or list / primitive) to JSON-ready values.
+
+    Every node becomes ``{"node": <class name>, <field>: <value>, ...}``
+    with fields in declaration order — a stable, human-diffable form the
+    AST golden fixtures under ``tests/golden/`` pin bit-for-bit.
+    """
+    if isinstance(node, _Node):
+        document: Dict[str, object] = {"node": node.__class__.__name__}
+        for name in node._fields:
+            document[name] = ast_to_dict(getattr(node, name))
+        return document
+    if isinstance(node, list):
+        return [ast_to_dict(item) for item in node]
+    if isinstance(node, dict):
+        return {key: ast_to_dict(value) for key, value in node.items()}
+    if node.__class__.__name__ == "Quantity":  # pragma values (period, …)
+        return {"quantity": node.value, "dimension": node.dimension}
+    return node

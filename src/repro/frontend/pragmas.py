@@ -94,6 +94,30 @@ def _parse_argument(name: str, arg: str, line: int) -> object:
     return arg
 
 
+#: Memo for :func:`parse_pragma_cached`.  Real programs repeat a handful of
+#: directive headers (``teamplay loopbound(64)`` on every loop), so the hot
+#: path is one dict probe on the raw pragma text.
+_PRAGMA_CACHE: Dict[str, Dict[str, object]] = {}
+_PRAGMA_CACHE_MAX = 512
+
+
+def parse_pragma_cached(text: str, line: int = 0) -> Dict[str, object]:
+    """Memoised :func:`parse_pragma` keyed by the raw directive text.
+
+    Only successful parses are cached — failures re-parse so the raised
+    :class:`FrontendError` carries the caller's line number.  The returned
+    dictionary is shared: callers must treat it as read-only (merge with
+    ``dict.update`` rather than mutating in place).
+    """
+    directives = _PRAGMA_CACHE.get(text)
+    if directives is None:
+        directives = parse_pragma(text, line)
+        if len(_PRAGMA_CACHE) >= _PRAGMA_CACHE_MAX:
+            _PRAGMA_CACHE.clear()
+        _PRAGMA_CACHE[text] = directives
+    return directives
+
+
 def merge_pragmas(*pragma_dicts: Dict[str, object]) -> Dict[str, object]:
     """Merge several pragma dictionaries; later ones win on conflicts."""
     merged: Dict[str, object] = {}

@@ -14,7 +14,8 @@ and the per-pass compilation-pipeline timings of every build workflow).
 ``--profile`` appends a per-pass wall-time/invocation table aggregated
 across the whole sweep (rendered by
 :func:`repro.compiler.pipeline.render_profile`; with ``--json`` it becomes
-the summary's ``pipeline_profile`` field instead).  ``--shared-cache``
+the summary's ``pipeline_profile`` field instead) plus the process-wide
+parse-cache counters (``parse_cache`` in the JSON document).  ``--shared-cache``
 enables the process-wide analysis cache so WCET/WCEC tables are reused
 across scenarios targeting the same platform, and ``--jobs N`` runs the
 sweep through the evaluation service's worker pool — the registry sweep is
@@ -37,6 +38,7 @@ from repro.compiler.pipeline import (
     profile_rows,
     render_profile,
 )
+from repro.frontend import parse_cache_stats
 from repro.scenarios.registry import (
     UnknownScenarioError,
     get_scenario,
@@ -147,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             document["pipeline_profile"] = profile_rows(
                 aggregate_pipeline_stats(
                     result.pipeline_stats for result in results))
+            document["parse_cache"] = parse_cache_stats()
         if args.shared_cache:
             document["analysis_cache"] = process_analysis_cache_stats()
         print(json.dumps(document, indent=2))
@@ -158,6 +161,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(render_profile(
                 totals, title="pipeline profile (aggregated over "
                               f"{len(results)} scenario run(s))"))
+            cache = parse_cache_stats()
+            print(f"parse cache: {cache['hits']} hit(s), "
+                  f"{cache['misses']} miss(es), "
+                  f"{cache['entries']} module(s) resident")
     return 0
 
 

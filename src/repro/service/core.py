@@ -28,6 +28,7 @@ from repro.compiler.engine import (
     process_analysis_cache_stats,
 )
 from repro.compiler.pipeline import merge_pipeline_stats, profile_rows
+from repro.frontend import parse_cache_stats
 from repro.scenarios.registry import get_scenario, list_scenarios
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
@@ -385,6 +386,7 @@ class EvaluationService:
                 "enabled": process_analysis_cache_enabled(),
                 "platforms": process_analysis_cache_stats(),
             },
+            "parse_cache": parse_cache_stats(),
         }
 
     # ----------------------------------------------------------------- sweeps --

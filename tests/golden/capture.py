@@ -98,12 +98,53 @@ def capture_parking_tk1() -> dict:
     }
 
 
+# -- AST goldens -------------------------------------------------------------
+# One parse tree per experiment source, serialised by ``ast_to_dict``: E1/E2
+# are the TeamPlay-C programs of the simple-architecture use cases, E3/E6
+# are complex-kind scenarios whose compiled kernels come from ``repro.dl``
+# (the SAR track task runs matmul, the parking detector conv2d).
+# ``tests/test_frontend_cursor.py`` asserts the parser reproduces these
+# bit-for-bit.
+
+def _ast_capture(source_fn):
+    def capture() -> dict:
+        from repro.frontend import parse
+        from repro.frontend.ast_nodes import ast_to_dict
+
+        return ast_to_dict(parse(source_fn()))
+    return capture
+
+
+def _camera_pill_source() -> str:
+    from repro.usecases.camera_pill import CAMERA_PILL_SOURCE
+    return CAMERA_PILL_SOURCE
+
+
+def _space_source() -> str:
+    from repro.usecases.space import SPACE_SOURCE
+    return SPACE_SOURCE
+
+
+def _matmul_source() -> str:
+    from repro.dl.kernels import matmul_kernel_source
+    return matmul_kernel_source()
+
+
+def _conv2d_source() -> str:
+    from repro.dl.kernels import conv2d_kernel_source
+    return conv2d_kernel_source()
+
+
 def main() -> None:
     captures = {
         "camera_pill_e1.json": capture_camera_pill,
         "space_e2.json": capture_space,
         "uav_sar_e3.json": capture_uav_sar,
         "parking_tk1_e6.json": capture_parking_tk1,
+        "ast_camera_pill_e1.json": _ast_capture(_camera_pill_source),
+        "ast_space_e2.json": _ast_capture(_space_source),
+        "ast_matmul_e3.json": _ast_capture(_matmul_source),
+        "ast_conv2d_e6.json": _ast_capture(_conv2d_source),
     }
     for filename, capture in captures.items():
         path = GOLDEN_DIR / filename

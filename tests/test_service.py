@@ -619,9 +619,11 @@ class TestHttpApi:
         status, stats = _http(address, "GET", "/stats")
         assert status == 200
         assert set(stats) == {"queue", "store", "workers", "pipeline",
-                              "analysis_cache", "journal"}
+                              "analysis_cache", "journal", "parse_cache"}
         assert stats["analysis_cache"]["enabled"] is True
         assert stats["journal"] is None  # no --journal on this fixture
+        assert set(stats["parse_cache"]) == {"entries", "max_entries",
+                                             "hits", "misses", "evictions"}
         status, jobs = _http(address, "GET", "/jobs")
         assert status == 200 and isinstance(jobs["jobs"], list)
 
