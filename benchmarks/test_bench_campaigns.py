@@ -1,0 +1,128 @@
+"""CAM1 — staged campaign vs hand-rolled sequential sweeps.
+
+Not a paper experiment: measures the campaign orchestrator the ROADMAP's
+"multi-stage sweep campaigns" step added (`src/repro/campaigns/`,
+`docs/campaigns.md`).  The workload is the flagship staged-study shape —
+search over the E1/E2/E3 workloads, refine the two best energy improvers,
+validate the winners plus companion deployments — run twice:
+
+* hand-rolled — the driver script a user would write without the
+  subsystem: one fresh ``ScenarioRunner`` per stage (separate sweep
+  scripts share nothing), selection between stages done inline,
+* campaign — the same three stages as one ``CampaignSpec`` on an
+  ``EvaluationService``, where every stage submission rides the job
+  layer's request-fingerprint dedup and the process-wide shared analysis
+  cache.
+
+The validate stage re-runs the refined winners at the search budget, so
+the campaign serves those from the store (``dedup_hits``) while the
+hand-rolled driver recomputes them — that, plus shared-cache warming, is
+the reported win.  Results are bit-identical either way.
+
+Smoke invocation:  pytest -m bench benchmarks/test_bench_campaigns.py
+"""
+
+import time
+
+from conftest import print_experiment
+
+from repro.campaigns import CampaignState
+from repro.campaigns.library import PAPER_SIBLINGS, \
+    make_search_refine_validate
+from repro.scenarios import top_by_energy_improvement
+from repro.scenarios.runner import ScenarioRunner
+from repro.service import EvaluationService
+
+SCENARIOS = ("camera-pill", "space-spacewire", "uav-sar")
+SEARCH = {"generations": 1, "population_size": 4}
+REFINE = {"generations": 3, "population_size": 6}
+KEEP = 2
+
+
+def _comparable(summary):
+    """The stable core of a result summary: run-state counters excluded."""
+    return {key: value for key, value in summary.items()
+            if key not in ("cache_stats", "pipeline_stats")}
+
+
+def _hand_rolled():
+    """The three stages as separate sweeps sharing nothing."""
+    t0 = time.perf_counter()
+    search = [ScenarioRunner().run(name, **SEARCH) for name in SCENARIOS]
+    winners = top_by_energy_improvement(search, k=KEEP)
+    refined = [ScenarioRunner().run(result.spec.name, **REFINE)
+               for result in winners]
+    validate_names = []
+    for result in refined:
+        validate_names.append(result.spec.name)
+        validate_names.extend(PAPER_SIBLINGS.get(result.spec.name, []))
+    validated = [ScenarioRunner().run(name, **SEARCH)
+                 for name in validate_names]
+    elapsed = time.perf_counter() - t0
+    return [stage_results for stage_results in (search, refined, validated)], \
+        elapsed
+
+
+def _campaign():
+    spec = make_search_refine_validate(
+        name="bench-cam1", scenarios=SCENARIOS, siblings=PAPER_SIBLINGS,
+        search_budget=SEARCH, refine_budget=REFINE, keep=KEEP)
+    t0 = time.perf_counter()
+    with EvaluationService(workers=1) as service:
+        record = service.campaign_result(
+            service.submit_campaign(spec).id, timeout=600)
+        stats = service.stats()
+    elapsed = time.perf_counter() - t0
+    assert record.state is CampaignState.SUCCEEDED
+    return record, elapsed, stats
+
+
+def test_cam1_campaign_vs_hand_rolled_sweeps(benchmark):
+    """CAM1: the staged campaign beats sequential per-stage driver scripts."""
+    manual_stages, manual_s = benchmark.pedantic(
+        _hand_rolled, rounds=1, iterations=1)
+    record, campaign_s, stats = _campaign()
+
+    # Bit-identical results, stage by stage, request by request.
+    for stage_record, stage_results in zip(record.stages, manual_stages):
+        assert ([_comparable(summary)
+                 for summary in stage_record.result_summaries]
+                == [_comparable(result.summary())
+                    for result in stage_results])
+
+    dedup_hits = sum(stage.dedup_hits for stage in record.stages)
+    recomputed = sum(stage.jobs for stage in record.stages) - dedup_hits
+    platforms = (stats.get("analysis_cache") or {}).get("platforms", {})
+    cache = {
+        "hits": sum(row.get("hits", 0) for row in platforms.values()),
+        "misses": sum(row.get("misses", 0) for row in platforms.values()),
+    }
+    rows = [
+        f"hand-rolled (3 sweeps): {manual_s * 1e3:7.0f} ms for "
+        f"{sum(len(stage) for stage in manual_stages)} runs, every run "
+        f"computed from scratch",
+        f"campaign    (1 unit):  {campaign_s * 1e3:7.0f} ms for "
+        f"{sum(stage.jobs for stage in record.stages)} jobs, "
+        f"{dedup_hits} served by dedup, {recomputed} computed",
+        f"shared analysis cache: {cache.get('hits', 0)} hits / "
+        f"{cache.get('misses', 0)} misses across stages",
+    ]
+    print_experiment(
+        "CAM1 campaign orchestrator vs hand-rolled sweeps",
+        "staging the search -> refine -> validate study as one campaign "
+        "re-serves repeated configurations from the job layer instead of "
+        "recomputing them",
+        rows,
+        notes="results are bit-identical to the hand-rolled driver "
+              "(asserted above); resume semantics are pinned in "
+              "tests/test_campaigns.py",
+    )
+
+    # The validate stage re-runs the refined winners at the search budget:
+    # those must come back as dedup hits, never recomputations.
+    assert dedup_hits >= KEEP
+    assert recomputed == sum(len(stage) for stage in manual_stages) \
+        - dedup_hits
+    # Skipping recomputations must not cost more wall time than it saves
+    # (generous bound: shared-host timing noise).
+    assert campaign_s < 1.5 * manual_s

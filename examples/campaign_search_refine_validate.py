@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""The flagship library campaign, end to end on an in-process service.
+
+Runs the registered ``search-refine-validate`` campaign — the paper's
+staged-study shape as one durable unit:
+
+1. ``search``  — broad sweep of the E1/E2/E3 workloads at a small budget,
+2. ``refine``  — the two best energy improvers re-run at the paper budget
+   (the ``top-energy-refine`` hook turns stage-1 results into stage-2
+   submissions),
+3. ``validate`` — the refined winners plus their companion deployments
+   (``companion-deployments`` hook over ``PAPER_SIBLINGS``).
+
+Everything rides the evaluation service's job layer, so repeated stages
+coalesce through the request-fingerprint dedup and — with a journal — an
+interrupted campaign resumes after restart without re-running completed
+stages.  See ``docs/campaigns.md`` for the spec format and hook contract.
+
+Run with:  PYTHONPATH=src python examples/campaign_search_refine_validate.py
+"""
+
+from repro.campaigns import CampaignState, get_campaign
+from repro.service import EvaluationService
+
+
+def main():
+    campaign = get_campaign("search-refine-validate")
+    print(f"campaign: {campaign.name} — {campaign.title}")
+    for stage in campaign.stages:
+        how = (f"{len(stage.requests)} static requests" if stage.requests
+               else f"hook {stage.parameterize!r}")
+        print(f"  stage {stage.name:10s} {how}")
+    print()
+
+    with EvaluationService(workers=2) as service:
+        record = service.submit_campaign(campaign)
+        print(f"submitted as {record.id}; running...\n")
+        record = service.campaign_result(record.id)
+
+        assert record.state is CampaignState.SUCCEEDED
+        print(f"{record.id}: {record.state.value}")
+        for stage in record.stages:
+            print(f"  {stage.name:10s} {stage.state.value:9s} "
+                  f"jobs={stage.jobs} dedup_hits={stage.dedup_hits} "
+                  f"wall={stage.wall_s:.2f}s")
+            for summary in stage.result_summaries:
+                energy = summary.get("energy_improvement_pct")
+                improvement = ("" if energy is None
+                               else f"  energy improvement {energy:+.2f}%")
+                print(f"    - {summary['name']}{improvement}")
+
+        rollup = service.stats()["campaigns"]
+        print(f"\ncampaigns stats: {rollup['campaigns']} campaign(s), "
+              f"{rollup['jobs_submitted']} jobs, "
+              f"{rollup['dedup_hits']} dedup hits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Durable multi-stage sweep campaigns over the evaluation service.
+
+The orchestration layer above the job queue: where the service (PR 3/6)
+runs flat batches, a *campaign* chains them — a broad design-space search
+whose survivors are refined at a larger budget and then validated on
+companion deployments, the paper's staged-study shape.
+
+* :class:`CampaignSpec` / :class:`StageSpec` — pure-data descriptions of
+  ordered stages; each stage submits static
+  :class:`~repro.service.jobs.JobRequest`\\ s and/or the output of a named
+  *parameterize hook* over the previous stage's results, with a per-stage
+  failure policy (``stop`` / ``skip`` / ``continue``),
+* :mod:`repro.campaigns.hooks` — the registry hooks travel through by
+  name, keeping specs JSON-serialisable for HTTP, spec files and the
+  journal,
+* :class:`CampaignRunner` / :class:`CampaignRecord` — the stage driver and
+  its job-style lifecycle record,
+* :mod:`repro.campaigns.library` — built-in hooks plus registered library
+  campaigns mirroring the paper's staged studies
+  (``search-refine-validate``, ``budget-escalation``,
+  ``dl-cross-platform``).
+
+The service facade exposes campaigns everywhere jobs go:
+``EvaluationService.submit_campaign``, ``POST /campaigns`` /
+``GET /campaigns[/<id>]`` / ``DELETE /campaigns/<id>`` over HTTP, a
+``campaigns`` section in ``GET /stats``, and ``python -m repro.service
+campaign`` on the CLI.  Campaign lifecycle events live in the persistent
+job journal, so an interrupted campaign resumes after a restart — completed
+stages re-derive through the job-level fingerprint dedup instead of
+recomputing (see ``docs/campaigns.md``).
+
+In-process quickstart::
+
+    from repro.service import EvaluationService
+
+    with EvaluationService(workers=2) as service:
+        record = service.submit_campaign("dl-cross-platform")
+        record = service.campaign_result(record.id, timeout=600)
+        for stage in record.stages:
+            print(stage.name, stage.state.value, stage.wall_s)
+"""
+
+from repro.campaigns.hooks import (
+    CampaignHookError,
+    get_parameterizer,
+    list_parameterizers,
+    register_parameterizer,
+    unregister_parameterizer,
+)
+from repro.campaigns.registry import (
+    CampaignRegistryError,
+    UnknownCampaignError,
+    get_campaign,
+    list_campaigns,
+    register_campaign,
+    unregister_campaign,
+)
+from repro.campaigns.runner import (
+    CampaignError,
+    CampaignRecord,
+    CampaignRunner,
+    CampaignState,
+    StageRecord,
+    StageState,
+    restore_campaign_records,
+)
+from repro.campaigns.spec import (
+    ON_FAILURE,
+    CampaignSpec,
+    CampaignSpecError,
+    StageSpec,
+    stage_fingerprint,
+)
+
+__all__ = [
+    "ON_FAILURE",
+    "CampaignError",
+    "CampaignHookError",
+    "CampaignRecord",
+    "CampaignRegistryError",
+    "CampaignRunner",
+    "CampaignSpec",
+    "CampaignSpecError",
+    "CampaignState",
+    "StageRecord",
+    "StageSpec",
+    "StageState",
+    "UnknownCampaignError",
+    "get_campaign",
+    "get_parameterizer",
+    "list_campaigns",
+    "list_parameterizers",
+    "register_campaign",
+    "register_parameterizer",
+    "restore_campaign_records",
+    "stage_fingerprint",
+    "unregister_campaign",
+    "unregister_parameterizer",
+]

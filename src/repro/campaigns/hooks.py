@@ -1,0 +1,110 @@
+"""Registry of named parameterize hooks.
+
+A parameterize hook turns the previous stage's
+:class:`~repro.scenarios.spec.ScenarioResult`\\ s into the next stage's
+:class:`~repro.service.jobs.JobRequest`\\ s::
+
+    def hook(results: List[ScenarioResult], **hook_args) -> requests
+
+where ``requests`` is a sequence of :class:`JobRequest` objects or
+JSON-style request dicts (parsed through :meth:`JobRequest.from_dict`).
+Hooks travel *by name* so campaign specs stay serialisable — over HTTP, in
+spec files, and through the persistent journal.  Hooks must be
+deterministic: a resumed campaign re-resolves every stage, and only a
+deterministic hook regenerates the same requests (whose fingerprints then
+hit the cross-restart job dedup instead of recomputing).
+
+The built-in hooks (registered by :mod:`repro.campaigns.library`) cover the
+paper's staged-study shapes: keep the top-*k* by energy improvement, keep
+the (time, energy) Pareto survivors, keep whatever still improves, and fan
+winners out to companion deployments.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Sequence, Union
+
+from repro.errors import TeamPlayError
+from repro.service.jobs import JobError, JobRequest
+
+#: What a hook returns: requests, as objects or JSON-style dicts.
+HookOutput = Sequence[Union[JobRequest, Dict[str, object]]]
+Parameterizer = Callable[..., HookOutput]
+
+
+class CampaignHookError(TeamPlayError):
+    """Raised for unknown/duplicate hook names and malformed hook output."""
+
+
+_HOOKS: Dict[str, Parameterizer] = {}
+_hooks_lock = threading.Lock()
+
+
+def register_parameterizer(name: str, hook: Parameterizer,
+                           replace: bool = False) -> Parameterizer:
+    """Register ``hook`` under ``name``; duplicate names are an error."""
+    if not name or not isinstance(name, str):
+        raise CampaignHookError("a parameterize hook needs a non-empty name")
+    if not callable(hook):
+        raise CampaignHookError(f"hook {name!r} must be callable")
+    with _hooks_lock:
+        if name in _HOOKS and not replace:
+            raise CampaignHookError(
+                f"parameterize hook {name!r} is already registered")
+        _HOOKS[name] = hook
+    return hook
+
+
+def unregister_parameterizer(name: str) -> None:
+    """Remove a registered hook (no-op for unknown names)."""
+    with _hooks_lock:
+        _HOOKS.pop(name, None)
+
+
+def get_parameterizer(name: str) -> Parameterizer:
+    """Look a hook up by name (built-ins load lazily on first miss)."""
+    with _hooks_lock:
+        hook = _HOOKS.get(name)
+    if hook is None:
+        # The library registers the built-in hooks on import; loading it
+        # lazily keeps ``import repro.campaigns`` light.
+        import repro.campaigns.library  # noqa: F401 - registration side effect
+        with _hooks_lock:
+            hook = _HOOKS.get(name)
+    if hook is None:
+        with _hooks_lock:
+            known = sorted(_HOOKS)
+        raise CampaignHookError(
+            f"unknown parameterize hook {name!r}; registered: {known}")
+    return hook
+
+
+def list_parameterizers() -> List[str]:
+    """Names of every registered hook, sorted."""
+    import repro.campaigns.library  # noqa: F401 - registration side effect
+    with _hooks_lock:
+        return sorted(_HOOKS)
+
+
+def resolve_hook_output(stage_name: str, output: HookOutput
+                        ) -> List[JobRequest]:
+    """Normalise a hook's output into :class:`JobRequest` objects."""
+    if output is None:
+        return []
+    if isinstance(output, (JobRequest, dict)):
+        raise CampaignHookError(
+            f"stage {stage_name!r}: the parameterize hook must return a "
+            f"sequence of requests, got a single {type(output).__name__}")
+    requests: List[JobRequest] = []
+    for index, entry in enumerate(output):
+        if isinstance(entry, JobRequest):
+            requests.append(entry)
+            continue
+        try:
+            requests.append(JobRequest.from_dict(entry))
+        except JobError as error:
+            raise CampaignHookError(
+                f"stage {stage_name!r}: hook output entry {index} is not a "
+                f"valid job request: {error}") from None
+    return requests

@@ -1,0 +1,239 @@
+"""Built-in parameterize hooks and library campaigns.
+
+The hooks turn a stage's :class:`~repro.scenarios.spec.ScenarioResult`\\ s
+into the next stage's submissions using the selection vocabulary from
+:mod:`repro.scenarios.selection`; the campaigns mirror the paper's staged
+studies — a broad design-space search whose survivors are refined at a
+larger budget and then validated on companion deployments.
+
+Campaign factories (``make_search_refine_validate`` etc.) are exported so
+tests, examples and downstream users can instantiate the same staged shapes
+over their own scenarios and budgets; the module-level registrations bind
+them to the paper's use cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaigns.hooks import register_parameterizer
+from repro.campaigns.registry import register_campaign
+from repro.campaigns.spec import CampaignSpec, StageSpec
+from repro.scenarios.selection import (
+    improving_results,
+    pareto_results,
+    scenario_names,
+    top_by_energy_improvement,
+)
+from repro.service.jobs import JobRequest
+
+
+def _requests_for(names: Sequence[str],
+                  generations: Optional[int] = None,
+                  population_size: Optional[int] = None,
+                  profiling_runs: Optional[int] = None,
+                  postprocess: bool = True) -> List[JobRequest]:
+    """One request per scenario name, sharing one budget override."""
+    return [
+        JobRequest(scenario=name,
+                   generations=generations,
+                   population_size=population_size,
+                   profiling_runs=profiling_runs,
+                   postprocess=postprocess)
+        for name in names
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Built-in parameterize hooks
+# ---------------------------------------------------------------------------
+def top_energy_refine(results, k: int = 2,
+                      generations: Optional[int] = None,
+                      population_size: Optional[int] = None,
+                      profiling_runs: Optional[int] = None,
+                      postprocess: bool = True) -> List[JobRequest]:
+    """Re-run the ``k`` best scenarios by energy improvement at a new
+    (typically larger) budget."""
+    winners = top_by_energy_improvement(results, k=k)
+    return _requests_for(scenario_names(winners), generations,
+                         population_size, profiling_runs, postprocess)
+
+
+def pareto_refine(results,
+                  generations: Optional[int] = None,
+                  population_size: Optional[int] = None,
+                  profiling_runs: Optional[int] = None,
+                  postprocess: bool = True) -> List[JobRequest]:
+    """Re-run the (time, energy) Pareto survivors at a new budget."""
+    front = pareto_results(results)
+    return _requests_for(scenario_names(front), generations,
+                         population_size, profiling_runs, postprocess)
+
+
+def still_improving(results, min_energy_improvement_pct: float = 0.0,
+                    generations: Optional[int] = None,
+                    population_size: Optional[int] = None,
+                    profiling_runs: Optional[int] = None,
+                    postprocess: bool = True) -> List[JobRequest]:
+    """Re-run every scenario still improving beyond the threshold."""
+    keep = improving_results(
+        results, min_energy_improvement_pct=min_energy_improvement_pct)
+    return _requests_for(scenario_names(keep), generations,
+                         population_size, profiling_runs, postprocess)
+
+
+def companion_deployments(results, siblings: Optional[Dict[str, list]] = None,
+                          include_winners: bool = True,
+                          generations: Optional[int] = None,
+                          population_size: Optional[int] = None,
+                          profiling_runs: Optional[int] = None,
+                          postprocess: bool = True) -> List[JobRequest]:
+    """Validate the previous stage's scenarios on companion deployments.
+
+    ``siblings`` maps a scenario name to the registry names it should be
+    validated against (same workload family on another platform or
+    deployment); ``include_winners=False`` submits only the companions.
+    """
+    siblings = siblings or {}
+    names: List[str] = []
+    for winner in scenario_names(results):
+        if include_winners and winner not in names:
+            names.append(winner)
+        for companion in siblings.get(winner, ()):
+            if companion not in names:
+                names.append(companion)
+    return _requests_for(names, generations, population_size,
+                         profiling_runs, postprocess)
+
+
+register_parameterizer("top-energy-refine", top_energy_refine)
+register_parameterizer("pareto-refine", pareto_refine)
+register_parameterizer("still-improving", still_improving)
+register_parameterizer("companion-deployments", companion_deployments)
+
+
+# ---------------------------------------------------------------------------
+# Campaign factories
+# ---------------------------------------------------------------------------
+def make_search_refine_validate(
+        name: str,
+        scenarios: Sequence[str],
+        siblings: Optional[Dict[str, list]] = None,
+        search_budget: Optional[Dict[str, int]] = None,
+        refine_budget: Optional[Dict[str, int]] = None,
+        validate_budget: Optional[Dict[str, int]] = None,
+        keep: int = 2,
+        title: str = "",
+        description: str = "") -> CampaignSpec:
+    """The paper's staged-study shape as a reusable three-stage campaign.
+
+    ``search`` sweeps ``scenarios`` at a small budget, ``refine`` re-runs
+    the ``keep`` best (by energy improvement) at a larger budget, and
+    ``validate`` runs the refined winners plus their ``siblings`` —
+    companion deployments of the same workload family.  Budgets are request
+    overrides (``generations``/``population_size``/``profiling_runs``).
+    """
+    search_budget = search_budget or {"generations": 1, "population_size": 4}
+    refine_budget = refine_budget or {"generations": 3, "population_size": 6}
+    validate_budget = validate_budget or dict(search_budget)
+    return CampaignSpec(
+        name=name,
+        title=title or f"search → refine → validate over {len(scenarios)} "
+                       f"scenarios",
+        description=description,
+        stages=(
+            StageSpec(name="search",
+                      requests=tuple(_requests_for(scenarios,
+                                                   **search_budget))),
+            StageSpec(name="refine",
+                      parameterize="top-energy-refine",
+                      hook_args=dict(refine_budget, k=keep)),
+            StageSpec(name="validate",
+                      parameterize="companion-deployments",
+                      hook_args=dict(validate_budget,
+                                     siblings=dict(siblings or {}))),
+        ),
+        tags=("library", "staged"),
+    )
+
+
+def make_budget_escalation(
+        name: str,
+        scenarios: Sequence[str],
+        coarse: Optional[Dict[str, int]] = None,
+        focus: Optional[Dict[str, int]] = None,
+        confirm: Optional[Dict[str, int]] = None,
+        min_energy_improvement_pct: float = 0.0,
+        title: str = "") -> CampaignSpec:
+    """Escalate search budgets, keeping only what still pays off."""
+    coarse = coarse or {"generations": 1, "population_size": 2}
+    focus = focus or {"generations": 2, "population_size": 4}
+    confirm = confirm or {"generations": 3, "population_size": 6}
+    return CampaignSpec(
+        name=name,
+        title=title or "escalating-budget sweep",
+        stages=(
+            StageSpec(name="coarse",
+                      requests=tuple(_requests_for(scenarios, **coarse)),
+                      on_failure="continue"),
+            StageSpec(name="focus",
+                      parameterize="still-improving",
+                      hook_args=dict(
+                          focus,
+                          min_energy_improvement_pct=(
+                              min_energy_improvement_pct))),
+            StageSpec(name="confirm",
+                      parameterize="top-energy-refine",
+                      hook_args=dict(confirm, k=1)),
+        ),
+        tags=("library", "ablation"),
+    )
+
+
+#: Which registered scenario validates which winner: the same workload
+#: family on a second platform/deployment (the reproduction's stand-in for
+#: the paper's cross-platform validation runs).
+PAPER_SIBLINGS: Dict[str, list] = {
+    "camera-pill": ["ecg-wearable"],
+    "space-spacewire": ["smart-meter"],
+    "uav-sar": ["uav-pa"],
+}
+
+#: The flagship staged study: broad search over the paper's E1/E2/E3
+#: workloads, refinement of the two best, validation on companion
+#: deployments.
+SEARCH_REFINE_VALIDATE = register_campaign(make_search_refine_validate(
+    name="search-refine-validate",
+    scenarios=("camera-pill", "space-spacewire", "uav-sar"),
+    siblings=PAPER_SIBLINGS,
+    description="Broad E1/E2/E3 search at a small budget, refinement of "
+                "the two best energy improvers at the paper budget, "
+                "validation on companion deployments.",
+))
+
+#: The ablation-flavoured escalation study over the predictable workloads.
+BUDGET_ESCALATION = register_campaign(make_budget_escalation(
+    name="budget-escalation",
+    scenarios=("camera-pill", "space-spacewire", "ecg-wearable",
+               "smart-meter"),
+    title="escalating-budget sweep over the predictable workloads",
+))
+
+#: The deep-learning cross-platform study: profile the TK1 deployment
+#: (E6), then run the M0 kernel-variant table (E5) as its validation — two
+#: static stages, the minimal chained shape.
+DL_CROSS_PLATFORM = register_campaign(CampaignSpec(
+    name="dl-cross-platform",
+    title="deep-learning deployment: TK1 profile, then M0 validation",
+    description="Profile the parking-net TK1 deployment (E6), then run "
+                "the Cortex-M0 kernel-variant study (E5) to validate the "
+                "chosen network on the second platform.",
+    stages=(
+        StageSpec(name="tk1-profile",
+                  requests=(JobRequest(scenario="parking-dl-tk1"),)),
+        StageSpec(name="m0-validate",
+                  requests=(JobRequest(scenario="parking-dl-m0"),),
+                  on_failure="stop"),
+    ),
+    tags=("library", "deep-learning"),
+))

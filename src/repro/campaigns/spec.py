@@ -1,0 +1,232 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` is an ordered sequence of :class:`StageSpec`\\ s.
+Each stage names a set of evaluation-service submissions: a static list of
+:class:`~repro.service.jobs.JobRequest`\\ s, a registered *parameterize*
+hook that derives the submissions from the previous stage's
+:class:`~repro.scenarios.spec.ScenarioResult`\\ s, or both (static requests
+are submitted alongside the hook's output).  The
+:class:`~repro.campaigns.runner.CampaignRunner` interprets the spec; the
+spec itself is pure data — JSON-serialisable via :meth:`CampaignSpec.as_dict`
+/ :meth:`CampaignSpec.from_dict`, which is what lets campaigns travel over
+the HTTP API, live in spec files, and replay from the persistent job
+journal.  Hooks are therefore referenced *by registered name*
+(see :mod:`repro.campaigns.hooks`), never embedded as callables.
+
+Failure policy, per stage (``on_failure``):
+
+* ``"stop"`` (default) — any failed submission fails the stage and stops
+  the campaign; the remaining stages are skipped (the agentpool
+  ``Pipeline``/``Stage`` failure-stops-pipeline shape).
+* ``"skip"`` — a failed stage is abandoned: its results (even partial
+  successes) are discarded and the next stage's hook sees the *previous*
+  stage's results unchanged, as if the failed stage were not there.
+* ``"continue"`` — failed submissions are tolerated: the stage completes
+  with its successful subset, which is what feeds the next stage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TeamPlayError
+from repro.service.jobs import JobError, JobRequest
+
+#: What a stage does when one of its submissions fails.
+ON_FAILURE = ("stop", "skip", "continue")
+
+
+class CampaignSpecError(TeamPlayError):
+    """Raised for malformed campaign specifications."""
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a campaign: which submissions, and how to fail.
+
+    ``requests`` are submitted verbatim; ``parameterize`` names a registered
+    hook (:func:`~repro.campaigns.hooks.register_parameterizer`) called with
+    the previous stage's results plus ``hook_args`` and returning more
+    requests.  ``batch=True`` submits the stage's requests as *one* batch
+    job (one queue entry, one fingerprint, sub-requests sharing a warm
+    runner) instead of one job per request — all-or-nothing, so the
+    ``continue`` policy degrades to ``skip`` for batch stages.
+    """
+
+    name: str
+    requests: Tuple[JobRequest, ...] = ()
+    parameterize: Optional[str] = None
+    hook_args: Dict[str, object] = field(default_factory=dict)
+    on_failure: str = "stop"
+    batch: bool = False
+    priority: int = 0
+    use_cache: bool = True
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise CampaignSpecError("a stage needs a non-empty name")
+        if self.on_failure not in ON_FAILURE:
+            raise CampaignSpecError(
+                f"stage {self.name!r}: unknown on_failure "
+                f"{self.on_failure!r}; expected one of {ON_FAILURE}")
+        if not self.requests and self.parameterize is None:
+            raise CampaignSpecError(
+                f"stage {self.name!r} needs static requests, a "
+                f"parameterize hook, or both")
+        for entry in self.requests:
+            if not isinstance(entry, JobRequest):
+                raise CampaignSpecError(
+                    f"stage {self.name!r}: static requests must be "
+                    f"JobRequest objects, got {entry!r}")
+        if self.parameterize is not None \
+                and not isinstance(self.parameterize, str):
+            raise CampaignSpecError(
+                f"stage {self.name!r}: parameterize must name a registered "
+                f"hook, got {self.parameterize!r} — campaigns are "
+                f"serialisable data, so hooks travel by name")
+        if isinstance(self.priority, bool) or not isinstance(self.priority,
+                                                             int):
+            raise CampaignSpecError(
+                f"stage {self.name!r}: priority must be an integer, "
+                f"got {self.priority!r}")
+        if not isinstance(self.use_cache, bool) \
+                or not isinstance(self.batch, bool):
+            raise CampaignSpecError(
+                f"stage {self.name!r}: batch/use_cache must be booleans")
+        try:
+            json.dumps(self.hook_args)
+        except (TypeError, ValueError):
+            raise CampaignSpecError(
+                f"stage {self.name!r}: hook_args must be JSON-serialisable"
+            ) from None
+
+    def as_dict(self) -> Dict[str, object]:
+        """The stage's canonical JSON-ready form."""
+        return {
+            "name": self.name,
+            "requests": [request.as_dict() for request in self.requests],
+            "parameterize": self.parameterize,
+            "hook_args": dict(self.hook_args),
+            "on_failure": self.on_failure,
+            "batch": self.batch,
+            "priority": self.priority,
+            "use_cache": self.use_cache,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StageSpec":
+        """Build a stage from a JSON payload, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise CampaignSpecError("a stage must be a JSON object")
+        known = {"name", "requests", "parameterize", "hook_args",
+                 "on_failure", "batch", "priority", "use_cache"}
+        unknown = set(payload) - known
+        if unknown:
+            raise CampaignSpecError(
+                f"unknown stage fields: {', '.join(sorted(unknown))}")
+        raw_requests = payload.get("requests", [])
+        if not isinstance(raw_requests, (list, tuple)):
+            raise CampaignSpecError(
+                f"stage {payload.get('name')!r}: requests must be a list")
+        try:
+            requests = tuple(JobRequest.from_dict(entry)
+                             for entry in raw_requests)
+        except JobError as error:
+            raise CampaignSpecError(
+                f"stage {payload.get('name')!r}: {error}") from None
+        return cls(
+            name=payload.get("name", ""),
+            requests=requests,
+            parameterize=payload.get("parameterize"),
+            hook_args=dict(payload.get("hook_args") or {}),
+            on_failure=payload.get("on_failure", "stop"),
+            batch=payload.get("batch", False),
+            priority=payload.get("priority", 0),
+            use_cache=payload.get("use_cache", True),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """An ordered, named sequence of stages."""
+
+    name: str
+    stages: Tuple[StageSpec, ...]
+    title: str = ""
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise CampaignSpecError("a campaign needs a non-empty name")
+        if not self.stages:
+            raise CampaignSpecError(
+                f"campaign {self.name!r} needs at least one stage")
+        for entry in self.stages:
+            if not isinstance(entry, StageSpec):
+                raise CampaignSpecError(
+                    f"campaign {self.name!r}: stages must be StageSpec "
+                    f"objects, got {entry!r}")
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise CampaignSpecError(
+                f"campaign {self.name!r}: stage names must be unique, "
+                f"got {names}")
+
+    def as_dict(self) -> Dict[str, object]:
+        """Canonical JSON-ready form (the journal's on-disk representation,
+        and the fingerprint input)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "stages": [stage.as_dict() for stage in self.stages],
+            "tags": list(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "CampaignSpec":
+        """Build a campaign from a JSON payload, rejecting unknown keys."""
+        if not isinstance(payload, dict):
+            raise CampaignSpecError("a campaign must be a JSON object")
+        known = {"name", "title", "description", "stages", "tags"}
+        unknown = set(payload) - known
+        if unknown:
+            raise CampaignSpecError(
+                f"unknown campaign fields: {', '.join(sorted(unknown))}")
+        raw_stages = payload.get("stages", [])
+        if not isinstance(raw_stages, (list, tuple)):
+            raise CampaignSpecError("campaign stages must be a list")
+        return cls(
+            name=payload.get("name", ""),
+            title=payload.get("title", ""),
+            description=payload.get("description", ""),
+            stages=tuple(StageSpec.from_dict(entry) for entry in raw_stages),
+            tags=tuple(payload.get("tags", ())),
+        )
+
+    def fingerprint(self) -> str:
+        """Canonical digest of the whole spec (stable across restarts)."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def stage_fingerprint(stage_name: str,
+                      requests: Sequence[JobRequest]) -> str:
+    """Digest of one stage's *resolved* submissions.
+
+    Parameterize hooks are deterministic functions of the previous stage's
+    results, and results are deterministic, so a resumed campaign resolves
+    every stage to the same requests — equal fingerprints across a restart
+    are how the resume tests pin "same work, not re-run" (the actual
+    no-recompute guarantee is the job-level fingerprint dedup these request
+    digests feed).
+    """
+    canonical = json.dumps(
+        {"stage": stage_name,
+         "requests": [request.as_dict() for request in requests]},
+        sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

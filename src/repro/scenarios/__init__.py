@@ -40,6 +40,15 @@ from repro.scenarios.registry import (
     unregister_scenario,
 )
 from repro.scenarios.runner import ScenarioRunner, run_scenario
+from repro.scenarios.selection import (
+    energy_improvement,
+    improving_results,
+    pareto_results,
+    performance_improvement,
+    rank_by_energy_improvement,
+    scenario_names,
+    top_by_energy_improvement,
+)
 from repro.scenarios.spec import (
     BuildOptions,
     RunContext,
@@ -59,9 +68,16 @@ __all__ = [
     "ScenarioSpecError",
     "SideOutcome",
     "UnknownScenarioError",
+    "energy_improvement",
     "get_scenario",
+    "improving_results",
     "list_scenarios",
+    "pareto_results",
+    "performance_improvement",
+    "rank_by_energy_improvement",
     "register_scenario",
     "run_scenario",
+    "scenario_names",
+    "top_by_energy_improvement",
     "unregister_scenario",
 ]

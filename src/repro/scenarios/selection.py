@@ -1,0 +1,116 @@
+"""Result-driven selection helpers over :class:`ScenarioResult` lists.
+
+Staged studies — a broad search whose survivors are refined and then
+validated — need a small vocabulary for "which results go forward": rank by
+an improvement metric, keep the top *k*, keep the (time, energy)
+Pareto-optimal subset.  These helpers are the shared, deterministic
+implementations the campaign subsystem's parameterize hooks build on
+(:mod:`repro.campaigns`), and they are plain functions over results so
+ad-hoc drivers and tests can use them too.
+
+Custom scenarios have no improvement report; every helper treats a
+report-less result as carrying no metric and ranks it last (or excludes it
+from metric-based filters) instead of crashing, so mixed sweeps over
+``predictable``/``complex``/``custom`` kinds stay usable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.scenarios.spec import ScenarioResult
+
+
+def result_name(result: ScenarioResult) -> str:
+    """The registry name of the scenario a result came from."""
+    return result.spec.name
+
+
+def scenario_names(results: Iterable[ScenarioResult]) -> List[str]:
+    """Scenario names of ``results``, in order, without duplicates."""
+    seen = []
+    for result in results:
+        name = result_name(result)
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def energy_improvement(result: ScenarioResult) -> Optional[float]:
+    """The result's energy-improvement percentage (``None`` without a
+    report — custom scenarios carry their output in ``detail``)."""
+    if result.report is None:
+        return None
+    return result.report.energy_improvement_pct
+
+
+def performance_improvement(result: ScenarioResult) -> Optional[float]:
+    """The result's performance-improvement percentage (``None`` without a
+    report)."""
+    if result.report is None:
+        return None
+    return result.report.performance_improvement_pct
+
+
+def rank_by_energy_improvement(results: Sequence[ScenarioResult]
+                               ) -> List[ScenarioResult]:
+    """Results sorted by energy improvement, best first.
+
+    The sort is stable and report-less results rank last, so a mixed sweep
+    keeps a deterministic, submission-respecting order.
+    """
+    indexed = list(enumerate(results))
+    indexed.sort(key=lambda pair: (
+        energy_improvement(pair[1]) is None,
+        -(energy_improvement(pair[1]) or 0.0),
+        pair[0],
+    ))
+    return [result for _, result in indexed]
+
+
+def top_by_energy_improvement(results: Sequence[ScenarioResult],
+                              k: int) -> List[ScenarioResult]:
+    """The ``k`` best results by energy improvement (report-less excluded)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    ranked = [result for result in rank_by_energy_improvement(results)
+              if energy_improvement(result) is not None]
+    return ranked[:k]
+
+
+def improving_results(results: Sequence[ScenarioResult],
+                      min_energy_improvement_pct: float = 0.0
+                      ) -> List[ScenarioResult]:
+    """Results whose energy improvement exceeds the threshold, in order."""
+    return [
+        result for result in results
+        if (energy_improvement(result) or float("-inf"))
+        > min_energy_improvement_pct
+    ]
+
+
+def pareto_results(results: Sequence[ScenarioResult]
+                   ) -> List[ScenarioResult]:
+    """The (TeamPlay time, TeamPlay energy) Pareto-optimal subset.
+
+    A result is kept when no other result is at least as good on both axes
+    and strictly better on one — the submission-order analogue of the
+    engine's :func:`~repro.compiler.engine.pareto_front` over candidate
+    configurations, lifted to whole scenario runs.  Report-less results are
+    excluded (they carry no time/energy point).
+    """
+    points = [
+        (result, result.report.teamplay_time_s,
+         result.report.teamplay_energy_j)
+        for result in results if result.report is not None
+    ]
+    front = []
+    for result, time_s, energy_j in points:
+        dominated = any(
+            (other_t <= time_s and other_e <= energy_j)
+            and (other_t < time_s or other_e < energy_j)
+            for _, other_t, other_e in points
+        )
+        if not dominated:
+            front.append(result)
+    return front

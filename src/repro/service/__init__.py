@@ -22,9 +22,16 @@ concurrent evaluation requests instead of one blocking CLI call:
   with ``journal=PATH`` replays it on startup, so pending jobs resume and
   completed results (and cross-restart dedup) survive the process,
 * :mod:`repro.service.http` — a dependency-free stdlib HTTP/JSON API
-  (POST /jobs incl. batches, GET /jobs/<id> incl. ``?wait=`` long-poll,
-  GET /scenarios, GET /stats),
-* ``python -m repro.service {serve,submit,status,sweep}`` — the CLI.
+  (POST /jobs incl. batches, GET /jobs incl. ``?limit=``/``?offset=``
+  pagination, GET /jobs/<id> incl. ``?wait=`` long-poll, POST/GET/DELETE
+  /campaigns, GET /scenarios, GET /stats),
+* ``python -m repro.service {serve,submit,status,sweep,campaign}`` — the
+  CLI.
+
+Multi-stage *campaigns* — staged sweeps whose later stages are
+parameterized by earlier results, with per-stage failure policies and
+journal-backed resume — layer on top via :mod:`repro.campaigns` and
+``EvaluationService.submit_campaign`` (see ``docs/campaigns.md``).
 
 Determinism is the load-bearing property: scenario runs are deterministic
 and every cache layer is exact, so a deduplicated, store-served or

@@ -16,6 +16,9 @@ Usage::
                                    [--worker-mode {thread,process}] [--json]
                                    [--shared-cache] [--generations N]
                                    [--population N] [--profiling-runs N]
+    python -m repro.service campaign (SPEC | --list) [--priority P]
+                                   [--wait] [--local] [--workers N]
+                                   [--host H] [--port P]
 
 ``serve`` runs the HTTP/JSON API over an in-process worker pool —
 ``--worker-mode process`` computes jobs on a process pool (true multi-core
@@ -26,6 +29,15 @@ clients against a running server (several NAMEs submit one *batch* job, and
 ``--wait`` long-polls ``GET /jobs/<id>?wait=`` instead of busy-polling);
 ``sweep`` runs scenarios on an ephemeral in-process service (no server
 needed) — the same pool ``python -m repro.scenarios run --jobs N`` uses.
+
+``campaign`` submits a multi-stage sweep campaign (see
+``docs/campaigns.md``): SPEC is a registered campaign name
+(``--list`` prints them) or a path to a JSON campaign-spec file.  By
+default it POSTs to a running server and, with ``--wait``, long-polls
+``GET /campaigns/<id>?wait=`` until the campaign is terminal; ``--local``
+instead drives the campaign on an ephemeral in-process service with
+``--workers`` workers.  The exit code is 0 iff the campaign succeeded
+(or was merely submitted, without ``--wait``).
 """
 
 from __future__ import annotations
@@ -128,6 +140,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--generations", type=int, default=None)
     sweep_cmd.add_argument("--population", type=int, default=None)
     sweep_cmd.add_argument("--profiling-runs", type=int, default=None)
+
+    campaign_cmd = sub.add_parser(
+        "campaign", help="submit a multi-stage sweep campaign")
+    campaign_cmd.add_argument(
+        "spec", nargs="?", metavar="SPEC",
+        help="a registered campaign name (see --list) or a path to a JSON "
+             "campaign-spec file")
+    campaign_cmd.add_argument("--list", action="store_true",
+                              dest="list_campaigns",
+                              help="list the registered campaigns and exit")
+    campaign_cmd.add_argument("--priority", type=int, default=0,
+                              help="offset every stage job's queue priority")
+    campaign_cmd.add_argument("--wait", action="store_true",
+                              help="long-poll until the campaign is "
+                                   "terminal and print the final document")
+    campaign_cmd.add_argument("--local", action="store_true",
+                              help="drive the campaign on an ephemeral "
+                                   "in-process service instead of a server")
+    campaign_cmd.add_argument("--workers", type=int, default=2, metavar="N",
+                              help="workers for --local (default: 2)")
+    campaign_cmd.add_argument("--host", default=DEFAULT_HOST)
+    campaign_cmd.add_argument("--port", type=int, default=DEFAULT_PORT)
     return parser
 
 
@@ -174,7 +208,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     journal_note = f", journal {args.journal}" if args.journal else ""
     print(f"evaluation service on http://{host}:{port} "
           f"({args.workers} {args.worker_mode} workers{journal_note}; "
-          f"POST /jobs, GET /jobs/<id>, GET /scenarios, GET /stats)",
+          f"POST /jobs, GET /jobs/<id>, POST /campaigns, "
+          f"GET /campaigns/<id>, GET /scenarios, GET /stats)",
           file=sys.stderr)
     try:
         server.serve_forever()
@@ -272,11 +307,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    import os
+
+    if args.list_campaigns:
+        from repro.campaigns import list_campaigns
+        for spec in list_campaigns():
+            stages = " -> ".join(stage.name for stage in spec.stages)
+            print(f"{spec.name}: {stages}")
+            blurb = spec.title or spec.description
+            if blurb:
+                print(f"    {blurb}")
+        return 0
+    if not args.spec:
+        print("name a registered campaign or a JSON spec file "
+              "(or pass --list)", file=sys.stderr)
+        return 2
+    spec_payload: Optional[dict] = None
+    if os.path.exists(args.spec):
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            try:
+                spec_payload = json.load(handle)
+            except json.JSONDecodeError as error:
+                print(f"{args.spec}: not valid JSON: {error}",
+                      file=sys.stderr)
+                return 2
+    if args.local:
+        return _run_campaign_locally(args, spec_payload)
+    payload = (dict(spec_payload) if spec_payload is not None
+               else {"campaign": args.spec})
+    payload["priority"] = args.priority
+    status, document = _request(args.host, args.port, "POST", "/campaigns",
+                                payload)
+    if status != 202:
+        print(document.get("error", f"HTTP {status}"), file=sys.stderr)
+        return 1
+    if args.wait:
+        campaign_id = document["id"]
+        while document["state"] in ("pending", "running"):
+            status, document = _request(
+                args.host, args.port, "GET",
+                f"/campaigns/{campaign_id}?wait={_WAIT_SLICE_S}")
+            if status != 200:
+                print(document.get("error", f"HTTP {status}"),
+                      file=sys.stderr)
+                return 1
+    _print_json(document)
+    return 0 if document["state"] in ("succeeded", "pending", "running") \
+        else 1
+
+
+def _run_campaign_locally(args: argparse.Namespace,
+                          spec_payload: Optional[dict]) -> int:
+    from repro.errors import TeamPlayError
+    from repro.service.core import EvaluationService
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    with EvaluationService(workers=args.workers) as service:
+        try:
+            record = service.submit_campaign(
+                spec_payload if spec_payload is not None else args.spec,
+                priority=args.priority)
+        except TeamPlayError as error:
+            print(str(error.args[0]) if error.args else str(error),
+                  file=sys.stderr)
+            return 2
+        record.wait()
+        _print_json(record.as_dict())
+        return 0 if record.state.value == "succeeded" else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (``python -m repro.service``); returns the exit code."""
     args = _build_parser().parse_args(argv)
     handlers = {"serve": _cmd_serve, "submit": _cmd_submit,
-                "status": _cmd_status, "sweep": _cmd_sweep}
+                "status": _cmd_status, "sweep": _cmd_sweep,
+                "campaign": _cmd_campaign}
     return handlers[args.command](args)
 
 

@@ -29,7 +29,8 @@ from repro.compiler.engine import (
 )
 from repro.compiler.pipeline import merge_pipeline_stats, profile_rows
 from repro.frontend import parse_cache_stats
-from repro.scenarios.registry import get_scenario, list_scenarios
+from repro.scenarios.registry import UnknownScenarioError, get_scenario, \
+    list_scenarios
 from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import ScenarioResult, ScenarioSpec
 from repro.service.jobs import (
@@ -64,6 +65,18 @@ def execute_request(runner: ScenarioRunner,
         profiling_runs=request.profiling_runs,
         postprocess=request.postprocess,
     )
+
+
+def _campaign_number(campaign_id: str) -> int:
+    """The numeric suffix of a ``camp-NNNNNN`` id (0 for foreign ids).
+
+    Replayed ids advance the service's campaign counter past every id the
+    journal ever handed out, mirroring ``JobQueue.restore`` for job ids.
+    """
+    prefix, _, suffix = campaign_id.partition("-")
+    if prefix == "camp" and suffix.isdigit():
+        return int(suffix)
+    return 0
 
 
 def run_request_in_process(request: Union[JobRequest, BatchRequest]):
@@ -127,6 +140,18 @@ class EvaluationService:
         if self._owns_shared_cache:
             enable_process_analysis_cache()
         self._closed = False
+        #: Campaign orchestration state: records by id (insertion order =
+        #: submission order), one drive thread per campaign, and the
+        #: non-terminal records a journal replay queued for re-driving in
+        #: :meth:`start`.  The campaign classes import lazily — the
+        #: campaigns package itself imports ``repro.service.jobs``, so a
+        #: module-level import here would cycle.
+        self._campaign_records: Dict[str, object] = {}
+        self._campaigns_lock = threading.Lock()
+        self._campaign_counter = 0
+        self._campaign_threads: List[threading.Thread] = []
+        self._campaign_resume: List[object] = []
+        self._campaign_runner = None
         if self.journal is not None:
             self._replay_journal()
         if autostart:
@@ -148,17 +173,49 @@ class EvaluationService:
             if (job.state is JobState.SUCCEEDED and job.result is not None
                     and not isinstance(job.result, SummaryOnlyResult)):
                 self.store.put(job)
+        from repro.campaigns.runner import restore_campaign_records
+        for record in restore_campaign_records(
+                self.journal.campaign_events()):
+            self._campaign_records[record.id] = record
+            self._campaign_counter = max(self._campaign_counter,
+                                         _campaign_number(record.id))
+            if not record.state.terminal:
+                # The resume backlog: re-driven once the pool starts.  The
+                # re-drive recomputes nothing the journal already holds —
+                # every completed stage's submissions hit the result store
+                # the job replay above just refilled.
+                record.resumed = True
+                self._campaign_resume.append(record)
 
     # ------------------------------------------------------------- lifecycle --
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has begun (campaign waits poll this)."""
+        return self._closed
+
     def start(self) -> None:
-        """Start the worker pool (idempotent; used with ``autostart=False``)."""
+        """Start the worker pool (idempotent; used with ``autostart=False``)
+        and re-drive any campaigns the journal replayed non-terminal."""
         self.pool.start()
+        with self._campaigns_lock:
+            backlog, self._campaign_resume = self._campaign_resume, []
+        for record in backlog:
+            self._drive_campaign(record)
 
     def close(self, wait: bool = True) -> None:
-        """Stop the workers, close the journal, restore shared-cache state."""
+        """Stop the workers, close the journal, restore shared-cache state.
+
+        In-flight campaigns notice ``closed`` within one wait poll and
+        abandon their record *non-terminal* — with a journal, the next
+        service on the same path resumes them.
+        """
         if self._closed:
             return
         self._closed = True
+        with self._campaigns_lock:
+            threads = list(self._campaign_threads)
+        for thread in threads:
+            thread.join(timeout=5.0 if wait else 0.2)
         self.pool.stop(wait=wait)
         if self.journal is not None:
             self.journal.close()
@@ -211,13 +268,35 @@ class EvaluationService:
         population evaluation).  The job's result is a
         :class:`~repro.service.jobs.BatchResult` with per-request results in
         request order.
+
+        Validation is all-up-front and atomic: *every* entry is checked
+        (shape and scenario name) before anything is enqueued, and the
+        rejection names each bad entry by index — a batch with one typo
+        reports all its problems at once and enqueues nothing.
         """
         parsed: List[JobRequest] = []
-        for entry in requests:
-            request = (entry if isinstance(entry, JobRequest)
-                       else JobRequest.from_dict(entry))
-            get_scenario(request.scenario)
-            parsed.append(request)
+        errors: List[str] = []
+        unknown_only = True
+        for index, entry in enumerate(requests):
+            try:
+                request = (entry if isinstance(entry, JobRequest)
+                           else JobRequest.from_dict(entry))
+                get_scenario(request.scenario)
+            except UnknownScenarioError as error:
+                errors.append(f"entry {index}: {error.args[0]}")
+            except (JobError, TypeError) as error:
+                errors.append(f"entry {index}: {error}")
+                unknown_only = False
+            else:
+                parsed.append(request)
+        if errors:
+            message = ("invalid batch submission: " + "; ".join(errors))
+            # All-unknown-scenario batches keep the single-submit error
+            # class (and its HTTP 404); anything else is a malformed
+            # request (400).
+            if unknown_only:
+                raise UnknownScenarioError(message)
+            raise JobError(message)
         return self._submit_request(BatchRequest(tuple(parsed)),
                                     priority=priority, use_cache=use_cache)
 
@@ -345,6 +424,143 @@ class EvaluationService:
             raise JobError(f"job {job.id} was cancelled")
         return job.result
 
+    # ------------------------------------------------------------- campaigns --
+    def submit_campaign(self, spec, *, priority: int = 0):
+        """Submit a campaign; returns its :class:`CampaignRecord`.
+
+        ``spec`` is a registered campaign name, a JSON-style spec dict, or
+        a :class:`~repro.campaigns.spec.CampaignSpec`.  Static stage
+        requests are validated against the scenario registry up front (like
+        :meth:`submit`, unknown names fail at submission); hook-generated
+        requests are validated when their stage resolves.  The campaign
+        runs on its own daemon thread — poll :meth:`campaign` or block in
+        :meth:`campaign_result`.  ``priority`` offsets every stage job's
+        queue priority (added to the per-stage priority).
+        """
+        from repro.campaigns.registry import get_campaign
+        from repro.campaigns.runner import CampaignError, CampaignRecord
+        from repro.campaigns.spec import CampaignSpec, CampaignSpecError
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise CampaignSpecError(
+                f"campaign priority must be an integer, got {priority!r}")
+        if isinstance(spec, str):
+            spec = get_campaign(spec)
+        elif isinstance(spec, dict):
+            spec = CampaignSpec.from_dict(spec)
+        elif not isinstance(spec, CampaignSpec):
+            raise CampaignSpecError(
+                f"submit_campaign needs a campaign name, a spec dict or a "
+                f"CampaignSpec, got {spec!r}")
+        if self._closed:
+            raise CampaignError("the service is closed")
+        for stage in spec.stages:
+            for request in stage.requests:
+                get_scenario(request.scenario)
+        with self._campaigns_lock:
+            self._campaign_counter += 1
+            record = CampaignRecord(
+                id=f"camp-{self._campaign_counter:06d}",
+                spec=spec, priority=priority)
+            self._campaign_records[record.id] = record
+        if self.journal is not None:
+            self.journal.record_campaign_submit(record)
+        self._drive_campaign(record)
+        return record
+
+    def _drive_campaign(self, record) -> None:
+        """Run ``record`` on its own daemon thread via the shared runner."""
+        from repro.campaigns.runner import CampaignRunner
+        if self._campaign_runner is None:
+            self._campaign_runner = CampaignRunner(self,
+                                                   journal=self.journal)
+        thread = threading.Thread(target=self._campaign_runner.run,
+                                  args=(record,),
+                                  name=f"campaign-{record.id}", daemon=True)
+        with self._campaigns_lock:
+            self._campaign_threads.append(thread)
+        thread.start()
+
+    def campaign(self, campaign_id: str):
+        """The :class:`CampaignRecord` for an id (``None`` if unknown)."""
+        with self._campaigns_lock:
+            return self._campaign_records.get(campaign_id)
+
+    def campaigns(self) -> List[object]:
+        """Every known campaign record, in submission order."""
+        with self._campaigns_lock:
+            return list(self._campaign_records.values())
+
+    def campaign_status(self, campaign_id: str,
+                        include_results: bool = True
+                        ) -> Optional[Dict[str, object]]:
+        """JSON-ready campaign document, or ``None`` for unknown ids."""
+        record = self.campaign(campaign_id)
+        if record is None:
+            return None
+        return record.as_dict(include_results=include_results)
+
+    def cancel_campaign(self, campaign_id: str) -> bool:
+        """Request cancellation; ``False`` for unknown/terminal campaigns.
+
+        Cancellation is cooperative: the runner notices between job waits,
+        withdraws the stage's still-pending unshared jobs, and finishes the
+        campaign as ``cancelled``.
+        """
+        record = self.campaign(campaign_id)
+        if record is None or record.state.terminal:
+            return False
+        record.cancel_event.set()
+        return True
+
+    def campaign_result(self, campaign,
+                        timeout: Optional[float] = None):
+        """Block until a campaign succeeds; returns its terminal record.
+
+        Raises :class:`~repro.campaigns.runner.CampaignError` on failure,
+        cancellation, timeout or an unknown id.
+        """
+        from repro.campaigns.runner import CampaignError, CampaignState
+        record = (self.campaign(campaign) if isinstance(campaign, str)
+                  else campaign)
+        if record is None:
+            raise CampaignError(f"unknown campaign {campaign!r}")
+        if not record.wait(timeout):
+            raise CampaignError(
+                f"campaign {record.id} did not finish within {timeout}s")
+        if record.state is CampaignState.FAILED:
+            raise CampaignError(
+                f"campaign {record.id} failed: {record.error}")
+        if record.state is CampaignState.CANCELLED:
+            raise CampaignError(f"campaign {record.id} was cancelled")
+        return record
+
+    def campaigns_stats(self) -> Dict[str, object]:
+        """Campaign rollup (the ``campaigns`` section of GET /stats)."""
+        by_state: Dict[str, int] = {}
+        jobs = dedup_hits = 0
+        rows: List[Dict[str, object]] = []
+        for record in self.campaigns():
+            by_state[record.state.value] = (
+                by_state.get(record.state.value, 0) + 1)
+            stage_rows = []
+            for stage in record.stages:
+                jobs += stage.jobs
+                dedup_hits += stage.dedup_hits
+                stage_rows.append({
+                    "name": stage.name,
+                    "state": stage.state.value,
+                    "jobs": stage.jobs,
+                    "dedup_hits": stage.dedup_hits,
+                    "wall_s": stage.wall_s,
+                })
+            rows.append({"id": record.id, "name": record.spec.name,
+                         "state": record.state.value,
+                         "resumed": record.resumed,
+                         "stages": stage_rows})
+        return {"campaigns": len(rows), "by_state": by_state,
+                "jobs_submitted": jobs, "dedup_hits": dedup_hits,
+                "records": rows}
+
     def scenarios(self) -> List[Dict[str, object]]:
         """Registry listing (the GET /scenarios document)."""
         return [
@@ -382,6 +598,7 @@ class EvaluationService:
             "pipeline": self.pipeline_stats(),
             "journal": (None if self.journal is None
                         else self.journal.stats()),
+            "campaigns": self.campaigns_stats(),
             "analysis_cache": {
                 "enabled": process_analysis_cache_enabled(),
                 "platforms": process_analysis_cache_stats(),

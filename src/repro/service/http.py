@@ -19,7 +19,13 @@ POST      /jobs               submit ``{"scenario": name, ...overrides}``,
                               pending queue rejects overload with ``429``
                               and a ``Retry-After`` header; bodies beyond
                               1 MiB are rejected with ``413``
-GET       /jobs               every known job record
+GET       /jobs               a page of job records, newest-submitted last:
+                              ``?limit=`` (default ``DEFAULT_JOBS_LIMIT``,
+                              capped at ``MAX_JOBS_LIMIT``) and
+                              ``?offset=`` window the listing, and the
+                              reply carries ``total``/``offset``/``limit``
+                              so clients can page through an arbitrarily
+                              large backlog without unbounded responses
 GET       /jobs/<id>          one job document (includes ``result`` summary
                               once the job succeeded); ``?wait=SECONDS``
                               long-polls — the reply is held until the job
@@ -27,11 +33,24 @@ GET       /jobs/<id>          one job document (includes ``result`` summary
                               ``MAX_WAIT_S``) elapses, so clients block on
                               completion instead of polling
 DELETE    /jobs/<id>          cancel a pending job
+POST      /campaigns          submit ``{"campaign": name}`` (a registered
+                              campaign) or an inline campaign spec object,
+                              optionally with ``"priority"``; replies 202
+                              with the campaign document
+GET       /campaigns          every known campaign, compact (no per-stage
+                              result summaries)
+GET       /campaigns/<id>     one campaign document with per-stage states,
+                              timings, dedup counters and result
+                              summaries; ``?wait=SECONDS`` long-polls for
+                              the terminal state like ``GET /jobs/<id>``
+DELETE    /campaigns/<id>     request cancellation of a non-terminal
+                              campaign (cooperative, hence 202)
 GET       /scenarios          the scenario-registry listing
 GET       /stats              queue/store/worker/journal/analysis-cache
                               counters plus per-pass compile timings
                               aggregated across completed jobs
-                              (``pipeline``)
+                              (``pipeline``) and the campaign rollup
+                              (``campaigns``)
 ========  ==================  ===============================================
 
 Floats survive the JSON round-trip bit-for-bit (``json`` serialises via
@@ -46,6 +65,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
+from repro.campaigns import (
+    CampaignError,
+    CampaignSpecError,
+    UnknownCampaignError,
+)
 from repro.scenarios.registry import UnknownScenarioError
 from repro.service.core import EvaluationService
 from repro.service.jobs import (
@@ -69,6 +93,13 @@ MAX_BODY_BYTES = 1 << 20
 #: longer re-issue the request; bounding the hold keeps handler threads
 #: from accumulating behind jobs that never finish.
 MAX_WAIT_S = 60.0
+
+#: GET /jobs page size when the client sends no ``?limit=`` — a sane
+#: default so a 1000-job backlog cannot balloon one response.
+DEFAULT_JOBS_LIMIT = 200
+
+#: Hard cap on one GET /jobs page, whatever the client asks for.
+MAX_JOBS_LIMIT = 1000
 
 
 class BodyTooLarge(JobError):
@@ -147,8 +178,34 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         elif path == "/stats":
             self._reply(200, self._service.stats())
         elif path == "/jobs":
-            self._reply(200, {"jobs": [job.as_dict()
-                                       for job in self._service.queue.jobs()]})
+            try:
+                limit, offset = self._page_bounds(parsed.query)
+            except JobError as error:
+                self._error(400, str(error))
+                return
+            jobs = self._service.queue.jobs()
+            page = jobs[offset:offset + limit]
+            self._reply(200, {"jobs": [job.as_dict() for job in page],
+                              "total": len(jobs),
+                              "offset": offset,
+                              "limit": limit})
+        elif path == "/campaigns":
+            self._reply(200, {"campaigns": [
+                record.as_dict(include_results=False)
+                for record in self._service.campaigns()]})
+        elif path.startswith("/campaigns/"):
+            record = self._service.campaign(path[len("/campaigns/"):])
+            if record is None:
+                self._error(404, "unknown campaign")
+                return
+            try:
+                wait_s = self._wait_seconds(parsed.query)
+            except JobError as error:
+                self._error(400, str(error))
+                return
+            if wait_s is not None and not record.state.terminal:
+                record.wait(wait_s)
+            self._reply(200, record.as_dict())
         elif path.startswith("/jobs/"):
             job = self._service.job(path[len("/jobs/"):])
             if job is None:
@@ -183,11 +240,36 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise JobError(f"wait must be >= 0, got {wait_s}")
         return min(wait_s, MAX_WAIT_S)
 
+    @staticmethod
+    def _page_bounds(query: str) -> Tuple[int, int]:
+        """The capped ``?limit=``/``?offset=`` window for GET /jobs."""
+        values = parse_qs(query)
+
+        def integer(name: str, default: int, minimum: int) -> int:
+            raw = values.get(name)
+            if not raw:
+                return default
+            try:
+                value = int(raw[-1])
+            except ValueError:
+                raise JobError(f"{name} must be an integer, "
+                               f"got {raw[-1]!r}") from None
+            if value < minimum:
+                raise JobError(f"{name} must be >= {minimum}, got {value}")
+            return value
+
+        limit = min(integer("limit", DEFAULT_JOBS_LIMIT, 1), MAX_JOBS_LIMIT)
+        offset = integer("offset", 0, 0)
+        return limit, offset
+
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         """Route POST /jobs: submit an evaluation or a batch (202, or 200
         on a store-served repeat; 429 + Retry-After when the backlog is
         full; 413 for oversized bodies)."""
         path = urlparse(self.path).path.rstrip("/")
+        if path == "/campaigns":
+            self._post_campaign()
+            return
         if path != "/jobs":
             self._error(404, f"unknown path {path!r}")
             return
@@ -234,9 +316,64 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         status = 200 if job.state.terminal else 202
         self._reply(status, job.as_dict())
 
+    def _post_campaign(self) -> None:
+        """POST /campaigns: ``{"campaign": name}`` or an inline spec object
+        (plus optional ``"priority"``); 202 with the campaign document."""
+        try:
+            payload = self._read_json()
+            if payload is None:
+                raise JobError("POST /campaigns needs a JSON body")
+            if not isinstance(payload, dict):
+                raise JobError("POST /campaigns needs a JSON object")
+            priority = payload.get("priority", 0)
+            if isinstance(priority, bool) or not isinstance(priority, int):
+                raise JobError(f"priority must be an integer, "
+                               f"got {priority!r}")
+            if "campaign" in payload:
+                unknown = set(payload) - {"campaign", "priority"}
+                if unknown:
+                    raise JobError(f"unknown campaign submission fields: "
+                                   f"{', '.join(sorted(unknown))}")
+                spec = payload["campaign"]
+                if not isinstance(spec, str):
+                    raise JobError(f'"campaign" must be a registered '
+                                   f'campaign name, got {spec!r}')
+            else:
+                spec = {key: value for key, value in payload.items()
+                        if key != "priority"}
+            record = self._service.submit_campaign(spec, priority=priority)
+        except UnknownCampaignError as error:
+            self._error(404, str(error.args[0]))
+            return
+        except UnknownScenarioError as error:
+            self._error(404, str(error.args[0]))
+            return
+        except BodyTooLarge as error:
+            self._error(413, str(error))
+            return
+        except (CampaignSpecError, CampaignError, JobError,
+                json.JSONDecodeError) as error:
+            self._error(400, str(error))
+            return
+        self._reply(202, record.as_dict(include_results=False))
+
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
-        """Route DELETE /jobs/<id>: cancel a still-pending job."""
+        """Route DELETE /jobs/<id> (cancel a pending job) and
+        DELETE /campaigns/<id> (request cooperative cancellation)."""
         path = urlparse(self.path).path.rstrip("/")
+        if path.startswith("/campaigns/"):
+            campaign_id = path[len("/campaigns/"):]
+            record = self._service.campaign(campaign_id)
+            if record is None:
+                self._error(404, "unknown campaign")
+            elif self._service.cancel_campaign(campaign_id):
+                # Cancellation is cooperative — the runner notices between
+                # job waits — so the reply is 202, not a terminal document.
+                self._reply(202, record.as_dict(include_results=False))
+            else:
+                self._error(409, f"campaign {campaign_id} is "
+                                 f"{record.state.value}")
+            return
         if not path.startswith("/jobs/"):
             self._error(404, f"unknown path {path!r}")
             return

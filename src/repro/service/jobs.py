@@ -150,12 +150,27 @@ class BatchRequest:
 
     @classmethod
     def from_list(cls, payloads: Sequence[Dict[str, object]]) -> "BatchRequest":
-        """Build a batch from a JSON list of request payloads."""
+        """Build a batch from a JSON list of request payloads.
+
+        The whole list is validated before anything is built: every bad
+        entry is reported by index in one error, so a client fixing a batch
+        sees all its problems at once instead of one per round-trip.
+        """
         if not isinstance(payloads, (list, tuple)) or not payloads:
             raise JobError(
                 "a batch submission needs a non-empty JSON list of job "
                 "requests")
-        return cls(tuple(JobRequest.from_dict(entry) for entry in payloads))
+        requests: List[JobRequest] = []
+        errors: List[str] = []
+        for index, entry in enumerate(payloads):
+            try:
+                requests.append(JobRequest.from_dict(entry))
+            except JobError as error:
+                errors.append(f"entry {index}: {error}")
+        if errors:
+            raise JobError(
+                "invalid batch submission: " + "; ".join(errors))
+        return cls(tuple(requests))
 
 
 def request_from_dict(payload: Union[Dict[str, object], List[dict]]

@@ -74,6 +74,10 @@ class JobJournal:
         self._pickle_failures = 0
         self._replayed_jobs = 0
         self._skipped_lines = 0
+        #: Raw ``campaign_*`` events seen by :meth:`replay`, in file order;
+        #: the campaign layer rebuilds its records from these (see
+        #: :func:`repro.campaigns.runner.restore_campaign_records`).
+        self._campaign_events: List[Dict[str, object]] = []
 
     # ---------------------------------------------------------------- write --
     def _append(self, event: Dict[str, object]) -> None:
@@ -132,6 +136,41 @@ class JobJournal:
             "finished_at": job.finished_at,
         })
 
+    # ------------------------------------------------------ campaign events --
+    # Campaigns journal three additional event kinds.  Their job
+    # submissions are regular ``submit``/``finish`` events, so a campaign
+    # adds only its *orchestration* state: which spec was submitted, how
+    # each stage ended (with result summaries — full results live in the
+    # stage jobs' own finish events), and the campaign's terminal state.
+    def record_campaign_submit(self, record) -> None:
+        """Journal a freshly submitted campaign (spec in canonical form)."""
+        self._append({
+            "event": "campaign_submit",
+            "id": record.id,
+            "spec": record.spec.as_dict(),
+            "priority": record.priority,
+            "submitted_at": record.submitted_at,
+        })
+
+    def record_campaign_stage(self, record, stage) -> None:
+        """Journal one stage's terminal state within a campaign."""
+        event = {"event": "campaign_stage", "id": record.id}
+        event.update(stage.as_dict(include_results=True))
+        self._append(event)
+
+    def record_campaign_finish(self, record) -> None:
+        """Journal a campaign's terminal outcome."""
+        event: Dict[str, object] = {
+            "event": "campaign_finish",
+            "id": record.id,
+            "state": record.state.value,
+            "started_at": record.started_at,
+            "finished_at": record.finished_at,
+        }
+        if record.error is not None:
+            event["error"] = record.error
+        self._append(event)
+
     def close(self) -> None:
         with self._lock:
             if self._handle is not None:
@@ -173,9 +212,19 @@ class JobJournal:
         self._replayed_jobs = len(restored)
         return restored
 
+    def campaign_events(self) -> List[Dict[str, object]]:
+        """The raw campaign events the last :meth:`replay` encountered."""
+        return list(self._campaign_events)
+
     def _apply(self, event: Dict[str, object], jobs: Dict[str, Job],
                order: List[str]) -> None:
         kind = event["event"]
+        if isinstance(kind, str) and kind.startswith("campaign_"):
+            # Campaign orchestration events are replayed by the campaign
+            # layer, not here — collecting them keeps them out of the
+            # job-id lookup below (their ids are campaign ids).
+            self._campaign_events.append(event)
+            return
         if kind == "submit":
             job = Job(
                 id=event["id"],
@@ -225,5 +274,6 @@ class JobJournal:
                 "events_written": self._events_written,
                 "pickle_failures": self._pickle_failures,
                 "replayed_jobs": self._replayed_jobs,
+                "replayed_campaign_events": len(self._campaign_events),
                 "skipped_lines": self._skipped_lines,
             }

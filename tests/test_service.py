@@ -619,7 +619,9 @@ class TestHttpApi:
         status, stats = _http(address, "GET", "/stats")
         assert status == 200
         assert set(stats) == {"queue", "store", "workers", "pipeline",
-                              "analysis_cache", "journal", "parse_cache"}
+                              "analysis_cache", "journal", "parse_cache",
+                              "campaigns"}
+        assert stats["campaigns"]["campaigns"] == 0
         assert stats["analysis_cache"]["enabled"] is True
         assert stats["journal"] is None  # no --journal on this fixture
         assert set(stats["parse_cache"]) == {"entries", "max_entries",
@@ -642,6 +644,74 @@ class TestHttpApi:
         assert status == 404
         status, document = _http(address, "POST", "/jobs")
         assert status == 400
+
+    def test_jobs_listing_is_paginated(self, tiny_scenario):
+        # A 1000-job backlog (stopped pool, distinct budgets so nothing
+        # coalesces) must come back windowed, never as one unbounded body.
+        with EvaluationService(workers=1, autostart=False,
+                               max_pending=None) as service:
+            server = create_server(service)
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            try:
+                address = server.server_address[:2]
+                for index in range(1000):
+                    service.submit(tiny_scenario.name,
+                                   generations=index + 1)
+                status, page = _http(address, "GET", "/jobs")
+                assert status == 200
+                assert page["total"] == 1000
+                assert page["offset"] == 0 and page["limit"] == 200
+                assert len(page["jobs"]) == 200  # the default cap held
+                status, page = _http(address, "GET",
+                                     "/jobs?limit=50&offset=990")
+                assert status == 200
+                assert len(page["jobs"]) == 10  # tail window
+                assert page["offset"] == 990 and page["limit"] == 50
+                status, page = _http(address, "GET", "/jobs?limit=99999")
+                assert status == 200 and page["limit"] == 1000  # hard cap
+                status, document = _http(address, "GET", "/jobs?limit=0")
+                assert status == 400
+                status, document = _http(address, "GET", "/jobs?offset=-1")
+                assert status == 400
+                status, document = _http(address, "GET", "/jobs?limit=two")
+                assert status == 400
+            finally:
+                server.shutdown()
+                server.server_close()
+
+    def test_batch_validation_is_atomic_and_indexed(self, http_service,
+                                                    tiny_scenario):
+        service, address = http_service
+        submitted_before = service.queue.stats()["submitted"]
+        # Malformed entries: every bad index reported, nothing enqueued.
+        status, document = _http(address, "POST", "/jobs", {"batch": [
+            {"scenario": tiny_scenario.name},
+            {"scenario": tiny_scenario.name, "generations": 0},
+            {"scenario": tiny_scenario.name, "flavour": "spicy"},
+        ]})
+        assert status == 400
+        assert "entry 1" in document["error"]
+        assert "entry 2" in document["error"]
+        # Unknown scenario names keep the 404 mapping, also by index.
+        status, document = _http(address, "POST", "/jobs", {"batch": [
+            {"scenario": tiny_scenario.name},
+            {"scenario": "no-such-scenario"},
+        ]})
+        assert status == 404
+        assert "entry 1" in document["error"]
+        assert service.queue.stats()["submitted"] == submitted_before
+        # In-process, mixed unknown-name and shape errors aggregate too.
+        with pytest.raises(JobError) as excinfo:
+            service.submit_batch([
+                {"scenario": tiny_scenario.name},
+                {"scenario": "no-such-scenario"},
+                {"scenario": tiny_scenario.name, "generations": 0},
+            ])
+        message = str(excinfo.value)
+        assert "entry 1" in message and "entry 2" in message
+        assert service.queue.stats()["submitted"] == submitted_before
 
     def test_delete_cancels_pending_job(self, tiny_scenario):
         # A stopped pool keeps the job pending so DELETE is deterministic.
