@@ -54,9 +54,17 @@ from repro.compiler.engine.cache import (
     process_analysis_cache,
     process_analysis_cache_enabled,
     process_analysis_cache_stats,
+    process_cache_store,
+    process_cache_store_stats,
     program_fingerprint,
 )
 from repro.compiler.engine.evaluator import ALL_TASKS_ENTRY, EvaluationEngine
+from repro.compiler.engine.persist import (
+    PersistentCacheStore,
+    PersistError,
+    key_digest,
+    validate_cache_dir,
+)
 from repro.compiler.engine.reference import (
     ObjectivePoint,
     crowding_distance_reference,
@@ -81,9 +89,12 @@ __all__ = [
     "LoweringCache",
     "ObjectivePoint",
     "PROCESS_CACHE_DEFAULT_MAX_ENTRIES",
+    "PersistError",
+    "PersistentCacheStore",
     "VariantCache",
     "ast_stage_key",
     "canonical_key",
+    "key_digest",
     "crowding_distance",
     "crowding_distance_reference",
     "disable_process_analysis_cache",
@@ -97,5 +108,8 @@ __all__ = [
     "process_analysis_cache",
     "process_analysis_cache_enabled",
     "process_analysis_cache_stats",
+    "process_cache_store",
+    "process_cache_store_stats",
     "program_fingerprint",
+    "validate_cache_dir",
 ]

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.compiler.config import CompilerConfig
+from repro.compiler.engine import persist as _persist
 from repro.errors import AnalysisError
 from repro.energy.static_analyzer import EnergyAnalyzer, WCECResult
 from repro.hw.core import Core
@@ -430,11 +431,25 @@ class AnalysisCache(_BoundedCacheMixin):
     ``max_entries`` bounds the cycle and energy tables independently (the
     per-instruction and block-cost memos stay unbounded: they are keyed by
     opcode patterns, whose population is effectively fixed).
+
+    ``store`` attaches a persistent tier
+    (:class:`~repro.compiler.engine.persist.PersistentCacheStore`): memory
+    misses consult the disk before computing, and computed tables are written
+    through, so warm entries survive LRU eviction, process boundaries and
+    restarts.  ``pass_list_key`` namespaces the on-disk digests (defaults to
+    the stock pipeline's
+    :func:`~repro.compiler.engine.persist.default_pass_list_key`).
     """
 
-    def __init__(self, platform: Platform, max_entries: Optional[int] = None):
+    def __init__(self, platform: Platform, max_entries: Optional[int] = None,
+                 store: Optional["_persist.PersistentCacheStore"] = None,
+                 pass_list_key: Optional[Tuple] = None):
         super().__init__(max_entries)
         self.platform = platform
+        self._store = store
+        self._pass_list_key = pass_list_key
+        self.disk_hits = 0
+        self.disk_misses = 0
         # Serialises lookups *and* fills: the LRU bookkeeping is a compound
         # read-modify-write over OrderedDicts, and the process-wide shared
         # cache is queried concurrently by the evaluation service's worker
@@ -455,9 +470,55 @@ class AnalysisCache(_BoundedCacheMixin):
         # Cross-program block-cost memos (call-free blocks only).
         self._cycle_block_costs: Dict[str, Dict[Tuple, float]] = {}
         self._energy_block_costs: Dict[Tuple, Dict[Tuple, float]] = {}
+        # Fingerprint -> digest memo for the persistent tier: canonicalising
+        # a whole structural fingerprint costs more than one table analysis,
+        # and every core/OPP table of a program shares the fingerprint — so
+        # hash it once per program, not once per table.
+        self._fingerprint_digests: Dict[Tuple, str] = {}
 
     def __len__(self) -> int:
         return len(self._cycle_tables) + len(self._energy_tables)
+
+    def stats(self) -> Dict[str, int]:
+        stats = super().stats()
+        stats["disk_hits"] = self.disk_hits
+        stats["disk_misses"] = self.disk_misses
+        stats["persistent"] = self._store is not None
+        return stats
+
+    # -- persistent tier -------------------------------------------------------
+    def _table_digest(self, kind: str, fingerprint: Tuple, *scope: str) -> str:
+        """On-disk key of one result table: platform + pass list + scope.
+
+        The structural fingerprint enters through its own memoised digest
+        (hashed once per program; every per-core/per-OPP table reuses it),
+        combined with the platform name, the pass-list key and the
+        analysis-kind/core/operating-point discriminators the in-memory
+        tables key on.
+        """
+        if self._pass_list_key is None:
+            self._pass_list_key = _persist.default_pass_list_key()
+        digest = self._fingerprint_digests.get(fingerprint)
+        if digest is None:
+            digest = _persist.key_digest(fingerprint)
+            self._fingerprint_digests[fingerprint] = digest
+        return _persist.key_digest("analysis", self.platform.name,
+                                   self._pass_list_key, kind, list(scope),
+                                   digest)
+
+    def _disk_get(self, digest: str):
+        """Decode a persisted table, or ``None`` (undecodable counts a miss)."""
+        payload = self._store.get(digest)
+        if payload is not None:
+            try:
+                entry = _persist.decode_analysis_entry(payload)
+            except _persist.PersistError:
+                payload = None
+            else:
+                self.disk_hits += 1
+                return entry
+        self.disk_misses += 1
+        return None
 
     # -- analyzer instances (cost models are deterministic per core) ----------
     def _default_core(self) -> Core:
@@ -533,6 +594,15 @@ class AnalysisCache(_BoundedCacheMixin):
             self.hits += 1
             return entry
         self.misses += 1
+        digest = None
+        if self._store is not None:
+            digest = self._table_digest("cycles", fingerprint, core.name)
+            entry = self._disk_get(digest)
+            if entry is not None:
+                # A disk hit was validated by whichever process computed it,
+                # exactly like a memory hit skips re-validation.
+                self._insert(self._cycle_tables, key, entry)
+                return entry
         self._check_analysable(program, fingerprint)
         analyzer = self._wcet_analyzer(core)
         memo = self._cycle_costs.setdefault(core.name, {})
@@ -559,6 +629,8 @@ class AnalysisCache(_BoundedCacheMixin):
                 errors[name] = error
         entry = (table, errors)
         self._insert(self._cycle_tables, key, entry)
+        if digest is not None:
+            self._store.put(digest, _persist.encode_analysis_entry(entry))
         return entry
 
     def _energy(self, program: Program, core: Core, opp: OperatingPoint
@@ -570,6 +642,14 @@ class AnalysisCache(_BoundedCacheMixin):
             self.hits += 1
             return entry
         self.misses += 1
+        digest = None
+        if self._store is not None:
+            digest = self._table_digest("energy", fingerprint,
+                                        core.name, opp.label)
+            entry = self._disk_get(digest)
+            if entry is not None:
+                self._insert(self._energy_tables, key, entry)
+                return entry
         self._check_analysable(program, fingerprint)
         analyzer = self._energy_analyzer(core)
         memo = self._energy_costs.setdefault((core.name, opp.label), {})
@@ -593,6 +673,8 @@ class AnalysisCache(_BoundedCacheMixin):
                 errors[name] = error
         entry = (table, errors)
         self._insert(self._energy_tables, key, entry)
+        if digest is not None:
+            self._store.put(digest, _persist.encode_analysis_entry(entry))
         return entry
 
     @staticmethod
@@ -656,13 +738,15 @@ PROCESS_CACHE_DEFAULT_MAX_ENTRIES = 256
 _process_cache_max_entries: Optional[int] = None
 _process_cache_enabled = False
 _process_analysis_caches: Dict[str, AnalysisCache] = {}
+_process_cache_store: Optional["_persist.PersistentCacheStore"] = None
 #: Guards creation of the per-platform shared caches: worker threads of the
 #: evaluation service may race to instantiate the cache for one platform.
 _process_cache_lock = threading.Lock()
 
 
 def enable_process_analysis_cache(
-        max_entries: Optional[int] = PROCESS_CACHE_DEFAULT_MAX_ENTRIES) -> None:
+        max_entries: Optional[int] = PROCESS_CACHE_DEFAULT_MAX_ENTRIES,
+        cache_dir: Optional[str] = None) -> None:
     """Turn on the process-wide, per-platform shared :class:`AnalysisCache`.
 
     While enabled, every toolchain and compiler driver created afterwards
@@ -670,19 +754,45 @@ def enable_process_analysis_cache(
     deterministic, so equal names imply equal cost models), letting
     cross-scenario runs reuse WCET/WCEC tables across drivers.  Strictly
     opt-in: per-instance caches remain the default.
+
+    ``cache_dir`` additionally attaches a persistent
+    :class:`~repro.compiler.engine.persist.PersistentCacheStore` under the
+    shared caches, so WCET/WCEC tables survive LRU eviction, process
+    boundaries (``ProcessPoolExecutor`` workers forked afterwards inherit
+    the enablement and open their own handle on the same directory) and
+    restarts.  Re-enabling with a different directory re-attaches; caches
+    created before the call keep whatever store they were built with.
+    Raises :class:`~repro.compiler.engine.persist.PersistError` when the
+    directory is unusable.
     """
     global _process_cache_enabled, _process_cache_max_entries
-    _process_cache_enabled = True
-    _process_cache_max_entries = max_entries
+    global _process_cache_store
+    with _process_cache_lock:
+        _process_cache_max_entries = max_entries
+        if cache_dir is not None:
+            directory = _persist.validate_cache_dir(cache_dir)
+            if (_process_cache_store is None
+                    or _process_cache_store.directory != directory):
+                if _process_cache_store is not None:
+                    _process_cache_store.close()
+                _process_cache_store = _persist.PersistentCacheStore(directory)
+                # Platform caches bind their store at construction; drop any
+                # built before the directory was known so the next lookup
+                # rebuilds them on top of the persistent tier.
+                _process_analysis_caches.clear()
+        _process_cache_enabled = True
 
 
 def disable_process_analysis_cache(clear: bool = True) -> None:
     """Turn the process-wide cache off (and by default drop its contents)."""
-    global _process_cache_enabled
+    global _process_cache_enabled, _process_cache_store
     _process_cache_enabled = False
     if clear:
         with _process_cache_lock:
             _process_analysis_caches.clear()
+            if _process_cache_store is not None:
+                _process_cache_store.close()
+                _process_cache_store = None
 
 
 def process_analysis_cache_enabled() -> bool:
@@ -710,7 +820,8 @@ def process_analysis_cache(platform: Platform) -> Optional[AnalysisCache]:
         cache = _process_analysis_caches.get(platform.name)
         if cache is None:
             cache = AnalysisCache(platform,
-                                  max_entries=_process_cache_max_entries)
+                                  max_entries=_process_cache_max_entries,
+                                  store=_process_cache_store)
             _process_analysis_caches[platform.name] = cache
             return cache
     if cache.platform is not platform and cache.platform != platform:
@@ -723,3 +834,15 @@ def process_analysis_cache_stats() -> Dict[str, Dict[str, int]]:
     with _process_cache_lock:
         caches = list(_process_analysis_caches.items())
     return {name: cache.stats() for name, cache in caches}
+
+
+def process_cache_store() -> Optional["_persist.PersistentCacheStore"]:
+    """The persistent store behind the process-wide cache, if attached."""
+    with _process_cache_lock:
+        return _process_cache_store
+
+
+def process_cache_store_stats() -> Optional[Dict[str, object]]:
+    """Counters of the persistent tier, or ``None`` when not attached."""
+    store = process_cache_store()
+    return None if store is None else store.stats()

@@ -179,6 +179,17 @@ class PassManager:
         """
         return tuple(p.name for p in self._passes if p.stage == "frontend")
 
+    def pass_list_key(self) -> Tuple[Tuple[str, str], ...]:
+        """Identity of the full registered pass list, as ``(stage, name)``.
+
+        Namespaces the persistent analysis-cache tier
+        (:mod:`repro.compiler.engine.persist`): registering or removing a
+        pass changes every on-disk digest, retiring entries produced by a
+        different pipeline — the cross-process analogue of the automatic key
+        widening the in-memory stage caches get from :meth:`stage_key`.
+        """
+        return tuple((p.stage, p.name) for p in self._passes)
+
     # ----------------------------------------------------------- execution --
     def run(self, name: str, ctx: PassContext) -> bool:
         """Apply the named pass to ``ctx`` if the config enables it.

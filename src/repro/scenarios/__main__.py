@@ -17,9 +17,12 @@ across the whole sweep (rendered by
 the summary's ``pipeline_profile`` field instead) plus the process-wide
 parse-cache counters (``parse_cache`` in the JSON document).  ``--shared-cache``
 enables the process-wide analysis cache so WCET/WCEC tables are reused
-across scenarios targeting the same platform, and ``--jobs N`` runs the
-sweep through the evaluation service's worker pool — the registry sweep is
-embarrassingly parallel across scenarios.
+across scenarios targeting the same platform, ``--cache-dir PATH``
+additionally persists those tables to disk (shared across processes and
+runs — a later invocation against the same directory starts warm; see
+``docs/service.md``), and ``--jobs N`` runs the sweep through the
+evaluation service's worker pool — the registry sweep is embarrassingly
+parallel across scenarios.
 """
 
 from __future__ import annotations
@@ -30,8 +33,10 @@ import sys
 from typing import List, Optional
 
 from repro.compiler.engine import (
+    PersistError,
     enable_process_analysis_cache,
     process_analysis_cache_stats,
+    process_cache_store_stats,
 )
 from repro.compiler.pipeline import (
     aggregate_pipeline_stats,
@@ -79,6 +84,10 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--shared-cache", action="store_true",
                          help="share WCET/WCEC analysis tables process-wide "
                               "across scenarios on the same platform")
+    run_cmd.add_argument("--cache-dir", default=None, metavar="PATH",
+                         help="persist the shared WCET/WCEC tables to this "
+                              "directory (implies --shared-cache; created "
+                              "if missing, validated up front)")
     run_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
                          help="run scenarios on N parallel service workers "
                               "(default: 1, serial)")
@@ -125,8 +134,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
         return 2
-    if args.shared_cache:
-        enable_process_analysis_cache()
+    if args.shared_cache or args.cache_dir is not None:
+        try:
+            enable_process_analysis_cache(cache_dir=args.cache_dir)
+        except PersistError as error:
+            print(str(error), file=sys.stderr)
+            return 2
 
     overrides = dict(
         generations=args.generations,
@@ -150,8 +163,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 aggregate_pipeline_stats(
                     result.pipeline_stats for result in results))
             document["parse_cache"] = parse_cache_stats()
-        if args.shared_cache:
+        if args.shared_cache or args.cache_dir is not None:
             document["analysis_cache"] = process_analysis_cache_stats()
+            store = process_cache_store_stats()
+            if store is not None:
+                document["cache_store"] = store
         print(json.dumps(document, indent=2))
     else:
         print_results(results)
@@ -165,6 +181,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"parse cache: {cache['hits']} hit(s), "
                   f"{cache['misses']} miss(es), "
                   f"{cache['entries']} module(s) resident")
+            store = process_cache_store_stats()
+            if store is not None:
+                print(f"analysis store: {store['hits']} disk hit(s), "
+                      f"{store['appends']} append(s), "
+                      f"{store['entries']} record(s) in "
+                      f"{store['segments']} segment(s), "
+                      f"{store['compactions']} compaction(s)")
     return 0
 
 

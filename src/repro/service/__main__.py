@@ -5,6 +5,7 @@ Usage::
     python -m repro.service serve  [--host H] [--port P] [--workers N]
                                    [--worker-mode {thread,process}]
                                    [--journal PATH] [--journal-fsync]
+                                   [--cache-dir PATH]
                                    [--store-size N] [--store-ttl S]
                                    [--max-pending N] [--no-shared-cache] [-v]
     python -m repro.service submit NAME [NAME ...] [--priority P]
@@ -14,8 +15,14 @@ Usage::
     python -m repro.service status (JOB_ID | --all) [--host H] [--port P]
     python -m repro.service sweep  [NAME ...] [--all] [--jobs N]
                                    [--worker-mode {thread,process}] [--json]
-                                   [--shared-cache] [--generations N]
+                                   [--shared-cache] [--cache-dir PATH]
+                                   [--generations N]
                                    [--population N] [--profiling-runs N]
+    python -m repro.service warm   (NAME ... | --all) --cache-dir PATH
+                                   [--jobs N]
+                                   [--worker-mode {thread,process}] [--json]
+                                   [--generations N] [--population N]
+                                   [--profiling-runs N]
     python -m repro.service campaign (SPEC | --list) [--priority P]
                                    [--wait] [--local] [--workers N]
                                    [--host H] [--port P]
@@ -29,6 +36,15 @@ clients against a running server (several NAMEs submit one *batch* job, and
 ``--wait`` long-polls ``GET /jobs/<id>?wait=`` instead of busy-polling);
 ``sweep`` runs scenarios on an ephemeral in-process service (no server
 needed) — the same pool ``python -m repro.scenarios run --jobs N`` uses.
+
+``serve --cache-dir PATH`` (and ``sweep --cache-dir``) attaches the
+persistent WCET/WCEC cache tier (see ``docs/service.md``): analysis tables
+are read from and written through to an on-disk store shared by every
+process-pool worker, so a restarted or freshly forked worker starts warm.
+``warm`` pre-fills such a directory by running the named scenarios (or
+``--all``) through an ephemeral pool, printing the store counters — point a
+later ``serve --cache-dir`` at the same path to serve its first sweep from
+disk hits.
 
 ``campaign`` submits a multi-stage sweep campaign (see
 ``docs/campaigns.md``): SPEC is a registered campaign name
@@ -84,6 +100,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--journal-fsync", action="store_true",
                            help="fsync the journal after every event "
                                 "(durable across power loss, slower)")
+    serve_cmd.add_argument("--cache-dir", default=None, metavar="PATH",
+                           help="persistent WCET/WCEC cache directory, "
+                                "shared by every worker process and "
+                                "surviving restarts; created if missing, "
+                                "rejected up front if unusable")
     serve_cmd.add_argument("--store-size", type=int, default=64,
                            help="bounded LRU result-store capacity")
     serve_cmd.add_argument("--store-ttl", type=float, default=None,
@@ -137,9 +158,31 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--shared-cache", action="store_true",
                            help="share WCET/WCEC analysis tables across "
                                 "the sweep's scenarios")
+    sweep_cmd.add_argument("--cache-dir", default=None, metavar="PATH",
+                           help="persistent WCET/WCEC cache directory "
+                                "(implies a shared cache for the sweep)")
     sweep_cmd.add_argument("--generations", type=int, default=None)
     sweep_cmd.add_argument("--population", type=int, default=None)
     sweep_cmd.add_argument("--profiling-runs", type=int, default=None)
+
+    warm_cmd = sub.add_parser(
+        "warm", help="pre-fill a persistent cache directory")
+    warm_cmd.add_argument("names", nargs="*", metavar="NAME")
+    warm_cmd.add_argument("--all", action="store_true", dest="run_all",
+                          help="warm with every registered scenario")
+    warm_cmd.add_argument("--cache-dir", required=True, metavar="PATH",
+                          help="directory to warm (created if missing)")
+    warm_cmd.add_argument("--jobs", type=int, default=2, metavar="N",
+                          help="workers (default: 2)")
+    warm_cmd.add_argument("--worker-mode", choices=("thread", "process"),
+                          default="thread",
+                          help="run the warming sweep on threads (default) "
+                               "or a process pool")
+    warm_cmd.add_argument("--json", action="store_true",
+                          help="print wall time and store counters as JSON")
+    warm_cmd.add_argument("--generations", type=int, default=None)
+    warm_cmd.add_argument("--population", type=int, default=None)
+    warm_cmd.add_argument("--profiling-runs", type=int, default=None)
 
     campaign_cmd = sub.add_parser(
         "campaign", help="submit a multi-stage sweep campaign")
@@ -189,23 +232,31 @@ def _print_json(document) -> None:
 # Subcommands
 # ---------------------------------------------------------------------------
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.compiler.engine import PersistError
     from repro.service.core import EvaluationService
     from repro.service.http import ServiceRequestHandler, create_server
 
     ServiceRequestHandler.verbose = args.verbose
-    service = EvaluationService(
-        workers=args.workers,
-        worker_mode=args.worker_mode,
-        journal=args.journal,
-        journal_fsync=args.journal_fsync,
-        store_max_entries=args.store_size,
-        store_ttl_s=args.store_ttl,
-        max_pending=args.max_pending,
-        shared_analysis_cache=not args.no_shared_cache,
-    )
+    try:
+        service = EvaluationService(
+            workers=args.workers,
+            worker_mode=args.worker_mode,
+            journal=args.journal,
+            journal_fsync=args.journal_fsync,
+            cache_dir=args.cache_dir,
+            store_max_entries=args.store_size,
+            store_ttl_s=args.store_ttl,
+            max_pending=args.max_pending,
+            shared_analysis_cache=not args.no_shared_cache,
+        )
+    except PersistError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     journal_note = f", journal {args.journal}" if args.journal else ""
+    if args.cache_dir:
+        journal_note += f", cache dir {service.cache_dir}"
     print(f"evaluation service on http://{host}:{port} "
           f"({args.workers} {args.worker_mode} workers{journal_note}; "
           f"POST /jobs, GET /jobs/<id>, POST /campaigns, "
@@ -269,41 +320,119 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.compiler.engine import enable_process_analysis_cache
-    from repro.service.core import sweep_scenarios
+def _resolve_sweep_names(args: argparse.Namespace):
+    """Shared NAME.../--all validation of ``sweep`` and ``warm``.
 
+    Returns ``(exit_code, names)``: a non-``None`` exit code means the
+    arguments were unusable and the message is already printed.
+    """
     if args.run_all and args.names:
         print("pass either scenario names or --all, not both",
               file=sys.stderr)
-        return 2
+        return 2, None
     if not args.run_all and not args.names:
         print("nothing to sweep: name scenarios or pass --all",
               file=sys.stderr)
-        return 2
+        return 2, None
     if args.jobs < 1:
         print("--jobs must be >= 1", file=sys.stderr)
-        return 2
+        return 2, None
     try:
         names = (None if args.run_all
                  else [get_scenario(name).name for name in args.names])
     except UnknownScenarioError as error:
         print(str(error.args[0]), file=sys.stderr)
-        return 2
+        return 2, None
+    return None, names
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.compiler.engine import (PersistError,
+                                       enable_process_analysis_cache)
+    from repro.service.core import sweep_scenarios
+
+    failure, names = _resolve_sweep_names(args)
+    if failure is not None:
+        return failure
     if args.shared_cache:
         enable_process_analysis_cache()
-    results = sweep_scenarios(
-        names, jobs=args.jobs,
-        worker_mode=args.worker_mode,
-        generations=args.generations,
-        population_size=args.population,
-        profiling_runs=args.profiling_runs,
-    )
+    try:
+        results = sweep_scenarios(
+            names, jobs=args.jobs,
+            worker_mode=args.worker_mode,
+            generations=args.generations,
+            population_size=args.population,
+            profiling_runs=args.profiling_runs,
+            cache_dir=args.cache_dir,
+        )
+    except PersistError as error:
+        print(str(error), file=sys.stderr)
+        return 2
     if args.json:
         _print_json({"scenarios": [result.summary() for result in results]})
     else:
         from repro.scenarios.__main__ import print_results
         print_results(results)
+    return 0
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    """Pre-fill a persistent cache directory by running scenarios.
+
+    Prints (or with ``--json`` emits) the end-to-end wall time and the
+    store counters, so warm/cold comparisons — the SVC3 benchmark drives
+    exactly this entry point in fresh processes — need no extra plumbing.
+    """
+    import time
+
+    from repro.compiler.engine import (PersistError,
+                                       disable_process_analysis_cache,
+                                       enable_process_analysis_cache,
+                                       process_analysis_cache_enabled,
+                                       process_cache_store)
+    from repro.service.core import sweep_scenarios
+
+    failure, names = _resolve_sweep_names(args)
+    if failure is not None:
+        return failure
+    # Own the enablement here (not inside the ephemeral sweep service) so
+    # the store is still attached for the counter snapshot after the sweep.
+    owned = not process_analysis_cache_enabled()
+    try:
+        enable_process_analysis_cache(cache_dir=args.cache_dir)
+    except PersistError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
+        started = time.perf_counter()
+        results = sweep_scenarios(
+            names, jobs=args.jobs,
+            worker_mode=args.worker_mode,
+            generations=args.generations,
+            population_size=args.population,
+            profiling_runs=args.profiling_runs,
+            cache_dir=args.cache_dir,
+        )
+        wall_s = time.perf_counter() - started
+        store = process_cache_store()
+        assert store is not None
+        store.refresh()  # fold process-mode workers' appends in
+        store_stats = store.stats()
+    finally:
+        if owned:
+            disable_process_analysis_cache()
+    document = {
+        "scenarios": [result.spec.name for result in results],
+        "wall_s": wall_s,
+        "store": store_stats,
+    }
+    if args.json:
+        _print_json(document)
+    else:
+        entries = store_stats["entries"] if store_stats else 0
+        print(f"warmed {len(results)} scenario(s) in {wall_s:.2f}s; "
+              f"store now holds {entries} record(s) "
+              f"({args.cache_dir})")
     return 0
 
 
@@ -384,7 +513,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {"serve": _cmd_serve, "submit": _cmd_submit,
                 "status": _cmd_status, "sweep": _cmd_sweep,
-                "campaign": _cmd_campaign}
+                "warm": _cmd_warm, "campaign": _cmd_campaign}
     return handlers[args.command](args)
 
 

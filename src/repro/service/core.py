@@ -18,6 +18,7 @@ coalescing identical submissions safe.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -26,6 +27,8 @@ from repro.compiler.engine import (
     enable_process_analysis_cache,
     process_analysis_cache_enabled,
     process_analysis_cache_stats,
+    process_cache_store_stats,
+    validate_cache_dir,
 )
 from repro.compiler.pipeline import merge_pipeline_stats, profile_rows
 from repro.frontend import parse_cache_stats
@@ -79,15 +82,46 @@ def _campaign_number(campaign_id: str) -> int:
     return 0
 
 
+class WorkerOutcome:
+    """Envelope a pool worker ships back: the result plus cache counters.
+
+    Worker processes have their *own* engine caches (forked from the
+    service, then diverging), so the parent's ``process_analysis_cache_stats``
+    cannot see their hits.  Every process-mode result carries a snapshot of
+    the worker's cache counters; the service keeps the latest snapshot per
+    worker pid and aggregates them in :meth:`EvaluationService.stats` —
+    which is how ``GET /stats`` reports cache activity in process mode.
+    """
+
+    __slots__ = ("result", "cache_stats")
+
+    def __init__(self, result, cache_stats: Dict[str, object]):
+        self.result = result
+        self.cache_stats = cache_stats
+
+
+def worker_cache_snapshot() -> Dict[str, object]:
+    """This process's engine/parse/persistent-store cache counters."""
+    return {
+        "pid": os.getpid(),
+        "analysis": process_analysis_cache_stats(),
+        "parse": parse_cache_stats(),
+        "store": process_cache_store_stats(),
+    }
+
+
 def run_request_in_process(request: Union[JobRequest, BatchRequest]):
     """Process-pool worker entry point (top level, so it pickles).
 
     Receives the pickled request, runs it on a per-process runner, and
-    returns the result — pickled back over the executor's result channel.
-    Worker processes are forked from the service process, so the scenario
-    registry (including any test-registered specs) comes along.
+    returns the result wrapped in a :class:`WorkerOutcome` — pickled back
+    over the executor's result channel.  Worker processes are forked from
+    the service process, so the scenario registry (including any
+    test-registered specs) and the process-wide cache enablement (plus any
+    attached persistent store directory) come along.
     """
-    return execute_request(ScenarioRunner(), request)
+    result = execute_request(ScenarioRunner(), request)
+    return WorkerOutcome(result, worker_cache_snapshot())
 
 
 class EvaluationService:
@@ -103,6 +137,7 @@ class EvaluationService:
                  worker_mode: str = "thread",
                  journal: Optional[object] = None,
                  journal_fsync: bool = False,
+                 cache_dir: Optional[str] = None,
                  autostart: bool = True):
         """``shared_analysis_cache`` turns on the process-wide WCET/WCEC
         cache for the service's lifetime (restored on :meth:`close` unless
@@ -116,8 +151,18 @@ class EvaluationService:
         ``journal`` names a JSONL path: lifecycle events append there and
         existing events replay *before* the pool starts, so pending jobs
         resume, completed results survive, and fingerprint dedup extends
-        across restarts.
+        across restarts.  ``cache_dir`` attaches the persistent analysis
+        tier (:mod:`repro.compiler.engine.persist`) under the shared cache
+        — implies ``shared_analysis_cache`` — so WCET/WCEC tables are
+        shared with every forked pool worker and survive restarts; the
+        directory is validated (and created) up front, raising
+        :class:`~repro.compiler.engine.persist.PersistError` before any
+        job runs.
         """
+        # Fail fast on an unusable cache directory, before any state exists.
+        self.cache_dir: Optional[str] = None
+        if cache_dir is not None:
+            self.cache_dir = validate_cache_dir(cache_dir)
         self.runner = runner if runner is not None else ScenarioRunner()
         self.queue = JobQueue(max_records=max_job_records,
                               max_pending=max_pending)
@@ -135,10 +180,16 @@ class EvaluationService:
         self._pipeline_totals: Dict[str, Dict[str, object]] = {}
         self._pipeline_jobs = 0
         self._pipeline_lock = threading.Lock()
-        self._owns_shared_cache = (shared_analysis_cache
+        #: Latest cache-counter snapshot per worker pid (process mode).
+        self._worker_cache_stats: Dict[int, Dict[str, object]] = {}
+        self._worker_stats_lock = threading.Lock()
+        use_shared = shared_analysis_cache or self.cache_dir is not None
+        self._owns_shared_cache = (use_shared
                                    and not process_analysis_cache_enabled())
-        if self._owns_shared_cache:
-            enable_process_analysis_cache()
+        if self._owns_shared_cache or self.cache_dir is not None:
+            # (Re-)enable so a cache_dir attaches its store even when some
+            # outer scope already turned the shared cache on.
+            enable_process_analysis_cache(cache_dir=self.cache_dir)
         self._closed = False
         #: Campaign orchestration state: records by id (insertion order =
         #: submission order), one drive thread per campaign, and the
@@ -340,6 +391,9 @@ class EvaluationService:
         try:
             if compute is not None:
                 result = compute()
+                if isinstance(result, WorkerOutcome):
+                    self._note_worker_stats(result.cache_stats)
+                    result = result.result
             else:
                 result = execute_request(self.runner, job.request)
         except BaseException as error:
@@ -362,6 +416,21 @@ class EvaluationService:
         if self.journal is not None:
             self.journal.record_finish(job)
         return result
+
+    def _note_worker_stats(self, snapshot) -> None:
+        """Keep the latest cache-counter snapshot a pool worker shipped.
+
+        Counters are cumulative per worker process, so "latest per pid" is
+        the correct aggregate (summing successive snapshots would double
+        count); a respawned worker reuses its pid slot.
+        """
+        if not isinstance(snapshot, dict):
+            return
+        pid = snapshot.get("pid")
+        if not isinstance(pid, int):
+            return
+        with self._worker_stats_lock:
+            self._worker_cache_stats[pid] = snapshot
 
     def _merge_pipeline_stats(self, result) -> None:
         """Fold a result's per-pass timings into the cross-job rollup."""
@@ -589,6 +658,51 @@ class EvaluationService:
             "profile": profile_rows(totals),
         }
 
+    @staticmethod
+    def _fold_cache_counters(combined: Dict[str, Dict[str, float]],
+                             platforms) -> None:
+        """Sum one per-platform counter document into ``combined``."""
+        if not isinstance(platforms, dict):
+            return
+        for name, counters in platforms.items():
+            if not isinstance(counters, dict):
+                continue
+            row = combined.setdefault(name, {})
+            for key, value in counters.items():
+                if key == "max_entries" or isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)):
+                    row[key] = row.get(key, 0) + value
+
+    def analysis_cache_stats(self) -> Dict[str, object]:
+        """Cache counters across the service *and* its pool workers.
+
+        ``platforms`` is this process's shared caches (all there is in
+        thread mode); ``workers`` holds each process-mode worker's latest
+        shipped snapshot (analysis/parse/persistent-store counters by pid);
+        ``combined`` sums the per-platform analysis counters over parent
+        and workers — the number a dashboard actually wants; ``store`` is
+        the parent's persistent-tier counters when ``cache_dir`` is
+        attached.
+        """
+        with self._worker_stats_lock:
+            workers = dict(self._worker_cache_stats)
+        platforms = process_analysis_cache_stats()
+        combined: Dict[str, Dict[str, float]] = {}
+        self._fold_cache_counters(combined, platforms)
+        for snapshot in workers.values():
+            self._fold_cache_counters(combined, snapshot.get("analysis"))
+        return {
+            "enabled": process_analysis_cache_enabled(),
+            "platforms": platforms,
+            "combined": combined,
+            "workers": {str(pid): {"analysis": snapshot.get("analysis"),
+                                   "parse": snapshot.get("parse"),
+                                   "store": snapshot.get("store")}
+                        for pid, snapshot in workers.items()},
+            "store": process_cache_store_stats(),
+        }
+
     def stats(self) -> Dict[str, object]:
         """One snapshot across every service layer (the GET /stats body)."""
         return {
@@ -599,10 +713,7 @@ class EvaluationService:
             "journal": (None if self.journal is None
                         else self.journal.stats()),
             "campaigns": self.campaigns_stats(),
-            "analysis_cache": {
-                "enabled": process_analysis_cache_enabled(),
-                "platforms": process_analysis_cache_stats(),
-            },
+            "analysis_cache": self.analysis_cache_stats(),
             "parse_cache": parse_cache_stats(),
         }
 
@@ -641,16 +752,20 @@ def sweep_scenarios(scenarios: Optional[Sequence[Union[str, ScenarioSpec]]]
                     population_size: Optional[int] = None,
                     profiling_runs: Optional[int] = None,
                     postprocess: bool = True,
+                    cache_dir: Optional[str] = None,
                     timeout: Optional[float] = None) -> List[ScenarioResult]:
     """One-shot parallel sweep on an ephemeral service.
 
     Used by ``python -m repro.scenarios run --jobs N``: spins up a worker
     pool, runs the scenarios, and tears the service down again.  The
     process-wide analysis cache is left exactly as the caller had it
-    (``--shared-cache`` remains the explicit opt-in).
+    (``--shared-cache`` remains the explicit opt-in); ``cache_dir``
+    attaches the persistent tier for the sweep's duration, pre-warming the
+    directory for later services and being warmed by earlier ones.
     """
     with EvaluationService(workers=jobs, worker_mode=worker_mode,
                            shared_analysis_cache=False,
+                           cache_dir=cache_dir,
                            autostart=True) as service:
         return service.sweep(
             scenarios,

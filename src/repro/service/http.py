@@ -50,7 +50,14 @@ GET       /stats              queue/store/worker/journal/analysis-cache
                               counters plus per-pass compile timings
                               aggregated across completed jobs
                               (``pipeline``) and the campaign rollup
-                              (``campaigns``)
+                              (``campaigns``); in process mode
+                              ``analysis_cache.workers`` holds each pool
+                              worker's latest shipped cache snapshot and
+                              ``analysis_cache.combined`` the per-platform
+                              sum over parent and workers, with
+                              ``analysis_cache.store`` reporting the
+                              persistent ``--cache-dir`` tier (disk
+                              hits/appends/segments/compactions)
 ========  ==================  ===============================================
 
 Floats survive the JSON round-trip bit-for-bit (``json`` serialises via

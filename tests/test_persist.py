@@ -1,0 +1,461 @@
+"""Persistent analysis-cache tier (``repro.compiler.engine.persist``).
+
+Mirrors the journal's durability coverage for the cache store:
+
+* record codec — CRC-guarded JSONL lines round-trip arbitrary JSON values
+  (hypothesis) and reject every flavour of torn/corrupt/foreign line,
+* analysis-entry codec — ``(table, errors)`` pairs survive bit-for-bit,
+  including reconstructed :class:`UnboundedLoopError` instances and the
+  insertion order of the per-function tables,
+* key digests — deterministic, enum-aware, version-stamped, and closed to
+  unsupported key components,
+* ``validate_cache_dir`` — creates missing directories, fails fast on paths
+  that cannot become writable directories,
+* the store itself — cross-instance replay, torn-tail tolerance and repair,
+  segment rolling, compaction (including another process detecting it and
+  rebuilding), and concurrent multi-process writers,
+* the cache integration — LRU-evicted tables come back as disk hits, and the
+  E1/E2/E3/E6 goldens stay bit-for-bit identical with the disk tier enabled,
+  including across a simulated restart that serves them from disk.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.engine import AnalysisCache
+from repro.compiler.engine.cache import (
+    disable_process_analysis_cache,
+    enable_process_analysis_cache,
+    process_analysis_cache_stats,
+    process_cache_store,
+)
+from repro.compiler.engine.persist import (
+    PersistentCacheStore,
+    PersistError,
+    decode_analysis_entry,
+    decode_record,
+    default_pass_list_key,
+    encode_analysis_entry,
+    encode_record,
+    key_digest,
+    validate_cache_dir,
+)
+from repro.errors import AnalysisError, UnboundedLoopError
+from repro.frontend import compile_source
+from repro.hw.presets import gr712rc, nucleo_stm32f091rc
+from repro.ir.instructions import Opcode
+from repro.scenarios import run_scenario
+from test_service import assert_report_matches, golden
+
+
+def _source(bound: int) -> str:
+    return f"""
+int data[{bound}];
+
+#pragma teamplay task(work) poi(work)
+int work(int gain) {{
+    int acc = 0;
+    for (int i = 0; i < {bound}; i = i + 1) {{
+        acc = acc + data[i] * gain;
+    }}
+    return acc;
+}}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Record codec
+# ---------------------------------------------------------------------------
+_JSON_VALUES = st.recursive(
+    st.none() | st.booleans() | st.integers(min_value=-2**53, max_value=2**53)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(),
+    lambda children: (st.lists(children, max_size=4)
+                      | st.dictionaries(st.text(max_size=8), children,
+                                        max_size=4)),
+    max_leaves=12)
+
+
+class TestRecordCodec:
+    @given(digest=st.text(min_size=1, max_size=64), value=_JSON_VALUES)
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip_identity(self, digest, value):
+        line = encode_record(digest, value)
+        assert "\n" not in line
+        decoded_digest, decoded_value = decode_record(line)
+        assert decoded_digest == digest
+        assert decoded_value == value
+
+    def test_floats_survive_bit_for_bit(self):
+        values = [0.1, 1e-308, 123456.789e300, 2.0**-52, 7/3]
+        _, decoded = decode_record(encode_record("d", values))
+        assert all(a == b and repr(a) == repr(b)
+                   for a, b in zip(values, decoded))
+
+    @pytest.mark.parametrize("line", [
+        "",                                   # empty
+        "deadbeef",                           # no separator
+        "zzzzzzzz {}",                        # non-hex CRC
+        "00000000 {\"k\": \"d\", \"v\": 1}",  # CRC mismatch
+        "bad {\"k\": \"d\"}",                 # short prefix
+    ])
+    def test_malformed_lines_rejected(self, line):
+        with pytest.raises(PersistError):
+            decode_record(line)
+
+    def test_torn_line_fails_crc(self):
+        line = encode_record("digest", {"table": [1.0, 2.0, 3.0]})
+        for cut in range(len(line) - 1, 9, -7):
+            with pytest.raises(PersistError):
+                decode_record(line[:cut])
+
+    def test_foreign_payload_shapes_rejected(self):
+        import zlib
+        for body in ("[1,2,3]", "{\"k\": \"d\"}", "{\"v\": 1}",
+                     "{\"k\": 7, \"v\": 1}"):
+            crc = zlib.crc32(body.encode()) & 0xFFFFFFFF
+            with pytest.raises(PersistError):
+                decode_record(f"{crc:08x} {body}")
+
+
+class TestAnalysisEntryCodec:
+    def test_tables_and_errors_round_trip(self):
+        unbounded = UnboundedLoopError("stray", "while loop without bound")
+        plain = AnalysisError("no cost model for opcode 'simd'")
+        entry = ({"main": 1234.0, "helper": 17.5, "isr": 0.1},
+                 {"stray": unbounded, "weird": plain})
+        table, errors = decode_analysis_entry(encode_analysis_entry(entry))
+        assert table == entry[0]
+        assert list(table) == ["main", "helper", "isr"]  # insertion order
+        assert type(errors["stray"]) is UnboundedLoopError
+        assert str(errors["stray"]) == str(unbounded)
+        assert errors["stray"].function == "stray"
+        assert type(errors["weird"]) is AnalysisError
+        assert str(errors["weird"]) == str(plain)
+
+    def test_unknown_error_class_degrades_to_analysis_error(self):
+        payload = encode_analysis_entry(({}, {"f": AnalysisError("boom")}))
+        payload["e"]["f"]["cls"] = "SomeRetiredError"
+        _, errors = decode_analysis_entry(payload)
+        assert type(errors["f"]) is AnalysisError
+        assert str(errors["f"]) == "boom"
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(PersistError):
+            decode_analysis_entry(["not", "a", "dict"])
+        with pytest.raises(PersistError):
+            decode_analysis_entry({"e": {}})  # no table
+
+
+class TestKeyDigest:
+    def test_deterministic_and_discriminating(self):
+        fingerprint = (("work", "flash", "entry", ("B", "L0"), ()),)
+        a = key_digest("analysis", "nucleo", ("pass",), "cycles", fingerprint)
+        b = key_digest("analysis", "nucleo", ("pass",), "cycles", fingerprint)
+        c = key_digest("analysis", "nucleo", ("pass",), "energy", fingerprint)
+        assert a == b
+        assert a != c
+        assert len(a) == 64 and int(a, 16) >= 0
+
+    def test_enums_serialise_by_name(self):
+        with_enum = key_digest(("x", Opcode.ADD))
+        assert with_enum == key_digest(("x", Opcode.ADD))
+        assert with_enum != key_digest(("x", Opcode.SUB))
+        # An enum is not the same key component as its name string.
+        assert with_enum != key_digest(("x", Opcode.ADD.name))
+
+    def test_tuples_and_lists_canonicalise_equal(self):
+        assert key_digest((1, (2, 3))) == key_digest([1, [2, 3]])
+
+    def test_unsupported_component_rejected(self):
+        with pytest.raises(PersistError, match="unsupported key component"):
+            key_digest(object())
+
+    def test_default_pass_list_key_is_stable(self):
+        key = default_pass_list_key()
+        assert key == default_pass_list_key()
+        assert all(isinstance(stage, str) and isinstance(name, str)
+                   for stage, name in key)
+
+
+# ---------------------------------------------------------------------------
+# Cache-directory validation
+# ---------------------------------------------------------------------------
+class TestValidateCacheDir:
+    def test_creates_missing_directories(self, tmp_path):
+        target = tmp_path / "a" / "b" / "cache"
+        resolved = validate_cache_dir(target)
+        assert resolved == str(target)
+        assert os.path.isdir(resolved)
+        assert os.listdir(resolved) == []  # the write probe cleaned up
+
+    def test_existing_file_rejected(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(PersistError, match="not a directory"):
+            validate_cache_dir(target)
+
+    def test_parent_is_a_file_rejected(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.raises(PersistError, match="cannot create|not a directory"):
+            validate_cache_dir(blocker / "nested")
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+class TestPersistentCacheStore:
+    def test_put_get_and_cross_instance_replay(self, tmp_path):
+        writer = PersistentCacheStore(tmp_path)
+        writer.put("k1", {"t": {"main": 1.5}, "e": {}})
+        writer.put("k2", [1, 2, 3])
+        assert writer.get("k1") == {"t": {"main": 1.5}, "e": {}}
+        assert writer.appends == 2 and writer.hits == 1
+
+        reader = PersistentCacheStore(tmp_path)
+        assert len(reader) == 2
+        assert reader.get("k2") == [1, 2, 3]
+        assert reader.replayed_records == 2
+        assert reader.get("missing") is None
+        assert reader.misses == 1
+
+    def test_last_write_wins_across_instances(self, tmp_path):
+        first = PersistentCacheStore(tmp_path)
+        second = PersistentCacheStore(tmp_path)
+        first.put("k", "old")
+        second.put("k", "new")
+        # ``first`` learns of the overwrite on its next miss-triggered
+        # refresh; a fresh replay sees only the survivor.
+        assert PersistentCacheStore(tmp_path).get("k") == "new"
+
+    def test_torn_tail_skipped_and_repaired(self, tmp_path):
+        writer = PersistentCacheStore(tmp_path)
+        writer.put("k1", 1)
+        writer.put("k2", 2)
+        segment = os.path.join(writer.directory, "cache-000001.seg")
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write("deadbeef {\"k\": \"torn")  # SIGKILL mid-write
+
+        survivor = PersistentCacheStore(tmp_path)
+        assert len(survivor) == 2  # unterminated tail is not consumed
+        survivor.put("k3", 3)  # appending first repairs the tail
+        fresh = PersistentCacheStore(tmp_path)
+        assert fresh.get("k3") == 3 and fresh.get("k1") == 1
+        assert fresh.skipped_lines == 1  # the repaired torn line, nothing else
+
+    def test_interior_corruption_skips_only_that_line(self, tmp_path):
+        writer = PersistentCacheStore(tmp_path)
+        writer.put("k1", 1)
+        segment = os.path.join(writer.directory, "cache-000001.seg")
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write("garbage line\n")
+        writer.put("k2", 2)
+        fresh = PersistentCacheStore(tmp_path)
+        assert len(fresh) == 2
+        assert fresh.skipped_lines == 1
+
+    def test_segments_roll_at_size_cap(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, max_segment_bytes=1,
+                                     max_segments=100)
+        for index in range(5):
+            store.put(f"k{index}", index)
+        assert store.stats()["segments"] == 5
+        fresh = PersistentCacheStore(tmp_path, max_segments=100)
+        assert {fresh.get(f"k{index}") for index in range(5)} == set(range(5))
+
+    def test_compaction_folds_to_live_records(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, max_segment_bytes=1,
+                                     max_segments=2)
+        for round_ in range(4):
+            for key in ("a", "b", "c"):
+                store.put(key, f"{key}{round_}")
+        assert store.compactions >= 1
+        assert store.stats()["segments"] <= 3
+        assert store.get("a") == "a3" and store.get("c") == "c3"
+        fresh = PersistentCacheStore(tmp_path)
+        assert len(fresh) == 3
+        assert fresh.get("b") == "b3"
+
+    def test_readers_detect_compaction_and_rebuild(self, tmp_path):
+        writer = PersistentCacheStore(tmp_path, max_segment_bytes=1,
+                                      max_segments=2)
+        writer.put("k0", "v0")
+        reader = PersistentCacheStore(tmp_path)  # tracks cache-000001.seg
+        assert reader.get("k0") == "v0"
+        for index in range(1, 8):  # rolls + compacts, deleting old segments
+            writer.put(f"k{index}", f"v{index}")
+        assert writer.compactions >= 1
+        reader.refresh()
+        assert reader.rebuilds >= 1
+        assert reader.get("k0") == "v0" and reader.get("k7") == "v7"
+
+    def test_forced_compact_and_stats_shape(self, tmp_path):
+        store = PersistentCacheStore(tmp_path, max_segment_bytes=1,
+                                     max_segments=50)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.stats()["segments"] == 2
+        store.compact()
+        stats = store.stats()
+        assert stats["segments"] == 1
+        assert stats["entries"] == 2
+        assert stats["compactions"] == 1
+        assert stats["directory"] == str(tmp_path)
+        assert stats["bytes"] > 0
+
+    def test_constructor_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_segments"):
+            PersistentCacheStore(tmp_path, max_segments=1)
+        with pytest.raises(ValueError, match="max_segment_bytes"):
+            PersistentCacheStore(tmp_path, max_segment_bytes=0)
+
+
+def _hammer_store(directory: str, worker: int, count: int) -> None:
+    """Concurrent-writer body (module level: spawned via multiprocessing)."""
+    store = PersistentCacheStore(directory)
+    for index in range(count):
+        store.put(f"w{worker}-r{index}", {"worker": worker, "index": index})
+
+
+class TestConcurrentWriters:
+    def test_parallel_processes_never_tear_records(self, tmp_path):
+        workers, count = 4, 25
+        context = multiprocessing.get_context("fork")
+        processes = [
+            context.Process(target=_hammer_store,
+                            args=(str(tmp_path), worker, count))
+            for worker in range(workers)]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        store = PersistentCacheStore(tmp_path)
+        assert len(store) == workers * count
+        assert store.skipped_lines == 0
+        for worker in range(workers):
+            for index in range(count):
+                assert store.get(f"w{worker}-r{index}") == {
+                    "worker": worker, "index": index}
+
+
+# ---------------------------------------------------------------------------
+# AnalysisCache integration: the disk tier under the LRU
+# ---------------------------------------------------------------------------
+class TestAnalysisCacheDiskTier:
+    def test_disk_tier_results_bit_identical(self, tmp_path):
+        platform = nucleo_stm32f091rc()
+        program = compile_source(_source(24))
+        plain = AnalysisCache(platform)
+        expected_wcet = plain.wcet(program, "work")
+        expected_wcec = plain.wcec(program, "work")
+
+        store = PersistentCacheStore(tmp_path)
+        warmers = AnalysisCache(platform, store=store)
+        assert warmers.wcet(program, "work").cycles == expected_wcet.cycles
+        assert warmers.wcec(program, "work").dynamic_energy_j \
+            == expected_wcec.dynamic_energy_j
+        assert warmers.disk_misses > 0 and warmers.disk_hits == 0
+
+        # "Restart": fresh cache, fresh store handle, same directory.
+        restarted = AnalysisCache(platform, store=PersistentCacheStore(tmp_path))
+        got_wcet = restarted.wcet(program, "work")
+        got_wcec = restarted.wcec(program, "work")
+        assert restarted.disk_hits > 0 and restarted.disk_misses == 0
+        assert got_wcet.cycles == expected_wcet.cycles
+        assert got_wcet.time_s == expected_wcet.time_s
+        assert got_wcet.per_function_cycles == expected_wcet.per_function_cycles
+        assert got_wcec.dynamic_energy_j == expected_wcec.dynamic_energy_j
+        assert got_wcec.static_energy_j == expected_wcec.static_energy_j
+
+    def test_lru_evicted_tables_return_as_disk_hits(self, tmp_path):
+        platform = nucleo_stm32f091rc()
+        program_a = compile_source(_source(16))
+        program_b = compile_source(_source(32))
+        expected_a = AnalysisCache(platform).wcet(program_a, "work").cycles
+        expected_b = AnalysisCache(platform).wcet(program_b, "work").cycles
+
+        cache = AnalysisCache(platform, max_entries=1,
+                              store=PersistentCacheStore(tmp_path))
+        assert cache.wcet(program_a, "work").cycles == expected_a
+        assert cache.wcet(program_b, "work").cycles == expected_b  # evicts A
+        assert cache.evictions >= 1
+        hits_before = cache.disk_hits
+        # The evicted table comes back from disk, not from a recomputation.
+        assert cache.wcet(program_a, "work").cycles == expected_a
+        assert cache.disk_hits == hits_before + 1
+
+    def test_multi_core_scopes_get_distinct_records(self, tmp_path):
+        platform = gr712rc()
+        program = compile_source(_source(16))
+        store = PersistentCacheStore(tmp_path)
+        cache = AnalysisCache(platform, store=store)
+        cores = list(platform.predictable_cores)
+        assert len(cores) >= 2
+        for core in cores:
+            cache.wcet(program, "work", core=core)
+            for opp in core.operating_points:
+                cache.wcec(program, "work", core=core, opp=opp)
+        # One cycles record per core plus one energy record per (core, OPP).
+        expected = len(cores) + sum(len(c.operating_points) for c in cores)
+        assert len(store) == expected
+
+
+# ---------------------------------------------------------------------------
+# Golden parity: E1/E2/E3/E6 with the disk tier, across a restart
+# ---------------------------------------------------------------------------
+_GOLDEN_SCENARIOS = (
+    ("camera-pill", "camera_pill_e1.json"),
+    ("space-spacewire", "space_e2.json"),
+    ("uav-sar", "uav_sar_e3.json"),
+    ("parking-dl-tk1", "parking_tk1_e6.json"),
+)
+
+
+class TestGoldenParityWithDiskTier:
+    @pytest.fixture(scope="class")
+    def disk_tier_runs(self, tmp_path_factory):
+        cache_dir = str(tmp_path_factory.mktemp("analysis-cache"))
+        enable_process_analysis_cache(cache_dir=cache_dir)
+        try:
+            cold = {name: run_scenario(name)
+                    for name, _ in _GOLDEN_SCENARIOS}
+            cold_stats = process_analysis_cache_stats()
+            # Simulated restart: drop every in-memory cache and the store
+            # handle, re-attach to the same directory, replay from disk.
+            disable_process_analysis_cache()
+            enable_process_analysis_cache(cache_dir=cache_dir)
+            warm = {name: run_scenario(name)
+                    for name, _ in _GOLDEN_SCENARIOS}
+            warm_stats = process_analysis_cache_stats()
+            store = process_cache_store()
+            store_stats = store.stats() if store is not None else None
+        finally:
+            disable_process_analysis_cache()
+        return cold, warm, cold_stats, warm_stats, store_stats
+
+    @pytest.mark.parametrize("name,golden_file", _GOLDEN_SCENARIOS)
+    def test_reports_match_goldens_cold_and_warm(self, disk_tier_runs,
+                                                 name, golden_file):
+        cold, warm, _, _, _ = disk_tier_runs
+        expected = golden(golden_file)["report"]
+        assert_report_matches(cold[name].report, expected)
+        assert_report_matches(warm[name].report, expected)
+
+    def test_restart_served_from_disk(self, disk_tier_runs):
+        _, _, cold_stats, warm_stats, store_stats = disk_tier_runs
+        # The cold sweep computed and persisted; the restarted sweep must
+        # find every one of those tables on disk.
+        cold_misses = sum(s["disk_misses"] for s in cold_stats.values())
+        assert cold_misses > 0
+        warm_hits = sum(s["disk_hits"] for s in warm_stats.values())
+        assert warm_hits > 0
+        assert all(s["disk_misses"] == 0 for s in warm_stats.values())
+        assert all(s["persistent"] for s in warm_stats.values())
+        assert store_stats is not None
+        assert store_stats["replayed_records"] >= cold_misses
+        assert store_stats["skipped_lines"] == 0

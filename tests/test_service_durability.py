@@ -28,6 +28,10 @@ import time
 
 import pytest
 
+from repro.compiler.engine import (
+    PersistError,
+    process_analysis_cache_enabled,
+)
 from repro.scenarios import register_scenario, unregister_scenario
 from repro.service import (
     BatchRequest,
@@ -589,3 +593,99 @@ class TestStoreIdFallback:
             thread.join(timeout=5)
             service.close()
             unregister_scenario(other.name)
+
+
+# ---------------------------------------------------------------------------
+# Persistent analysis-cache tier across workers and restarts
+# ---------------------------------------------------------------------------
+class TestProcessWorkerCacheStats:
+    """Satellite: GET /stats cache reporting must see process-mode workers."""
+
+    def test_worker_snapshots_aggregate_into_stats(self, tmp_path,
+                                                   tiny_scenario):  # noqa: F811
+        cache_dir = str(tmp_path / "analysis-cache")
+        with EvaluationService(workers=2, worker_mode="process",
+                               cache_dir=cache_dir) as service:
+            service.result(service.submit(tiny_scenario.name), timeout=300)
+            document = service.stats()["analysis_cache"]
+
+        assert document["enabled"] is True
+        # At least the worker that computed the job shipped its counters.
+        assert document["workers"], "no worker cache snapshot arrived"
+        computed = 0
+        for snapshot in document["workers"].values():
+            assert set(snapshot) >= {"analysis", "parse", "store"}
+            assert snapshot["store"]["directory"] == cache_dir
+            computed += sum(counters["misses"]
+                            for counters in snapshot["analysis"].values())
+        assert computed > 0, "workers reported no analysis activity"
+        # The combined view folds worker counters in, so the platform the
+        # tiny scenario ran on shows the worker's misses even though the
+        # parent process never analysed anything.
+        combined = document["combined"]["nucleo-stm32f091rc"]
+        assert combined["misses"] > 0
+        # The parent's own store handle is reported alongside.
+        assert document["store"]["directory"] == cache_dir
+
+    def test_unusable_cache_dir_fails_fast(self, tmp_path):
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("occupied")
+        with pytest.raises(PersistError, match="not a directory"):
+            EvaluationService(workers=1, cache_dir=str(blocker))
+        # Validation ran before any state was created or enabled.
+        assert not process_analysis_cache_enabled()
+
+
+class TestWarmCacheSurvivesSigkill:
+    """SIGKILL a warming run; the directory must stay usable and warm."""
+
+    @staticmethod
+    def _env():
+        here = pathlib.Path(__file__).resolve().parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(here.parent / "src")]
+            + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p])
+        return env
+
+    def test_sigkill_and_restart_warm_start(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        env = self._env()
+        warm_cmd = [sys.executable, "-m", "repro.service", "warm",
+                    "camera-pill", "--cache-dir", cache_dir,
+                    "--jobs", "2", "--worker-mode", "process",
+                    "--generations", "1", "--population", "2", "--json"]
+
+        # Leg 1: SIGKILL the warming run mid-flight.  Wherever it was —
+        # segments half-written, a record torn — the directory must remain
+        # usable (the CRC prefix + append-side tail repair guarantee it).
+        victim = subprocess.Popen(warm_cmd, env=env,
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.DEVNULL)
+        time.sleep(1.5)
+        victim.kill()
+        victim.wait(timeout=30)
+
+        # Leg 2: the same warm run completes on the survivor directory.
+        completed = subprocess.run(warm_cmd, env=env, capture_output=True,
+                                   text=True, timeout=300)
+        assert completed.returncode == 0, completed.stderr
+        document = json.loads(completed.stdout)
+        assert document["scenarios"] == ["camera-pill"]
+        assert document["store"]["entries"] > 0
+
+        # Leg 3: a fresh process on the same directory starts warm — every
+        # analysis table is served from disk, none recomputed.
+        sweep = subprocess.run(
+            [sys.executable, "-m", "repro.scenarios", "run", "camera-pill",
+             "--cache-dir", cache_dir, "--generations", "1",
+             "--population", "2", "--json"],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert sweep.returncode == 0, sweep.stderr
+        summary = json.loads(sweep.stdout)
+        counters = summary["analysis_cache"]
+        disk_hits = sum(c["disk_hits"] for c in counters.values())
+        disk_misses = sum(c["disk_misses"] for c in counters.values())
+        assert disk_hits > 0
+        assert disk_misses == 0
+        assert summary["cache_store"]["replayed_records"] > 0
