@@ -16,10 +16,13 @@ UNROLL_CHOICES = (0, 4, 8, 16, 32)
 
 #: Gene-vector lengths of the two search spaces.  The *base* space is the
 #: seed's seven axes; the *extended* space appends the CSE and peephole bits
-#: (strictly opt-in, so default searches consume their random streams
-#: exactly as before and fixed-seed archives stay bit-for-bit reproducible).
+#: plus the path-sensitive analysis bit (strictly opt-in, so default searches
+#: consume their random streams exactly as before and fixed-seed archives
+#: stay bit-for-bit reproducible).  Nine-gene vectors — the extended space
+#: before path sensitivity existed — still decode, with the new axis off.
 BASE_GENE_LENGTH = 7
-EXTENDED_GENE_LENGTH = 9
+LEGACY_EXTENDED_GENE_LENGTH = 9
+EXTENDED_GENE_LENGTH = 10
 
 
 @dataclass(frozen=True)
@@ -35,6 +38,10 @@ class CompilerConfig:
     harden_security: bool = False
     enable_cse: bool = False
     enable_peephole: bool = False
+    #: Opt-in analysis mode: prune infeasible CFG paths when maximising
+    #: WCET/WCEC bounds (see :mod:`repro.wcet.paths`).  Changes no generated
+    #: code — only how tightly the worst case is bounded.
+    path_sensitive: bool = False
 
     def __post_init__(self):
         if self.unroll_limit not in UNROLL_CHOICES:
@@ -77,27 +84,32 @@ class CompilerConfig:
         """Dimensionality of the search space the optimisers operate on.
 
         ``extended=True`` adds the two IR cleanup axes (``enable_cse``,
-        ``enable_peephole``).  The base space is the default so existing
-        fixed-seed searches draw the exact random streams they always did.
+        ``enable_peephole``) and the path-sensitive analysis axis.  The base
+        space is the default so existing fixed-seed searches draw the exact
+        random streams they always did.
         """
         return EXTENDED_GENE_LENGTH if extended else BASE_GENE_LENGTH
 
     @classmethod
     def from_genes(cls, genes: Sequence[float]) -> "CompilerConfig":
-        """Decode a vector in ``[0, 1]^7`` (base) or ``[0, 1]^9`` (extended).
+        """Decode a vector in ``[0, 1]^7`` (base) or ``[0, 1]^10`` (extended).
 
-        Seven-gene vectors leave ``enable_cse``/``enable_peephole`` at their
-        defaults (off), so base-space searches never wander onto the new
-        axes.
+        Seven-gene vectors leave the extended axes at their defaults (off),
+        so base-space searches never wander onto them; nine-gene vectors —
+        the pre-path-sensitivity extended space — decode with
+        ``path_sensitive`` off, keeping archived gene vectors valid.
         """
-        if len(genes) not in (BASE_GENE_LENGTH, EXTENDED_GENE_LENGTH):
+        if len(genes) not in (BASE_GENE_LENGTH, LEGACY_EXTENDED_GENE_LENGTH,
+                              EXTENDED_GENE_LENGTH):
             raise ValueError(
-                f"expected {BASE_GENE_LENGTH} or {EXTENDED_GENE_LENGTH} "
+                f"expected {BASE_GENE_LENGTH}, "
+                f"{LEGACY_EXTENDED_GENE_LENGTH} or {EXTENDED_GENE_LENGTH} "
                 f"genes, got {len(genes)}")
         clamped = [min(max(float(g), 0.0), 1.0) for g in genes]
         unroll_index = min(int(clamped[1] * len(UNROLL_CHOICES)),
                            len(UNROLL_CHOICES) - 1)
-        extended = len(genes) == EXTENDED_GENE_LENGTH
+        extended = len(genes) >= LEGACY_EXTENDED_GENE_LENGTH
+        full = len(genes) == EXTENDED_GENE_LENGTH
         return cls(
             constant_folding=clamped[0] > 0.5,
             unroll_limit=UNROLL_CHOICES[unroll_index],
@@ -108,6 +120,7 @@ class CompilerConfig:
             harden_security=clamped[6] > 0.5,
             enable_cse=clamped[7] > 0.5 if extended else False,
             enable_peephole=clamped[8] > 0.5 if extended else False,
+            path_sensitive=clamped[9] > 0.5 if full else False,
         )
 
     def to_genes(self, extended: bool = False) -> List[float]:
@@ -130,6 +143,7 @@ class CompilerConfig:
         if extended:
             genes.append(0.75 if self.enable_cse else 0.25)
             genes.append(0.75 if self.enable_peephole else 0.25)
+            genes.append(0.75 if self.path_sensitive else 0.25)
         return genes
 
     # -- reporting ----------------------------------------------------------------------
@@ -156,4 +170,6 @@ class CompilerConfig:
             flags.append("cse")
         if self.enable_peephole:
             flags.append("peep")
+        if self.path_sensitive:
+            flags.append("paths")
         return "+".join(flags) if flags else "O0"

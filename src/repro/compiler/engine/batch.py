@@ -22,7 +22,7 @@ on warm caches the serial path is faster because almost everything hits.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.config import CompilerConfig
 from repro.compiler.engine.cache import canonical_key
@@ -52,17 +52,29 @@ class BatchEvaluator:
     """Evaluates whole populations of configurations at once."""
 
     def __init__(self, engine: EvaluationEngine, parallel: bool = False,
-                 max_workers: Optional[int] = None):
+                 max_workers: Optional[int] = None,
+                 config_transform: Optional[
+                     Callable[[CompilerConfig], CompilerConfig]] = None):
         self.engine = engine
         self.parallel = parallel
         self.max_workers = max_workers
+        #: Applied to every configuration before evaluation (and before
+        #: deduplication, so configurations the transform collapses are
+        #: evaluated once).  Lets a driver pin evaluation-mode flags — e.g.
+        #: forcing ``path_sensitive`` — without teaching the optimisers
+        #: about them.
+        self.config_transform = config_transform
 
     # -- call-compatible with the optimisers' per-config evaluator -------------
     def __call__(self, config: CompilerConfig) -> Variant:
+        if self.config_transform is not None:
+            config = self.config_transform(config)
         return self.engine.evaluate(config)
 
     def evaluate(self, configs: Sequence[CompilerConfig]) -> List[Variant]:
         """One variant per configuration, aligned with the input order."""
+        if self.config_transform is not None:
+            configs = [self.config_transform(config) for config in configs]
         pending: Dict[tuple, CompilerConfig] = {}
         for config in configs:
             if config not in self.engine.variants:

@@ -61,6 +61,7 @@ from repro.ir.regions import (
     SeqRegion,
 )
 from repro.wcet.analyzer import WCETAnalyzer, WCETResult
+from repro.wcet.paths import PathSensitiveMixin, PathStats
 from repro.wcet.structural import StructuralCostEngine
 
 #: Attribute used to memoise a program's structural fingerprint.  The engine
@@ -97,6 +98,7 @@ def canonical_key(config: CompilerConfig) -> Tuple:
         config.harden_security,
         config.enable_cse,
         config.enable_peephole,
+        config.path_sensitive,
     )
 
 
@@ -322,7 +324,8 @@ class IrStageCache(_BoundedCacheMixin):
         return ast_stage_key(config) + (config.enable_cse,
                                         config.dead_code_elimination,
                                         config.strength_reduction,
-                                        config.enable_peephole)
+                                        config.enable_peephole,
+                                        config.path_sensitive)
 
     def get(self, config: CompilerConfig
             ) -> Optional[Tuple[Program, Dict[str, int]]]:
@@ -417,6 +420,14 @@ class _BlockMemoCostEngine(StructuralCostEngine):
         return cost
 
 
+class _PathSensitiveBlockMemoEngine(PathSensitiveMixin, _BlockMemoCostEngine):
+    """Block-memoised engine with infeasible-path pruning.
+
+    Per-block worst-case costs are identical in both analysis modes, so the
+    path-sensitive engines share the plain engines' block-cost memos.
+    """
+
+
 class AnalysisCache(_BoundedCacheMixin):
     """Shared per-function WCET/WCEC result tables, keyed by program structure.
 
@@ -475,6 +486,10 @@ class AnalysisCache(_BoundedCacheMixin):
         # and every core/OPP table of a program shares the fingerprint — so
         # hash it once per program, not once per table.
         self._fingerprint_digests: Dict[Tuple, str] = {}
+        # Path-feasibility counters, accumulated on computes only (memory and
+        # disk hits reuse tables whose pruning already happened elsewhere).
+        self._path_totals = PathStats()
+        self._path_functions: Dict[str, PathStats] = {}
 
     def __len__(self) -> int:
         return len(self._cycle_tables) + len(self._energy_tables)
@@ -484,7 +499,38 @@ class AnalysisCache(_BoundedCacheMixin):
         stats["disk_hits"] = self.disk_hits
         stats["disk_misses"] = self.disk_misses
         stats["persistent"] = self._store is not None
+        stats["path_units"] = self._path_totals.units
+        stats["paths_enumerated"] = self._path_totals.paths_enumerated
+        stats["paths_pruned"] = self._path_totals.paths_pruned
+        stats["path_cap_fallbacks"] = self._path_totals.cap_fallbacks
+        stats["path_irregular_fallbacks"] = \
+            self._path_totals.irregular_fallbacks
         return stats
+
+    def path_stats(self) -> Dict[str, Dict[str, float]]:
+        """Pruning counters of every path-sensitive analysis this cache ran.
+
+        ``totals`` aggregates across functions; ``functions`` maps each
+        analysed function to its own counters (paths enumerated / pruned,
+        cap and irregular-flow fallbacks, enumeration wall time).
+        """
+        with self._lock:
+            return {
+                "totals": self._path_totals.as_dict(),
+                "functions": {name: stats.as_dict()
+                              for name, stats in self._path_functions.items()},
+            }
+
+    def _note_path_stats(self, engine: "_PathSensitiveBlockMemoEngine") -> None:
+        """Fold one engine run's pruning counters into the cache's totals."""
+        for name, stats in engine.path_stats.items():
+            if stats.units == 0:
+                continue
+            self._path_totals.merge(stats)
+            per_function = self._path_functions.get(name)
+            if per_function is None:
+                self._path_functions[name] = per_function = PathStats()
+            per_function.merge(stats)
 
     # -- persistent tier -------------------------------------------------------
     def _table_digest(self, kind: str, fingerprint: Tuple, *scope: str) -> str:
@@ -585,10 +631,15 @@ class AnalysisCache(_BoundedCacheMixin):
             self._checked.popitem(last=False)
 
     # -- cost tables ------------------------------------------------------------
-    def _cycles(self, program: Program, core: Core
+    def _cycles(self, program: Program, core: Core,
+                path_sensitive: bool = False
                 ) -> Tuple[Dict[str, float], Dict[str, Exception]]:
         fingerprint = program_fingerprint(program)
-        key = (fingerprint, core.name)
+        # The default-mode key (and on-disk digest) is unchanged; the
+        # path-sensitive tables live under a widened key so both modes can
+        # coexist without invalidating archived entries.
+        key = ((fingerprint, core.name, "paths") if path_sensitive
+               else (fingerprint, core.name))
         entry = self._touch(self._cycle_tables, key)
         if entry is not None:
             self.hits += 1
@@ -596,7 +647,8 @@ class AnalysisCache(_BoundedCacheMixin):
         self.misses += 1
         digest = None
         if self._store is not None:
-            digest = self._table_digest("cycles", fingerprint, core.name)
+            scope = (core.name, "paths") if path_sensitive else (core.name,)
+            digest = self._table_digest("cycles", fingerprint, *scope)
             entry = self._disk_get(digest)
             if entry is not None:
                 # A disk hit was validated by whichever process computed it,
@@ -615,9 +667,11 @@ class AnalysisCache(_BoundedCacheMixin):
                 memo[memo_key] = cost
             return cost
 
-        engine = _BlockMemoCostEngine(
-            program, instr_cycles,
-            self._cycle_block_costs.setdefault(core.name, {}))
+        block_memo = self._cycle_block_costs.setdefault(core.name, {})
+        engine = (_PathSensitiveBlockMemoEngine(program, instr_cycles,
+                                                block_memo)
+                  if path_sensitive
+                  else _BlockMemoCostEngine(program, instr_cycles, block_memo))
         table: Dict[str, float] = {}
         errors: Dict[str, Exception] = {}
         for name in program.functions:
@@ -627,16 +681,20 @@ class AnalysisCache(_BoundedCacheMixin):
                 # Functions not reachable from an entry may legitimately
                 # lack loop bounds; they simply don't get a standalone bound.
                 errors[name] = error
+        if path_sensitive:
+            self._note_path_stats(engine)
         entry = (table, errors)
         self._insert(self._cycle_tables, key, entry)
         if digest is not None:
             self._store.put(digest, _persist.encode_analysis_entry(entry))
         return entry
 
-    def _energy(self, program: Program, core: Core, opp: OperatingPoint
+    def _energy(self, program: Program, core: Core, opp: OperatingPoint,
+                path_sensitive: bool = False
                 ) -> Tuple[Dict[str, float], Dict[str, Exception]]:
         fingerprint = program_fingerprint(program)
-        key = (fingerprint, core.name, opp.label)
+        key = ((fingerprint, core.name, opp.label, "paths") if path_sensitive
+               else (fingerprint, core.name, opp.label))
         entry = self._touch(self._energy_tables, key)
         if entry is not None:
             self.hits += 1
@@ -644,8 +702,9 @@ class AnalysisCache(_BoundedCacheMixin):
         self.misses += 1
         digest = None
         if self._store is not None:
-            digest = self._table_digest("energy", fingerprint,
-                                        core.name, opp.label)
+            scope = ((core.name, opp.label, "paths") if path_sensitive
+                     else (core.name, opp.label))
+            digest = self._table_digest("energy", fingerprint, *scope)
             entry = self._disk_get(digest)
             if entry is not None:
                 self._insert(self._energy_tables, key, entry)
@@ -661,9 +720,12 @@ class AnalysisCache(_BoundedCacheMixin):
                 memo[instr.opcode] = cost
             return cost
 
-        engine = _BlockMemoCostEngine(
-            program, instr_energy,
-            self._energy_block_costs.setdefault((core.name, opp.label), {}))
+        block_memo = self._energy_block_costs.setdefault(
+            (core.name, opp.label), {})
+        engine = (_PathSensitiveBlockMemoEngine(program, instr_energy,
+                                                block_memo)
+                  if path_sensitive
+                  else _BlockMemoCostEngine(program, instr_energy, block_memo))
         table: Dict[str, float] = {}
         errors: Dict[str, Exception] = {}
         for name in program.functions:
@@ -671,6 +733,8 @@ class AnalysisCache(_BoundedCacheMixin):
                 table[name] = engine.function_cost(name)
             except AnalysisError as error:
                 errors[name] = error
+        if path_sensitive:
+            self._note_path_stats(engine)
         entry = (table, errors)
         self._insert(self._energy_tables, key, entry)
         if digest is not None:
@@ -692,12 +756,19 @@ class AnalysisCache(_BoundedCacheMixin):
     # -- public API mirroring the stock analysers ------------------------------
     def wcet(self, program: Program, function_name: str,
              core: Optional[Core] = None,
-             opp: Optional[OperatingPoint] = None) -> WCETResult:
-        """Cached equivalent of ``WCETAnalyzer(...).analyze(...)``."""
+             opp: Optional[OperatingPoint] = None,
+             path_sensitive: bool = False) -> WCETResult:
+        """Cached equivalent of ``WCETAnalyzer(...).analyze(...)``.
+
+        ``path_sensitive`` enables infeasible-path pruning
+        (:mod:`repro.wcet.paths`); its tables are cached independently of
+        the default mode's.
+        """
         core = core or self._default_core()
         opp = opp or core.nominal_opp
         with self._lock:
-            table, errors = self._cycles(program, core)
+            table, errors = self._cycles(program, core,
+                                         path_sensitive=path_sensitive)
         cycles = self._entry_cost(program, function_name, table, errors)
         return WCETResult(
             function=function_name,
@@ -709,14 +780,21 @@ class AnalysisCache(_BoundedCacheMixin):
 
     def wcec(self, program: Program, function_name: str,
              core: Optional[Core] = None,
-             opp: Optional[OperatingPoint] = None) -> WCECResult:
-        """Cached equivalent of ``EnergyAnalyzer(...).analyze(...)``."""
+             opp: Optional[OperatingPoint] = None,
+             path_sensitive: bool = False) -> WCECResult:
+        """Cached equivalent of ``EnergyAnalyzer(...).analyze(...)``.
+
+        With ``path_sensitive`` both the dynamic-energy maximisation and the
+        WCET bound behind the static-leakage term prune infeasible paths.
+        """
         core = core or self._default_core()
         opp = opp or core.nominal_opp
         with self._lock:
-            table, errors = self._energy(program, core, opp)
+            table, errors = self._energy(program, core, opp,
+                                         path_sensitive=path_sensitive)
             dynamic = self._entry_cost(program, function_name, table, errors)
-            wcet_result = self.wcet(program, function_name, core=core, opp=opp)
+            wcet_result = self.wcet(program, function_name, core=core, opp=opp,
+                                    path_sensitive=path_sensitive)
             analyzer = self._energy_analyzer(core)
         static = analyzer.model.static_power(opp) * wcet_result.time_s
         return WCECResult(

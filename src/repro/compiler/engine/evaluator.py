@@ -160,9 +160,11 @@ class EvaluationEngine:
         with self.pipeline.manager.timed(ANALYSIS_PASS):
             for entry in self.entry_functions:
                 wcet = self.analysis.wcet(program, entry, core=self.core,
-                                          opp=self.opp)
+                                          opp=self.opp,
+                                          path_sensitive=config.path_sensitive)
                 wcec = self.analysis.wcec(program, entry, core=self.core,
-                                          opp=self.opp)
+                                          opp=self.opp,
+                                          path_sensitive=config.path_sensitive)
                 total_cycles += wcet.cycles
                 total_time += wcet.time_s
                 total_energy += wcec.energy_j

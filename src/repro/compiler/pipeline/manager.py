@@ -263,5 +263,14 @@ def merge_pipeline_stats(total: Dict[str, Dict[str, object]],
         if entry is None:
             total[name] = dict(row)
         else:
-            entry["invocations"] += row["invocations"]
-            entry["wall_s"] += row["wall_s"]
+            # Sum every numeric counter (invocations, wall_s and any extra
+            # keys a synthetic row carries, e.g. the path-feasibility row's
+            # pruning counters); non-numeric fields like `stage` keep the
+            # first snapshot's value.
+            for key, value in row.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                existing = entry.get(key, 0)
+                if isinstance(existing, bool) or not isinstance(existing, (int, float)):
+                    continue
+                entry[key] = existing + value

@@ -158,9 +158,10 @@ def _allocate_scratchpad(ctx: PassContext) -> None:
     ctx.statistics["spm_functions"] = len(allocation.placed_functions)
 
 
-#: Names of the two externally-driven marker passes.
+#: Names of the externally-driven marker passes.
 PARSE_PASS = "parse"
 ANALYSIS_PASS = "analysis"
+PATH_FEASIBILITY_PASS = "path-feasibility"
 
 
 def default_compile_passes() -> Tuple[Pass, ...]:
@@ -203,6 +204,14 @@ def default_compile_passes() -> Tuple[Pass, ...]:
         Pass("peephole", "ir", _peephole_optimize,
              enabled=lambda config: config.enable_peephole,
              cache_key=lambda config: (config.enable_peephole,)),
+        # Marker: path-sensitive analysis transforms nothing, but its flag
+        # must widen the IR-stage and canonical keys so variants analysed in
+        # different modes never share cached bounds (the engine runs the
+        # pruning inside its analysis caches and reports counters through
+        # `pipeline_stats()`).
+        Pass(PATH_FEASIBILITY_PASS, "ir",
+             enabled=lambda config: config.path_sensitive,
+             cache_key=lambda config: (config.path_sensitive,)),
         Pass("spm-allocation", "backend", _allocate_scratchpad,
              enabled=lambda config: config.spm_allocation,
              cache_key=lambda config: (config.spm_allocation,)),

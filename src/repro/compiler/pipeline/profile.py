@@ -71,14 +71,21 @@ def profile_rows(totals: Dict[str, Dict[str, object]]
     for name, row in totals.items():
         invocations = int(row["invocations"])
         wall_s = float(row["wall_s"])
-        rows.append({
+        derived = {
             "pass": name,
             "stage": row["stage"],
             "invocations": invocations,
             "wall_s": wall_s,
             "avg_ms": (wall_s / invocations * 1e3) if invocations else 0.0,
             "share_pct": (wall_s / total_wall * 100.0) if total_wall else 0.0,
-        })
+        }
+        # Synthetic rows may carry extra counters (the path-feasibility
+        # row's paths_enumerated/paths_pruned etc.); pass them through so
+        # `--profile --json` and the service `GET /stats` expose them.
+        for key, value in row.items():
+            if key not in derived and key != "stage":
+                derived[key] = value
+        rows.append(derived)
     rows.sort(key=lambda r: (_stage_rank(str(r["stage"])), -r["wall_s"],
                              r["pass"]))
     return rows

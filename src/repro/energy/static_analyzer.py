@@ -21,6 +21,7 @@ from repro.hw.platform import Platform
 from repro.ir.cfg import Function, Program
 from repro.ir.instructions import Instr
 from repro.wcet.analyzer import WCETAnalyzer
+from repro.wcet.paths import PathSensitiveCostEngine
 from repro.wcet.structural import StructuralCostEngine
 
 
@@ -69,18 +70,28 @@ class EnergyAnalyzer:
 
     # -- public API --------------------------------------------------------------
     def analyze(self, program: Program, function_name: str,
-                opp: Optional[OperatingPoint] = None) -> WCECResult:
-        """Compute the WCEC bound of ``function_name`` (including callees)."""
+                opp: Optional[OperatingPoint] = None,
+                path_sensitive: bool = False) -> WCECResult:
+        """Compute the WCEC bound of ``function_name`` (including callees).
+
+        With ``path_sensitive`` both the dynamic-energy maximisation and the
+        WCET bound behind the static-leakage term exclude infeasible paths
+        (see :mod:`repro.wcet.paths`).
+        """
         opp = opp or self.opp
         program.validate()
         if program.has_recursion():
             raise AnalysisError("programs with recursion are not analysable")
 
-        engine = StructuralCostEngine(
-            program, lambda fn, instr: self._instr_energy(fn, instr, opp))
+        energy_cost = lambda fn, instr: self._instr_energy(fn, instr, opp)
+        if path_sensitive:
+            engine = PathSensitiveCostEngine(program, energy_cost)
+        else:
+            engine = StructuralCostEngine(program, energy_cost)
         dynamic = engine.function_cost(function_name)
 
-        wcet_result = self.wcet.analyze(program, function_name, opp=opp)
+        wcet_result = self.wcet.analyze(program, function_name, opp=opp,
+                                        path_sensitive=path_sensitive)
         static = self.model.static_power(opp) * wcet_result.time_s
 
         return WCECResult(

@@ -176,6 +176,7 @@ class ScenarioRunner:
             security_samples=options.security_samples,
             extra_implementations=extra,
             extended_search=options.extended_search,
+            path_sensitive=options.path_sensitive,
         )
         return build, build.schedule
 

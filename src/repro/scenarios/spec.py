@@ -63,6 +63,10 @@ class BuildOptions:
     #: Off by default so registered scenarios keep their bit-for-bit
     #: reproducible fixed-seed searches.
     extended_search: bool = False
+    #: Run every WCET/WCEC analysis of this side path-sensitively (infeasible
+    #: CFG paths excluded from the maximisation; see ``repro.wcet.paths``).
+    #: Changes no generated code, only how tightly the worst case is bounded.
+    path_sensitive: bool = False
     scheduler: str = "sequential"
     dvfs: bool = False
     glue_style: str = "posix"

@@ -158,8 +158,28 @@ class PredictableToolchain:
 
     def pipeline_stats(self) -> Dict[str, Dict[str, object]]:
         """Per-pass wall-time/invocation counters of this toolchain's builds
-        (parse and CSL extraction included; see ``PassManager.stats``)."""
-        return self.pipeline.stats()
+        (parse and CSL extraction included; see ``PassManager.stats``).
+
+        When path-sensitive analyses ran, a synthetic ``path-feasibility``
+        row reports the pruning counters (units analysed as invocations,
+        enumeration wall time, paths enumerated/pruned and cap/irregular
+        fallbacks) alongside the regular pass timings, so ``--profile`` and
+        the service ``GET /stats`` expose how much pruning actually did.
+        """
+        stats = self.pipeline.stats()
+        totals = self._analysis.path_stats()["totals"]
+        if totals.get("units"):
+            stats = dict(stats)
+            stats["path-feasibility"] = {
+                "stage": "analysis",
+                "invocations": totals["units"],
+                "wall_s": totals["wall_s"],
+                "paths_enumerated": totals["paths_enumerated"],
+                "paths_pruned": totals["paths_pruned"],
+                "path_cap_fallbacks": totals["cap_fallbacks"],
+                "path_irregular_fallbacks": totals["irregular_fallbacks"],
+            }
+        return stats
 
     # ------------------------------------------------------------------ build --
     def build(self, source: str, csl_text: str,
@@ -175,6 +195,7 @@ class PredictableToolchain:
               extra_implementations: Optional[
                   Dict[str, List[Implementation]]] = None,
               extended_search: bool = False,
+              path_sensitive: bool = False,
               ) -> PredictableBuildResult:
         """Run the workflow end to end.
 
@@ -186,7 +207,10 @@ class PredictableToolchain:
         add placement options outside the compiled code (e.g. an FPGA
         -offloaded version of a task); ``extended_search`` widens the
         configuration search to the CSE/peephole axes (default off, keeping
-        fixed-seed searches bit-for-bit reproducible).
+        fixed-seed searches bit-for-bit reproducible); ``path_sensitive``
+        makes every WCET/WCEC analysis of the build exclude statically
+        infeasible CFG paths (tighter bounds, same generated code — see
+        :mod:`repro.wcet.paths`).
         """
         if scheduler not in SCHEDULER_NAMES:
             raise TeamPlayError(f"unknown scheduler {scheduler!r}")
@@ -198,11 +222,14 @@ class PredictableToolchain:
         entries = self._task_entries(spec, module)
         engine = self._engine(module, entries)
         if compiler_config is not None:
+            if path_sensitive:
+                compiler_config = compiler_config.with_(path_sensitive=True)
             selected = engine.evaluate(compiler_config)
             front = [selected]
         else:
             front = self._explore(engine, optimizer, generations,
-                                  population_size, extended_search)
+                                  population_size, extended_search,
+                                  path_sensitive)
             selected = min(front, key=lambda v: v.energy_j)
 
         # -- stage 1/3: structure extraction and ETS properties -----------------
@@ -265,10 +292,19 @@ class PredictableToolchain:
 
     def _explore(self, engine: EvaluationEngine, optimizer: str,
                  generations: int, population_size: int,
-                 extended_search: bool = False) -> List[Variant]:
+                 extended_search: bool = False,
+                 path_sensitive: bool = False) -> List[Variant]:
         """Search the configuration space over the shared evaluation engine."""
-        evaluator = BatchEvaluator(engine)
+        # Path sensitivity is an analysis mode, not a code-generation axis:
+        # rather than widening the gene space the evaluator pins the flag on
+        # every candidate before evaluation (and on the seeds, so cached
+        # variants line up).
+        transform = ((lambda config: config.with_(path_sensitive=True))
+                     if path_sensitive else None)
+        evaluator = BatchEvaluator(engine, config_transform=transform)
         seeds = [CompilerConfig.baseline(), CompilerConfig.performance()]
+        if transform is not None:
+            seeds = [transform(seed) for seed in seeds]
         if optimizer == "fpa":
             search = FlowerPollinationOptimizer(
                 evaluator, population_size=population_size,
@@ -312,12 +348,14 @@ class PredictableToolchain:
             for core in self.platform.predictable_cores:
                 opps = core.operating_points if dvfs else [core.nominal_opp]
                 for opp in opps:
-                    wcet = self._analysis.wcet(variant.program,
-                                               binding.function,
-                                               core=core, opp=opp)
-                    wcec = self._analysis.wcec(variant.program,
-                                               binding.function,
-                                               core=core, opp=opp)
+                    wcet = self._analysis.wcet(
+                        variant.program, binding.function,
+                        core=core, opp=opp,
+                        path_sensitive=variant.config.path_sensitive)
+                    wcec = self._analysis.wcec(
+                        variant.program, binding.function,
+                        core=core, opp=opp,
+                        path_sensitive=variant.config.path_sensitive)
                     options.append(Implementation(
                         core=core.name,
                         properties=EtsProperties(
@@ -336,10 +374,12 @@ class PredictableToolchain:
         """The ETS file: per-task properties at the nominal operating point."""
         properties: Dict[str, Dict[str, float]] = {}
         for task, binding in structure.bindings.items():
-            wcet = self._analysis.wcet(variant.program, binding.function,
-                                       core=self.core)
-            wcec = self._analysis.wcec(variant.program, binding.function,
-                                       core=self.core)
+            wcet = self._analysis.wcet(
+                variant.program, binding.function, core=self.core,
+                path_sensitive=variant.config.path_sensitive)
+            wcec = self._analysis.wcec(
+                variant.program, binding.function, core=self.core,
+                path_sensitive=variant.config.path_sensitive)
             properties[task] = {
                 "function": binding.function,
                 "wcet_cycles": wcet.cycles,

@@ -17,6 +17,7 @@ from repro.hw.dvfs import OperatingPoint
 from repro.hw.platform import Platform
 from repro.ir.cfg import Function, Program
 from repro.ir.instructions import Instr, Opcode
+from repro.wcet.paths import PathSensitiveCostEngine, PathStats
 from repro.wcet.structural import StructuralCostEngine
 
 
@@ -47,7 +48,8 @@ class WCETAnalyzer:
     """Static WCET analysis on IR programs for a predictable core."""
 
     def __init__(self, platform: Platform, core: Optional[Core] = None,
-                 opp: Optional[OperatingPoint] = None):
+                 opp: Optional[OperatingPoint] = None,
+                 path_sensitive: bool = False):
         core = core or next(iter(platform.predictable_cores), None)
         if core is None:
             raise AnalysisError(
@@ -56,6 +58,10 @@ class WCETAnalyzer:
         self.platform = platform
         self.core = core
         self.opp = opp or core.nominal_opp
+        #: Default analysis mode; ``analyze`` can override per call.
+        self.path_sensitive = path_sensitive
+        #: Pruning counters of the most recent path-sensitive ``analyze``.
+        self.last_path_stats: Dict[str, PathStats] = {}
 
     # -- cost model (mirrors the simulator, worst case) ------------------------
     def _instr_cycles(self, function: Function, instr: Instr) -> float:
@@ -71,12 +77,23 @@ class WCETAnalyzer:
 
     # -- public API --------------------------------------------------------------
     def analyze(self, program: Program, function_name: str,
-                opp: Optional[OperatingPoint] = None) -> WCETResult:
-        """Compute the WCET bound of ``function_name`` (including callees)."""
+                opp: Optional[OperatingPoint] = None,
+                path_sensitive: Optional[bool] = None) -> WCETResult:
+        """Compute the WCET bound of ``function_name`` (including callees).
+
+        With ``path_sensitive`` (defaulting to the analyzer's mode) the
+        maximisation excludes statically infeasible CFG paths; the pruning
+        counters land in :attr:`last_path_stats`.
+        """
         program.validate()
         if program.has_recursion():
             raise AnalysisError("programs with recursion are not analysable")
-        engine = StructuralCostEngine(program, self._instr_cycles)
+        if path_sensitive is None:
+            path_sensitive = self.path_sensitive
+        if path_sensitive:
+            engine = PathSensitiveCostEngine(program, self._instr_cycles)
+        else:
+            engine = StructuralCostEngine(program, self._instr_cycles)
         cycles = engine.function_cost(function_name)
 
         per_function: Dict[str, float] = {}
@@ -88,6 +105,7 @@ class WCETAnalyzer:
                 # lack loop bounds; they simply don't get a standalone bound.
                 continue
 
+        self.last_path_stats = engine.path_stats if path_sensitive else {}
         opp = opp or self.opp
         return WCETResult(
             function=function_name,

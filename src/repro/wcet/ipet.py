@@ -58,3 +58,35 @@ def acyclic_longest_path_cost(function: Function, instr_cost: InstrCost,
                 best[succ] = candidate
     reachable = [cost for cost in best.values() if cost != float("-inf")]
     return max(reachable) if reachable else 0.0
+
+
+def acyclic_longest_feasible_path_cost(function: Function,
+                                       instr_cost: InstrCost,
+                                       entry: Optional[str] = None,
+                                       path_cap: Optional[int] = None,
+                                       stats=None) -> float:
+    """Longest *feasible* path cost through an acyclic CFG.
+
+    The path-sensitive counterpart of :func:`acyclic_longest_path_cost`:
+    every entry→exit path is enumerated with branch-condition propagation
+    (:mod:`repro.wcet.paths`) and contradictory paths are excluded from the
+    maximisation.  When the path budget runs out — or every path is pruned,
+    which only happens for CFGs no input can traverse — the result falls
+    back to the path-insensitive longest path, so this never returns an
+    unsound (too-small) bound and never exceeds the DAG optimum.  ``stats``
+    accepts a :class:`~repro.wcet.paths.PathStats` to accumulate counters.
+    """
+    from repro.wcet.paths import DEFAULT_PATH_CAP, feasible_longest_path_cost
+
+    graph = function.cfg()
+    if not nx.is_directed_acyclic_graph(graph):
+        raise AnalysisError(
+            f"function {function.name!r} has cycles; IPET longest-path "
+            f"requires an acyclic CFG")
+    best = feasible_longest_path_cost(
+        function, instr_cost, entry=entry,
+        path_cap=DEFAULT_PATH_CAP if path_cap is None else path_cap,
+        stats=stats)
+    if best is None:
+        return acyclic_longest_path_cost(function, instr_cost, entry=entry)
+    return best

@@ -1,0 +1,890 @@
+"""Path-sensitive worst-case analysis: infeasible-path pruning.
+
+The structural engine charges every ``if`` with its more expensive branch,
+so a worst case that takes *both* of two mutually exclusive branches is
+happily admitted even though no execution can.  This module adds the missing
+path sensitivity: each function's loop-free CFG fragments ("units") are
+partitioned into basic-block paths between a dummy entry and a dummy exit
+node, branch conditions are propagated along each path with a lightweight
+abstract domain, and paths whose constraints become contradictory are pruned
+from the maximisation.
+
+The constraint domain tracks, per virtual register,
+
+* an **interval** ``[lo, hi]`` over the 32-bit signed range (any operation
+  whose unwrapped result could overflow drops to the full range — wrapping
+  is the simulator's semantics and must never be out-bounded),
+* a **congruence** ``value ≡ rem (mod mod)`` met with the CRT (a gcd
+  contradiction empties the path), and
+* **provenance**: compare results remember which register they compared
+  against which constant so a later ``BR`` can refine that register's
+  interval, and ``MOD``/power-of-two ``AND`` results remember their dividend
+  so pinning the remainder refines the dividend's congruence.  Provenance
+  carries the source register's *version* and goes stale when the register
+  is redefined.
+
+Enumeration is budgeted: a per-unit path-count cap (completed + pruned)
+guards against exponential if-chains, and any irregular flow — a cycle
+inside a supposedly loop-free unit, or a unit block no path ever reaches —
+abandons the unit.  Both cases fall back to the structural (path-insensitive)
+bound for that unit and are logged in :class:`PathStats`, so the mode can
+never hang, raise, or return a bound below the structural engine's
+assumptions.  Loops keep the structural ``(bound + 1) · cond + bound · body``
+formula with the body itself analysed path-sensitively per iteration.
+
+Because every pruned path is genuinely infeasible and per-instruction costs
+are unchanged worst-case costs, the pruned bound is still sound (≥ any
+simulated execution) while never exceeding the structural bound — the
+property the differential harness in ``tests/test_path_feasibility.py``
+checks on generated programs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from math import gcd
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir.cfg import Function
+from repro.ir.instructions import Imm, Instr, Opcode, Operand, Reg
+from repro.ir.regions import (
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    Region,
+    SeqRegion,
+    iter_block_labels,
+    iter_loops,
+)
+from repro.wcet.structural import InstrCost, StructuralCostEngine
+
+INT32_MIN = -(2 ** 31)
+INT32_MAX = 2 ** 31 - 1
+_UINT32_MASK = 0xFFFFFFFF
+
+#: Default per-unit budget on completed + pruned paths before the engine
+#: falls back to the structural bound for that unit.
+DEFAULT_PATH_CAP = 1024
+
+#: Labels of the dummy nodes framing every enumerated path (reporting only;
+#: they carry no cost and never appear in a function's CFG).
+ENTRY_NODE = "<entry>"
+EXIT_NODE = "<exit>"
+
+
+def _wrap(value: int) -> int:
+    """Two's-complement 32-bit wrap (the simulator's arithmetic)."""
+    value &= _UINT32_MASK
+    if value > INT32_MAX:
+        value -= 1 << 32
+    return value
+
+
+# --------------------------------------------------------------------------
+# Pruning counters
+# --------------------------------------------------------------------------
+@dataclass
+class PathStats:
+    """Per-function counters of the path-feasibility layer."""
+
+    units: int = 0
+    paths_enumerated: int = 0
+    paths_pruned: int = 0
+    cap_fallbacks: int = 0
+    irregular_fallbacks: int = 0
+    wall_s: float = 0.0
+
+    def merge(self, other: "PathStats") -> None:
+        self.units += other.units
+        self.paths_enumerated += other.paths_enumerated
+        self.paths_pruned += other.paths_pruned
+        self.cap_fallbacks += other.cap_fallbacks
+        self.irregular_fallbacks += other.irregular_fallbacks
+        self.wall_s += other.wall_s
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "units": self.units,
+            "paths_enumerated": self.paths_enumerated,
+            "paths_pruned": self.paths_pruned,
+            "cap_fallbacks": self.cap_fallbacks,
+            "irregular_fallbacks": self.irregular_fallbacks,
+            "wall_s": self.wall_s,
+        }
+
+
+# --------------------------------------------------------------------------
+# Abstract values
+# --------------------------------------------------------------------------
+class _Value:
+    """Interval + congruence + provenance for one register (immutable)."""
+
+    __slots__ = ("lo", "hi", "mod", "rem", "pred", "mod_of")
+
+    def __init__(self, lo: int = INT32_MIN, hi: int = INT32_MAX,
+                 mod: int = 1, rem: int = 0,
+                 pred: Optional[Tuple] = None,
+                 mod_of: Optional[Tuple[str, int, int]] = None):
+        self.lo = lo
+        self.hi = hi
+        self.mod = mod
+        self.rem = rem
+        #: (opcode, reg name, reg version, constant, swapped, negated)
+        self.pred = pred
+        #: (dividend name, dividend version, modulus) for MOD/AND results
+        self.mod_of = mod_of
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo == self.hi
+
+
+_TOP = _Value()
+
+
+def _const(value: int) -> _Value:
+    return _Value(value, value)
+
+
+def _make(lo: int, hi: int, mod: int = 1, rem: int = 0,
+          pred: Optional[Tuple] = None,
+          mod_of: Optional[Tuple[str, int, int]] = None) -> Optional[_Value]:
+    """A checked value: ``None`` when interval and congruence are jointly empty."""
+    if lo > hi:
+        return None
+    if mod > 1:
+        rem %= mod
+        first = lo + ((rem - lo) % mod)
+        if first > hi:
+            return None
+    return _Value(lo, hi, mod, rem, pred, mod_of)
+
+
+def _with_interval(value: _Value, lo: int, hi: int) -> Optional[_Value]:
+    """Meet ``value`` with ``[lo, hi]``, preserving congruence and provenance."""
+    return _make(max(lo, value.lo), min(hi, value.hi), value.mod, value.rem,
+                 value.pred, value.mod_of)
+
+
+def _crt(m1: int, r1: int, m2: int, r2: int) -> Optional[Tuple[int, int]]:
+    """Meet of two congruences; ``None`` when contradictory (gcd check)."""
+    if m1 <= 1:
+        return (m2, r2 % m2) if m2 > 1 else (1, 0)
+    if m2 <= 1:
+        return (m1, r1 % m1)
+    g = gcd(m1, m2)
+    if (r1 - r2) % g != 0:
+        return None
+    m1g, m2g = m1 // g, m2 // g
+    combined = m1 * m2g
+    t = ((r2 - r1) // g * pow(m1g, -1, m2g)) % m2g
+    return (combined, (r1 + m1 * t) % combined)
+
+
+class _State:
+    """Per-path register environment with redefinition versioning."""
+
+    __slots__ = ("values", "versions")
+
+    def __init__(self, values: Optional[Dict[str, _Value]] = None,
+                 versions: Optional[Dict[str, int]] = None):
+        self.values = {} if values is None else values
+        self.versions = {} if versions is None else versions
+
+    def clone(self) -> "_State":
+        return _State(dict(self.values), dict(self.versions))
+
+    def get(self, name: str) -> _Value:
+        return self.values.get(name, _TOP)
+
+    def value_of(self, operand: Operand) -> _Value:
+        if isinstance(operand, Imm):
+            return _const(_wrap(operand.value))
+        return self.values.get(operand.name, _TOP)
+
+    def version(self, name: str) -> int:
+        return self.versions.get(name, 0)
+
+    def set(self, name: str, value: _Value) -> None:
+        """A redefinition: bumps the version, invalidating stale provenance."""
+        self.versions[name] = self.versions.get(name, 0) + 1
+        self.values[name] = value
+
+    def refine(self, name: str, value: _Value) -> None:
+        """Narrow a register without redefining it (branch refinement)."""
+        self.values[name] = value
+
+    def havoc(self, name: str) -> None:
+        self.set(name, _TOP)
+
+
+# --------------------------------------------------------------------------
+# Transfer functions
+# --------------------------------------------------------------------------
+def _eval_const(op: Opcode, operands: List[int]) -> Optional[int]:
+    """Exact evaluation on constants, mirroring the simulator's semantics."""
+    if op is Opcode.NEG:
+        return _wrap(-operands[0])
+    if op is Opcode.NOT:
+        return _wrap(~operands[0])
+    if op is Opcode.LNOT:
+        return 0 if operands[0] != 0 else 1
+    lhs, rhs = operands
+    if op is Opcode.ADD:
+        return _wrap(lhs + rhs)
+    if op is Opcode.SUB:
+        return _wrap(lhs - rhs)
+    if op is Opcode.MUL:
+        return _wrap(lhs * rhs)
+    if op in (Opcode.DIV, Opcode.MOD):
+        if rhs == 0:
+            return None  # the simulator raises; no value to propagate
+        quotient = abs(lhs) // abs(rhs)
+        if (lhs < 0) != (rhs < 0):
+            quotient = -quotient
+        remainder = lhs - quotient * rhs
+        return _wrap(quotient if op is Opcode.DIV else remainder)
+    if op is Opcode.AND:
+        return _wrap(lhs & rhs)
+    if op is Opcode.OR:
+        return _wrap(lhs | rhs)
+    if op is Opcode.XOR:
+        return _wrap(lhs ^ rhs)
+    if op is Opcode.SHL:
+        return _wrap((lhs & _UINT32_MASK) << (rhs & 31))
+    if op is Opcode.SHR:
+        return _wrap((lhs & _UINT32_MASK) >> (rhs & 31))
+    if op in _CMP_REL:
+        return int(_CMP_PY[op](lhs, rhs))
+    return None
+
+
+_CMP_REL = {
+    Opcode.CMPLT: "lt", Opcode.CMPLE: "le",
+    Opcode.CMPGT: "gt", Opcode.CMPGE: "ge",
+    Opcode.CMPEQ: "eq", Opcode.CMPNE: "ne",
+}
+_CMP_PY = {
+    Opcode.CMPLT: lambda a, b: a < b, Opcode.CMPLE: lambda a, b: a <= b,
+    Opcode.CMPGT: lambda a, b: a > b, Opcode.CMPGE: lambda a, b: a >= b,
+    Opcode.CMPEQ: lambda a, b: a == b, Opcode.CMPNE: lambda a, b: a != b,
+}
+_SWAP_REL = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le",
+             "eq": "eq", "ne": "ne"}
+_NEGATE_REL = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt",
+               "eq": "ne", "ne": "eq"}
+
+
+def _interval_fits(lo: int, hi: int) -> bool:
+    return lo >= INT32_MIN and hi <= INT32_MAX
+
+
+def _cong_pair(value: _Value) -> Tuple[int, int]:
+    return (value.mod, value.rem)
+
+
+def _combine_congruence(op: Opcode, a: _Value, b: _Value) -> Tuple[int, int]:
+    """Congruence of ``a op b`` (valid only when the result cannot wrap)."""
+    if a.is_const and b.mod > 1:
+        c, (m, r) = a.lo, _cong_pair(b)
+        if op is Opcode.ADD:
+            return (m, (r + c) % m)
+        if op is Opcode.SUB:
+            return (m, (c - r) % m)
+        if op is Opcode.MUL:
+            return (m, (c * r) % m)
+    if b.is_const and a.mod > 1:
+        c, (m, r) = b.lo, _cong_pair(a)
+        if op is Opcode.ADD:
+            return (m, (r + c) % m)
+        if op is Opcode.SUB:
+            return (m, (r - c) % m)
+        if op is Opcode.MUL:
+            return (m, (r * c) % m)
+    if a.mod > 1 and b.mod > 1:
+        g = gcd(a.mod, b.mod)
+        if g > 1:
+            if op is Opcode.ADD:
+                return (g, (a.rem + b.rem) % g)
+            if op is Opcode.SUB:
+                return (g, (a.rem - b.rem) % g)
+            if op is Opcode.MUL:
+                return (g, (a.rem * b.rem) % g)
+    return (1, 0)
+
+
+def _gate_overflow(lo: int, hi: int, mod: int, rem: int) -> _Value:
+    """Interval + congruence for a result that may wrap at 32 bits.
+
+    Wrapping subtracts multiples of ``2**32``, so a congruence survives the
+    wrap only when its modulus divides ``2**32`` (a power of two).
+    """
+    if _interval_fits(lo, hi):
+        value = _make(lo, hi, mod, rem)
+        return value if value is not None else _TOP  # pragma: no cover
+    if mod > 1 and (1 << 32) % mod == 0:
+        return _Value(INT32_MIN, INT32_MAX, mod, rem % mod)
+    return _TOP
+
+
+def _trunc_div(lhs: int, rhs: int) -> int:
+    quotient = abs(lhs) // abs(rhs)
+    if (lhs < 0) != (rhs < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _cannot_equal(a: _Value, b: _Value) -> bool:
+    if a.hi < b.lo or b.hi < a.lo:
+        return True
+    if a.is_const and b.mod > 1 and a.lo % b.mod != b.rem:
+        return True
+    if b.is_const and a.mod > 1 and b.lo % a.mod != a.rem:
+        return True
+    if a.mod > 1 and b.mod > 1:
+        g = gcd(a.mod, b.mod)
+        if g > 1 and (a.rem - b.rem) % g != 0:
+            return True
+    return False
+
+
+def _definite_cmp(op: Opcode, a: _Value, b: _Value) -> Optional[int]:
+    rel = _CMP_REL[op]
+    if rel == "lt":
+        if a.hi < b.lo:
+            return 1
+        if a.lo >= b.hi:
+            return 0
+    elif rel == "le":
+        if a.hi <= b.lo:
+            return 1
+        if a.lo > b.hi:
+            return 0
+    elif rel == "gt":
+        if a.lo > b.hi:
+            return 1
+        if a.hi <= b.lo:
+            return 0
+    elif rel == "ge":
+        if a.lo >= b.hi:
+            return 1
+        if a.hi < b.lo:
+            return 0
+    elif rel == "eq":
+        if _cannot_equal(a, b):
+            return 0
+    elif rel == "ne":
+        if _cannot_equal(a, b):
+            return 1
+    return None
+
+
+def _transfer(state: _State, instr: Instr) -> None:
+    """Abstract execution of one non-terminator instruction."""
+    op = instr.opcode
+    if op in (Opcode.NOP, Opcode.STORE, Opcode.BR, Opcode.JMP, Opcode.RET):
+        return
+    if op is Opcode.CALL:
+        if instr.dst is not None:
+            state.havoc(instr.dst.name)
+        return
+    dst = instr.dst
+    if dst is None:  # pragma: no cover - defensive
+        return
+    name = dst.name
+    if op is Opcode.LOAD:
+        state.havoc(name)
+        return
+    if op is Opcode.MOV:
+        state.set(name, state.value_of(instr.srcs[0]))
+        return
+    if op is Opcode.SELECT:
+        cond, if_true, if_false = (state.value_of(s) for s in instr.srcs)
+        if cond.is_const:
+            state.set(name, if_true if cond.lo != 0 else if_false)
+            return
+        mod, rem = ((if_true.mod, if_true.rem)
+                    if (if_true.mod, if_true.rem) == (if_false.mod, if_false.rem)
+                    else (1, 0))
+        joined = _make(min(if_true.lo, if_false.lo),
+                       max(if_true.hi, if_false.hi), mod, rem)
+        state.set(name, joined if joined is not None else _TOP)
+        return
+
+    values = [state.value_of(s) for s in instr.srcs]
+    if all(v.is_const for v in values):
+        exact = _eval_const(op, [v.lo for v in values])
+        if exact is not None:
+            state.set(name, _const(exact))
+            return
+        state.havoc(name)  # division by zero on this path: no static value
+        return
+
+    if op is Opcode.NEG:
+        a = values[0]
+        if a.lo == INT32_MIN:
+            state.set(name, _TOP)
+        else:
+            mod, rem = (a.mod, (-a.rem) % a.mod) if a.mod > 1 else (1, 0)
+            state.set(name, _gate_overflow(-a.hi, -a.lo, mod, rem))
+        return
+    if op is Opcode.NOT:
+        a = values[0]
+        mod, rem = (a.mod, (-a.rem - 1) % a.mod) if a.mod > 1 else (1, 0)
+        state.set(name, _gate_overflow(-a.hi - 1, -a.lo - 1, mod, rem))
+        return
+    if op is Opcode.LNOT:
+        a = values[0]
+        if a.lo > 0 or a.hi < 0 or (a.mod > 1 and a.rem != 0):
+            state.set(name, _const(0))
+            return
+        pred = None
+        if a.pred is not None:
+            p_op, p_name, p_ver, p_const, p_swap, p_neg = a.pred
+            pred = (p_op, p_name, p_ver, p_const, p_swap, not p_neg)
+        state.set(name, _Value(0, 1, 1, 0, pred))
+        return
+
+    if op in _CMP_REL:
+        a, b = values
+        definite = _definite_cmp(op, a, b)
+        pred = None
+        lhs_op, rhs_op = instr.srcs
+        if isinstance(lhs_op, Reg) and b.is_const:
+            pred = (op, lhs_op.name, state.version(lhs_op.name),
+                    b.lo, False, False)
+        elif isinstance(rhs_op, Reg) and a.is_const:
+            pred = (op, rhs_op.name, state.version(rhs_op.name),
+                    a.lo, True, False)
+        if definite is not None:
+            state.set(name, _Value(definite, definite, 1, 0, pred))
+        else:
+            state.set(name, _Value(0, 1, 1, 0, pred))
+        return
+
+    a, b = values
+    if op is Opcode.ADD:
+        mod, rem = _combine_congruence(op, a, b)
+        state.set(name, _gate_overflow(a.lo + b.lo, a.hi + b.hi, mod, rem))
+        return
+    if op is Opcode.SUB:
+        mod, rem = _combine_congruence(op, a, b)
+        state.set(name, _gate_overflow(a.lo - b.hi, a.hi - b.lo, mod, rem))
+        return
+    if op is Opcode.MUL:
+        mod, rem = _combine_congruence(op, a, b)
+        corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+        state.set(name, _gate_overflow(min(corners), max(corners), mod, rem))
+        return
+    if op is Opcode.DIV:
+        if b.is_const and b.lo != 0:
+            corners = (_trunc_div(a.lo, b.lo), _trunc_div(a.hi, b.lo))
+            state.set(name, _gate_overflow(min(corners), max(corners), 1, 0))
+        else:
+            state.havoc(name)
+        return
+    if op is Opcode.MOD:
+        if b.is_const and b.lo != 0:
+            bound = abs(b.lo) - 1
+            lo = 0 if a.lo >= 0 else -bound
+            hi = 0 if a.hi <= 0 else bound
+            mod_of = None
+            src = instr.srcs[0]
+            if isinstance(src, Reg):
+                mod_of = (src.name, state.version(src.name), abs(b.lo))
+            state.set(name, _Value(lo, hi, 1, 0, None, mod_of))
+        else:
+            state.havoc(name)
+        return
+    if op is Opcode.AND:
+        const = b if b.is_const else (a if a.is_const else None)
+        other_op = instr.srcs[0] if const is b else instr.srcs[1]
+        if const is not None and const.lo >= 0:
+            mask = const.lo
+            mod_of = None
+            if isinstance(other_op, Reg) and mask > 0 and (mask + 1) & mask == 0:
+                # x & (2**k - 1) is the canonical residue of x mod 2**k
+                mod_of = (other_op.name, state.version(other_op.name), mask + 1)
+            state.set(name, _Value(0, mask, 1, 0, None, mod_of))
+            return
+        if a.lo >= 0 and b.lo >= 0:
+            state.set(name, _Value(0, min(a.hi, b.hi)))
+            return
+        state.havoc(name)
+        return
+    if op in (Opcode.OR, Opcode.XOR):
+        if a.lo >= 0 and b.lo >= 0:
+            state.set(name, _Value(0, INT32_MAX))
+        else:
+            state.havoc(name)
+        return
+    if op is Opcode.SHR:
+        if b.is_const:
+            shift = b.lo & 31
+            if shift == 0:
+                state.set(name, a)
+            else:
+                state.set(name, _Value(0, _UINT32_MASK >> shift))
+            return
+        state.havoc(name)
+        return
+    state.havoc(name)  # SHL and anything unanticipated
+
+
+# --------------------------------------------------------------------------
+# Branch refinement
+# --------------------------------------------------------------------------
+def _refine_congruence(state: _State, name: str, mod: int, rem: int) -> bool:
+    value = state.get(name)
+    met = _crt(value.mod, value.rem, mod, rem)
+    if met is None:
+        return False
+    refined = _make(value.lo, value.hi, met[0], met[1],
+                    value.pred, value.mod_of)
+    if refined is None:
+        return False
+    state.refine(name, refined)
+    return True
+
+
+def _refine_pred(state: _State, pred: Tuple, taken: bool) -> bool:
+    """Constrain the compared register; False when the branch is infeasible."""
+    op, name, version, const, swapped, negated = pred
+    if state.version(name) != version:
+        return True  # register redefined since the compare: nothing to learn
+    rel = _CMP_REL[op]
+    if swapped:
+        rel = _SWAP_REL[rel]
+    if taken == negated:
+        rel = _NEGATE_REL[rel]
+    value = state.get(name)
+    lo, hi = value.lo, value.hi
+    if rel == "lt":
+        hi = min(hi, const - 1)
+    elif rel == "le":
+        hi = min(hi, const)
+    elif rel == "gt":
+        lo = max(lo, const + 1)
+    elif rel == "ge":
+        lo = max(lo, const)
+    elif rel == "eq":
+        lo, hi = max(lo, const), min(hi, const)
+    else:  # ne
+        if lo == hi == const:
+            return False
+        if lo == const:
+            lo += 1
+        if hi == const:
+            hi -= 1
+    refined = _with_interval(value, lo, hi)
+    if refined is None:
+        return False
+    state.refine(name, refined)
+    if value.mod_of is not None:
+        div_name, div_version, modulus = value.mod_of
+        if state.version(div_name) == div_version:
+            if rel == "eq":
+                # remainder == const pins the dividend's congruence class
+                if not _refine_congruence(state, div_name, modulus,
+                                          const % modulus):
+                    return False
+            elif rel == "ne" and const == 0 and modulus == 2:
+                # a nonzero remainder mod 2 means an odd dividend
+                if not _refine_congruence(state, div_name, 2, 1):
+                    return False
+    return True
+
+
+def _refine_branch(state: _State, operand: Operand, taken: bool) -> bool:
+    """Refine ``state`` along one BR edge; False when that edge is infeasible."""
+    if isinstance(operand, Imm):
+        return (operand.value != 0) == taken
+    name = operand.name
+    value = state.get(name)
+    if taken:
+        if value.lo == 0 and value.hi == 0:
+            return False
+        lo, hi = value.lo, value.hi
+        if lo == 0:
+            lo = 1
+        if hi == 0:
+            hi = -1
+        refined = _with_interval(value, lo, hi)
+        if refined is None:
+            return False
+        state.refine(name, refined)
+        if value.mod_of is not None:
+            div_name, div_version, modulus = value.mod_of
+            if modulus == 2 and state.version(div_name) == div_version:
+                # a nonzero remainder mod 2 means an odd dividend
+                if not _refine_congruence(state, div_name, 2, 1):
+                    return False
+    else:
+        if value.lo > 0 or value.hi < 0:
+            return False
+        if value.mod > 1 and value.rem != 0:
+            return False
+        refined = _with_interval(value, 0, 0)
+        if refined is None:
+            return False
+        state.refine(name, refined)
+        if value.mod_of is not None:
+            div_name, div_version, modulus = value.mod_of
+            if state.version(div_name) == div_version:
+                if not _refine_congruence(state, div_name, modulus, 0):
+                    return False
+    if value.pred is not None:
+        return _refine_pred(state, value.pred, taken)
+    return True
+
+
+# --------------------------------------------------------------------------
+# Path enumeration
+# --------------------------------------------------------------------------
+class _PathCapExceeded(Exception):
+    """Internal: the unit's path budget ran out."""
+
+
+class _IrregularFlow(Exception):
+    """Internal: a cycle or unreachable block inside a loop-free unit."""
+
+
+BlockCost = Callable[[str], float]
+
+
+def _enumerate_paths(function: Function, labels: Set[str], entry: str,
+                     block_cost: BlockCost, cap: int
+                     ) -> Tuple[Optional[float], int, int, Set[str]]:
+    """Max cost over feasible ``entry``→exit paths within ``labels``.
+
+    Paths run from a dummy entry node (before ``entry``) to a dummy exit
+    node reached by ``RET`` or by any edge leaving ``labels``.  Returns
+    ``(best, enumerated, pruned, touched)``; ``best`` is ``None`` when every
+    path was pruned.  Raises :class:`_PathCapExceeded` when completed plus
+    pruned paths exceed ``cap`` and :class:`_IrregularFlow` on a cycle.
+    """
+    best: Optional[float] = None
+    enumerated = 0
+    pruned = 0
+    touched: Set[str] = set()
+    stack: List[Tuple[str, _State, float, FrozenSet[str]]] = [
+        (entry, _State(), 0.0, frozenset())]
+    while stack:
+        label, state, cost, on_path = stack.pop()
+        if label in on_path:
+            raise _IrregularFlow(label)
+        touched.add(label)
+        cost += block_cost(label)
+        on_path = on_path | {label}
+        block = function.block(label)
+        terminator = block.terminator
+        for instr in block.instrs:
+            if instr is terminator:
+                break
+            _transfer(state, instr)
+        if terminator is None or terminator.opcode is Opcode.RET:
+            enumerated += 1
+            if enumerated + pruned > cap:
+                raise _PathCapExceeded()
+            if best is None or cost > best:
+                best = cost
+            continue
+        if terminator.opcode is Opcode.JMP:
+            successor = terminator.true_target
+            if successor not in labels:
+                enumerated += 1
+                if enumerated + pruned > cap:
+                    raise _PathCapExceeded()
+                if best is None or cost > best:
+                    best = cost
+            else:
+                stack.append((successor, state, cost, on_path))
+            continue
+        condition = terminator.srcs[0]
+        fallthrough_state = state.clone()
+        for taken, target, edge_state in (
+                (True, terminator.true_target, state),
+                (False, terminator.false_target, fallthrough_state)):
+            if not _refine_branch(edge_state, condition, taken):
+                pruned += 1
+                if enumerated + pruned > cap:
+                    raise _PathCapExceeded()
+                continue
+            if target not in labels:
+                enumerated += 1
+                if enumerated + pruned > cap:
+                    raise _PathCapExceeded()
+                if best is None or cost > best:
+                    best = cost
+            else:
+                stack.append((target, edge_state, cost, on_path))
+    return best, enumerated, pruned, touched
+
+
+def feasible_longest_path_cost(function: Function, instr_cost: InstrCost,
+                               entry: Optional[str] = None,
+                               path_cap: int = DEFAULT_PATH_CAP,
+                               stats: Optional[PathStats] = None
+                               ) -> Optional[float]:
+    """Max cost over the *feasible* paths of a whole (acyclic) CFG.
+
+    The explicit-enumeration counterpart of
+    :func:`repro.wcet.ipet.acyclic_longest_path_cost`: every entry→exit path
+    is walked with constraint propagation and contradictory paths are
+    skipped.  Returns ``None`` when the path budget runs out or the flow is
+    irregular (cycles) — callers fall back to the path-insensitive bound.
+    """
+    stats = stats if stats is not None else PathStats()
+    labels = set(function.blocks)
+    entry = entry or function.entry
+    block_costs = {
+        label: sum(instr_cost(function, instr) for instr in block.instrs)
+        for label, block in function.blocks.items()
+    }
+    stats.units += 1
+    started = time.perf_counter()
+    try:
+        best, enumerated, pruned, _ = _enumerate_paths(
+            function, labels, entry, block_costs.__getitem__, path_cap)
+    except _PathCapExceeded:
+        stats.cap_fallbacks += 1
+        return None
+    except _IrregularFlow:
+        stats.irregular_fallbacks += 1
+        return None
+    finally:
+        stats.wall_s += time.perf_counter() - started
+    stats.paths_enumerated += enumerated
+    stats.paths_pruned += pruned
+    return best
+
+
+# --------------------------------------------------------------------------
+# The path-sensitive cost engine
+# --------------------------------------------------------------------------
+def _is_loop_free(region: Region) -> bool:
+    return next(iter_loops(region), None) is None
+
+
+def _contains_if(region: Region) -> bool:
+    if isinstance(region, IfRegion):
+        return True
+    if isinstance(region, SeqRegion):
+        return any(_contains_if(child) for child in region.children)
+    if isinstance(region, LoopRegion):
+        return _contains_if(region.body_region)
+    return False
+
+
+class PathSensitiveMixin:
+    """Adds infeasible-path pruning to a :class:`StructuralCostEngine`.
+
+    Compose it *before* a structural engine subclass so ``_block_cost``
+    resolves to the subclass's (possibly memoised) implementation::
+
+        class PathSensitiveCostEngine(PathSensitiveMixin, StructuralCostEngine):
+            ...
+
+    Maximal loop-free runs of every sequence become enumeration units;
+    anything else keeps the structural recursion (with loop bodies analysed
+    path-sensitively per iteration).  Cap overruns and irregular flow fall
+    back to the structural bound for the affected unit, logged in
+    :attr:`path_stats`.
+    """
+
+    def __init__(self, *args, path_cap: Optional[int] = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.path_cap = DEFAULT_PATH_CAP if path_cap is None else path_cap
+        #: function name -> PathStats, populated as functions are costed
+        self.path_stats: Dict[str, PathStats] = {}
+        self._structural_only = 0
+        self._current_stats: Optional[PathStats] = None
+
+    def function_cost(self, name: str) -> float:
+        previous_stats = self._current_stats
+        saved_depth = self._structural_only
+        self._current_stats = self.path_stats.setdefault(name, PathStats())
+        self._structural_only = 0  # callees get their own pruning context
+        try:
+            return super().function_cost(name)
+        finally:
+            self._current_stats = previous_stats
+            self._structural_only = saved_depth
+
+    def _region_cost(self, function: Function, region: Region) -> float:
+        if self._structural_only:
+            return super()._region_cost(function, region)
+        if isinstance(region, SeqRegion):
+            total = 0.0
+            run: List[Region] = []
+            for child in region.children:
+                if _is_loop_free(child):
+                    run.append(child)
+                else:
+                    total += self._run_cost(function, run)
+                    run = []
+                    total += super()._region_cost(function, child)
+            total += self._run_cost(function, run)
+            return total
+        if isinstance(region, IfRegion) and _is_loop_free(region):
+            return self._unit_cost(function, [region])
+        return super()._region_cost(function, region)
+
+    # -- units ---------------------------------------------------------------
+    def _run_cost(self, function: Function, run: List[Region]) -> float:
+        if not run:
+            return 0.0
+        if not any(_contains_if(region) for region in run):
+            # straight-line: identical to the structural sum, skip enumeration
+            structural = super()._region_cost
+            return sum(structural(function, region) for region in run)
+        return self._unit_cost(function, run)
+
+    def _unit_cost(self, function: Function, run: List[Region]) -> float:
+        stats = self._current_stats
+        if stats is None:
+            stats = self._current_stats = PathStats()
+        labels: Set[str] = set()
+        for region in run:
+            labels.update(iter_block_labels(region))
+        entry = next(iter_block_labels(run[0]))
+        stats.units += 1
+        started = time.perf_counter()
+        try:
+            best, enumerated, pruned, touched = _enumerate_paths(
+                function, labels, entry,
+                lambda label: self._block_cost(function, label),
+                self.path_cap)
+            if touched != labels:
+                # a unit block no path reaches: the CFG disagrees with the
+                # region tree, so the enumeration cannot be trusted
+                stats.irregular_fallbacks += 1
+                return self._structural_cost(function, run)
+            stats.paths_enumerated += enumerated
+            stats.paths_pruned += pruned
+            if best is None:  # pragma: no cover - defensive
+                stats.irregular_fallbacks += 1
+                return self._structural_cost(function, run)
+            return best
+        except _PathCapExceeded:
+            stats.cap_fallbacks += 1
+            return self._structural_cost(function, run)
+        except _IrregularFlow:
+            stats.irregular_fallbacks += 1
+            return self._structural_cost(function, run)
+        finally:
+            stats.wall_s += time.perf_counter() - started
+
+    def _structural_cost(self, function: Function, run: List[Region]) -> float:
+        """The path-insensitive fallback bound for one unit."""
+        self._structural_only += 1
+        structural = super()._region_cost
+        try:
+            return sum(structural(function, region) for region in run)
+        finally:
+            self._structural_only -= 1
+
+
+class PathSensitiveCostEngine(PathSensitiveMixin, StructuralCostEngine):
+    """Drop-in :class:`StructuralCostEngine` with infeasible-path pruning."""

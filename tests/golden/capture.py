@@ -85,6 +85,31 @@ def capture_uav_sar() -> dict:
     }
 
 
+def capture_ecg_wearable() -> dict:
+    """The extra scenario whose TeamPlay side analyses path-sensitively.
+
+    Pins the full comparison plus the pruning counters (wall time excluded
+    — it is nondeterministic) and the selected configuration's short name,
+    which must carry the ``paths`` flag.
+    """
+    from repro.scenarios.runner import run_scenario
+
+    result = run_scenario("ecg-wearable")
+    analysis = result.cache_stats["analysis"]
+    return {
+        "report": report_dict(result.report),
+        "selected_config":
+            result.teamplay.build.variant.config.short_name(),
+        "baseline_config":
+            result.baseline.build.variant.config.short_name(),
+        "path_counters": {
+            key: analysis[key]
+            for key in ("path_units", "paths_enumerated", "paths_pruned",
+                        "path_cap_fallbacks", "path_irregular_fallbacks")
+        },
+    }
+
+
 def capture_parking_tk1() -> dict:
     from repro.usecases import deep_learning
 
@@ -141,6 +166,7 @@ def main() -> None:
         "space_e2.json": capture_space,
         "uav_sar_e3.json": capture_uav_sar,
         "parking_tk1_e6.json": capture_parking_tk1,
+        "ecg_wearable.json": capture_ecg_wearable,
         "ast_camera_pill_e1.json": _ast_capture(_camera_pill_source),
         "ast_space_e2.json": _ast_capture(_space_source),
         "ast_matmul_e3.json": _ast_capture(_matmul_source),

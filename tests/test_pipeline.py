@@ -78,7 +78,7 @@ class TestPassManager:
         manager = PassManager()
         assert {p.name for p in manager.passes("ir")} \
             == {"common-subexpression-elimination", "dead-code-elimination",
-                "strength-reduction", "peephole"}
+                "strength-reduction", "peephole", "path-feasibility"}
 
     def test_unknown_pass_and_stage_raise(self):
         manager = PassManager()
@@ -93,7 +93,7 @@ class TestPassManager:
         manager = PassManager()
         manager.register(Pass("extra-ir", "ir", lambda ctx: None))
         names = [p.name for p in manager.passes()]
-        assert names.index("extra-ir") == names.index("peephole") + 1
+        assert names.index("extra-ir") == names.index("path-feasibility") + 1
         assert names.index("extra-ir") < names.index("spm-allocation")
 
     def test_register_with_anchors(self):
@@ -105,7 +105,8 @@ class TestPassManager:
         names = [p.name for p in manager.passes("ir")]
         assert names == ["common-subexpression-elimination", "pre-dce",
                          "dead-code-elimination", "post-dce",
-                         "strength-reduction", "peephole"]
+                         "strength-reduction", "peephole",
+                         "path-feasibility"]
 
     def test_register_rejects_stage_disorder_and_duplicates(self):
         manager = PassManager()
@@ -554,7 +555,10 @@ class TestExtendedSearchSpace:
 
     def test_gene_length_and_validation(self):
         assert CompilerConfig.gene_length() == 7
-        assert CompilerConfig.gene_length(extended=True) == 9
+        assert CompilerConfig.gene_length(extended=True) == 10
+        # Nine genes (the extended space before path sensitivity) still
+        # decode, with the new axis off.
+        assert CompilerConfig.from_genes([0.75] * 9).path_sensitive is False
         with pytest.raises(ValueError):
             CompilerConfig.from_genes([0.5] * 8)
 
@@ -574,9 +578,10 @@ class TestExtendedSearchSpace:
                          population_size=6, generations=2,
                          extended_space=True)
         seen = [key for key in engine.variants._variants]
-        # The canonical key's last two elements are the new flags; the
-        # extended search must have sampled at least one enabled value.
-        assert any(key[-2] or key[-1] for key in seen)
+        # The canonical key's last three elements are the extended axes
+        # (CSE, peephole, path-sensitive analysis); the extended search
+        # must have sampled at least one enabled value.
+        assert any(key[-3] or key[-2] or key[-1] for key in seen)
 
     def test_exhaustive_grid_crosses_new_axes_on_request(self, platform,
                                                          module):

@@ -479,3 +479,40 @@ class TestParkingTk1Parity:
         assert comparison.manual_energy_j == expected["manual_energy_j"]
         assert comparison.energy_ratio == expected["energy_ratio"]
         assert comparison.time_ratio == expected["time_ratio"]
+
+
+class TestEcgWearableParity:
+    """The extra scenario whose TeamPlay side analyses path-sensitively.
+
+    Its golden pins the comparison *with* infeasible-path pruning enabled:
+    the selected configuration carries the ``paths`` flag and the pruning
+    counters reproduce exactly (wall time excluded — nondeterministic).
+    """
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.scenarios.runner import run_scenario
+        return run_scenario("ecg-wearable")
+
+    def test_report_bit_identical(self, result):
+        assert_report_matches(result.report,
+                              golden("ecg_wearable.json")["report"])
+
+    def test_selected_configs_carry_analysis_mode(self, result):
+        expected = golden("ecg_wearable.json")
+        assert (result.teamplay.build.variant.config.short_name()
+                == expected["selected_config"])
+        assert (result.baseline.build.variant.config.short_name()
+                == expected["baseline_config"])
+        assert result.teamplay.build.variant.config.path_sensitive
+        assert not result.baseline.build.variant.config.path_sensitive
+
+    def test_path_counters_reproduce(self, result):
+        expected = golden("ecg_wearable.json")["path_counters"]
+        analysis = result.cache_stats["analysis"]
+        assert {key: analysis[key] for key in expected} == expected
+        # The synthetic profile row mirrors the same counters.
+        row = result.pipeline_stats["path-feasibility"]
+        assert row["stage"] == "analysis"
+        assert row["invocations"] == expected["path_units"]
+        assert row["paths_enumerated"] == expected["paths_enumerated"]
